@@ -1,0 +1,158 @@
+// MICRO — google-benchmark microbenchmarks for the substrate pieces the
+// paper's constants hide: deque operations, prefix sums, parallel sort,
+// batchify round-trips, and skip-list primitives.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "concurrent/seq_skiplist.hpp"
+#include "ds/batched_counter.hpp"
+#include "ds/batched_skiplist.hpp"
+#include "parallel/prefix_sum.hpp"
+#include "parallel/sort.hpp"
+#include "runtime/api.hpp"
+#include "runtime/deque.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace batcher;
+
+void BM_DequePushPop(benchmark::State& state) {
+  rt::WorkDeque deque;
+  auto* fake = reinterpret_cast<rt::Task*>(0x40);
+  for (auto _ : state) {
+    deque.push(fake);
+    benchmark::DoNotOptimize(deque.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_DequeSteal(benchmark::State& state) {
+  rt::WorkDeque deque;
+  auto* fake = reinterpret_cast<rt::Task*>(0x40);
+  for (auto _ : state) {
+    deque.push(fake);
+    benchmark::DoNotOptimize(deque.steal());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DequeSteal);
+
+void BM_PrefixSumsSerialBaseline(benchmark::State& state) {
+  const auto n = state.range(0);
+  std::vector<std::int64_t> data(static_cast<std::size_t>(n), 1);
+  for (auto _ : state) {
+    for (std::int64_t i = 1; i < n; ++i) {
+      data[static_cast<std::size_t>(i)] += data[static_cast<std::size_t>(i - 1)];
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PrefixSumsSerialBaseline)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_PrefixSumsBlocked(benchmark::State& state) {
+  const auto n = state.range(0);
+  rt::Scheduler sched(4);
+  std::vector<std::int64_t> data(static_cast<std::size_t>(n), 1);
+  for (auto _ : state) {
+    sched.run([&] { par::prefix_sums(data.data(), n); });
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PrefixSumsBlocked)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_ParallelSort(benchmark::State& state) {
+  const auto n = state.range(0);
+  rt::Scheduler sched(4);
+  const auto base = [&] {
+    Xoshiro256 rng(1);
+    std::vector<std::int64_t> v(static_cast<std::size_t>(n));
+    for (auto& x : v) x = static_cast<std::int64_t>(rng.next());
+    return v;
+  }();
+  for (auto _ : state) {
+    auto copy = base;
+    sched.run([&] { par::parallel_sort(copy); });
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelSort)->Arg(4096)->Arg(131072);
+
+// The batch-setup overhead the analysis amortizes: one full batchify round
+// trip (op record -> pending array -> launch -> BOP -> done) with zero
+// contention, i.e. a singleton batch.
+void BM_BatchifyRoundTripP1(benchmark::State& state) {
+  rt::Scheduler sched(1);
+  ds::BatchedCounter counter(sched);
+  for (auto _ : state) {
+    state.PauseTiming();
+    state.ResumeTiming();
+    sched.run([&] { counter.increment(1); });
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BatchifyRoundTripP1);
+
+void BM_BatchifyThroughputP4(benchmark::State& state) {
+  rt::Scheduler sched(4);
+  ds::BatchedCounter counter(sched);
+  constexpr std::int64_t kOpsPerIter = 4096;
+  for (auto _ : state) {
+    sched.run([&] {
+      rt::parallel_for(0, kOpsPerIter,
+                       [&](std::int64_t) { counter.increment(1); },
+                       /*grain=*/16);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerIter);
+}
+BENCHMARK(BM_BatchifyThroughputP4);
+
+void BM_SeqSkipListInsert(benchmark::State& state) {
+  const auto initial = state.range(0);
+  conc::SeqSkipList list;
+  Xoshiro256 rng(3);
+  for (std::int64_t i = 0; i < initial; ++i) {
+    list.insert(static_cast<std::int64_t>(rng.next()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.insert(static_cast<std::int64_t>(rng.next())));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeqSkipListInsert)->Arg(1024)->Arg(262144);
+
+void BM_BatchedSkipListBop(benchmark::State& state) {
+  // One size-64 batched insert via run_batch (the paper's step-2-parallel
+  // BOP), measured directly.
+  const auto initial = state.range(0);
+  rt::Scheduler sched(4);
+  ds::BatchedSkipList list(sched);
+  Xoshiro256 rng(3);
+  for (std::int64_t i = 0; i < initial; ++i) {
+    list.insert_unsafe(static_cast<std::int64_t>(rng.next()));
+  }
+  for (auto _ : state) {
+    std::vector<std::int64_t> keys(64);
+    for (auto& k : keys) k = static_cast<std::int64_t>(rng.next());
+    ds::BatchedSkipList::Op op;
+    op.kind = ds::BatchedSkipList::Kind::MultiInsert;
+    op.keys = keys.data();
+    op.num_keys = keys.size();
+    OpRecordBase* ops[1] = {&op};
+    list.run_batch(ops, 1);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BatchedSkipListBop)->Arg(1024)->Arg(262144);
+
+}  // namespace
+
+BENCHMARK_MAIN();

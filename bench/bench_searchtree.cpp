@@ -1,0 +1,110 @@
+// T1-tree — the paper's §3 search-tree example: n parallel inserts into the
+// batched 2-3 tree, with the Θ(n lg n / P) optimality check and the
+// simulated speedup curve.
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "bench/common.hpp"
+#include "ds/batched_tree23.hpp"
+#include "ds/batched_wbtree.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/dag.hpp"
+#include "sim/sim_batcher.hpp"
+
+namespace {
+namespace bench = batcher::bench;
+using batcher::Stopwatch;
+
+constexpr std::int64_t kN = 100000;
+
+double run_batched_tree(unsigned workers, double* mean_batch) {
+  batcher::rt::Scheduler sched(workers);
+  batcher::ds::BatchedTree23 tree(sched);
+  const auto keys = bench::random_keys(kN, 5);
+  Stopwatch sw;
+  sched.run([&] {
+    batcher::rt::parallel_for(
+        0, kN,
+        [&](std::int64_t i) { tree.insert(keys[static_cast<std::size_t>(i)]); },
+        /*grain=*/16);
+  });
+  const double secs = sw.elapsed_seconds();
+  *mean_batch = tree.batcher().stats().mean_batch_size();
+  return secs;
+}
+
+double run_batched_wbtree(unsigned workers, double* mean_batch) {
+  batcher::rt::Scheduler sched(workers);
+  batcher::ds::BatchedWBTree tree(sched);
+  const auto keys = bench::random_keys(kN, 5);
+  Stopwatch sw;
+  sched.run([&] {
+    batcher::rt::parallel_for(
+        0, kN,
+        [&](std::int64_t i) { tree.insert(keys[static_cast<std::size_t>(i)]); },
+        /*grain=*/16);
+  });
+  const double secs = sw.elapsed_seconds();
+  *mean_batch = tree.batcher().stats().mean_batch_size();
+  return secs;
+}
+
+double run_std_set() {
+  std::set<std::int64_t> tree;
+  const auto keys = bench::random_keys(kN, 5);
+  Stopwatch sw;
+  for (auto k : keys) tree.insert(k);
+  return sw.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::header("T1-tree",
+                "n parallel inserts into the batched 2-3 tree (paper §3 "
+                "search-tree example)");
+  bench::note("%lld random keys; sequential std::set shown for scale",
+              static_cast<long long>(kN));
+  bench::row("%-6s %-14s %12s %12s", "P", "variant", "Mins/s", "mean batch");
+  {
+    const double secs = run_std_set();
+    bench::row("%-6d %-14s %12.3f %12s", 1, "STD::SET", bench::mops(kN, secs),
+               "-");
+  }
+  for (unsigned p : {1u, 2u, 4u, 8u}) {
+    double mean_batch = 0;
+    const double secs = run_batched_tree(p, &mean_batch);
+    bench::row("%-6u %-14s %12.3f %12.2f", p, "BATCHED-2-3",
+               bench::mops(kN, secs), mean_batch);
+    double wb_mean_batch = 0;
+    const double wb_secs = run_batched_wbtree(p, &wb_mean_batch);
+    bench::row("%-6u %-14s %12.3f %12.2f", p, "BATCHED-WB",
+               bench::mops(kN, wb_secs), wb_mean_batch);
+  }
+
+  bench::note("simulated processors: makespan vs the Theta(n lg n / P) "
+              "optimum (ratio should stay bounded as P grows)");
+  bench::row("%-6s %12s %16s %8s", "P", "makespan", "n*lg(n)/P (opt)",
+             "ratio");
+  using namespace batcher::sim;
+  const std::int64_t n_ops = 4096;
+  Dag core = build_parallel_loop_with_ds(n_ops, 1, 1, 1);
+  for (unsigned workers : {1u, 2u, 4u, 8u, 16u}) {
+    SearchTreeCostModel model(1 << 20);
+    BatcherSimConfig cfg;
+    cfg.workers = workers;
+    const SimResult res = simulate_batcher(core, model, cfg);
+    const double opt = static_cast<double>(n_ops) * ilog2(1 << 20) /
+                       static_cast<double>(workers);
+    bench::row("%-6u %12lld %16.0f %8.2f", workers,
+               static_cast<long long>(res.makespan), opt,
+               static_cast<double>(res.makespan) / opt);
+  }
+  bench::note("paper: O((T1 + n lg n)/P + m lg n + T-inf) == asymptotically "
+              "optimal in the comparison model, linear speedup");
+  std::printf("\n");
+  return 0;
+}

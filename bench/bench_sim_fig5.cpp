@@ -1,0 +1,56 @@
+// FIG5-sim — reproduces the *scaling shape* of the paper's Figure 5 on
+// simulated processors: BATCHER skip-list insert throughput vs. worker count,
+// for initial sizes spanning 20k..100M (the paper's full range — the cost
+// model only needs lg(size), so the big sizes cost nothing here).
+//
+// Expected shape (paper §7): speedup over 1 worker grows with the initial
+// size, because more expensive per-op work amortizes BATCHER's batching
+// overhead; at 100M the paper saw ~3.3x on 8 workers.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/dag.hpp"
+#include "sim/sim_batcher.hpp"
+
+namespace {
+namespace bench = batcher::bench;
+using namespace batcher::sim;
+
+constexpr std::int64_t kOps = 4096;  // ds operations in the core dag
+}  // namespace
+
+int main() {
+  bench::header("FIG5-sim",
+                "BATCHER skip-list insert scaling on simulated processors "
+                "(paper Fig. 5 shape)");
+  bench::note("%lld implicit-batched inserts in a parallel loop; "
+              "per-op cost ~ lg(initial size)",
+              static_cast<long long>(kOps));
+  bench::row("%-12s %-8s %12s %10s %12s", "initial", "workers",
+             "makespan", "speedup", "mean batch");
+
+  const std::int64_t sizes[] = {20000, 100000, 1000000, 10000000, 100000000};
+  for (std::int64_t size : sizes) {
+    Dag core = build_parallel_loop_with_ds(kOps, /*pre=*/1, /*post=*/1,
+                                           /*ds_per_iter=*/1);
+    std::int64_t base = 0;
+    for (unsigned workers : {1u, 2u, 4u, 6u, 8u, 16u}) {
+      SkipListCostModel model(size);
+      BatcherSimConfig cfg;
+      cfg.workers = workers;
+      cfg.seed = 7;
+      const SimResult res = simulate_batcher(core, model, cfg);
+      if (workers == 1) base = res.makespan;
+      bench::row("%-12lld %-8u %12lld %10.2f %12.2f",
+                 static_cast<long long>(size), workers,
+                 static_cast<long long>(res.makespan),
+                 static_cast<double>(base) / static_cast<double>(res.makespan),
+                 res.mean_batch_size());
+    }
+  }
+  bench::note("paper: BAT speedup grows with skip-list size; ~3.3x at 8 "
+              "workers for the 100M list");
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// LEMMAS-sim — the §5 accounting, measured: per-category steal attempts vs
+// the envelopes of Lemma 9 (big-batch steals), Lemmas 10+11 (free steals),
+// and Lemma 13 (trapped steals + batch setup), plus the Lemma 2 trap bound.
+//
+// The proof charges every processor step to {core work, ds work, steals,
+// setup}; this harness shows where the steps actually go, per workload.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/dag.hpp"
+#include "sim/sim_batcher.hpp"
+
+namespace {
+namespace bench = batcher::bench;
+using namespace batcher::sim;
+
+void report(const char* name, const Dag& core, std::int64_t structure_size,
+            unsigned P) {
+  SkipListCostModel model(structure_size);
+  BatcherSimConfig cfg;
+  cfg.workers = P;
+  cfg.seed = 31;
+  const SimResult res = simulate_batcher(core, model, cfg);
+
+  const std::int64_t n = core.num_ds_nodes();
+  const std::int64_t lemma9 =
+      n * res.tau + static_cast<std::int64_t>(P) * res.trimmed_span +
+      n * SkipListCostModel(structure_size + n).batch_cost(1).work;
+  const std::int64_t lemma10_11 =
+      static_cast<std::int64_t>(P) *
+          (core.span() + core.max_ds_on_path() * res.tau) +
+      n * res.tau;
+
+  bench::row("%-14s %4u %10lld %10lld %10lld %10lld %10lld %6lld", name, P,
+             static_cast<long long>(res.big_batch_steals),
+             static_cast<long long>(lemma9),
+             static_cast<long long>(res.free_steals),
+             static_cast<long long>(lemma10_11),
+             static_cast<long long>(res.trapped_steals),
+             static_cast<long long>(res.max_batches_waited));
+  bench::row("%-14s      batches=%lld long=%lld wide=%lld popular=%lld "
+             "big=%lld S_tau=%lld tau=%lld",
+             "", static_cast<long long>(res.batches),
+             static_cast<long long>(res.long_batches),
+             static_cast<long long>(res.wide_batches),
+             static_cast<long long>(res.popular_batches),
+             static_cast<long long>(res.big_batches),
+             static_cast<long long>(res.trimmed_span),
+             static_cast<long long>(res.tau));
+}
+
+}  // namespace
+
+int main() {
+  bench::header("LEMMAS-sim",
+                "§5 analysis quantities, measured vs lemma envelopes");
+  bench::row("%-14s %4s %10s %10s %10s %10s %10s %6s", "workload", "P",
+             "bigSteal", "L9 env", "freeSteal", "L10+11", "trapSteal",
+             "Lem2");
+
+  {
+    Dag core = build_parallel_loop_with_ds(2048, 1, 1, 1);
+    report("ds-heavy", core, 1 << 20, 8);
+    report("ds-heavy", core, 1 << 20, 16);
+  }
+  {
+    Dag core = build_parallel_loop_with_ds(256, 48, 48, 1);
+    report("core-heavy", core, 1 << 10, 8);
+  }
+  {
+    Dag core = build_parallel_loop_with_ds(128, 2, 1, 16);  // m = 16
+    report("deep-m16", core, 1 << 16, 8);
+  }
+  {
+    Dag core = build_sequential_ds_chain(256, 4);  // m = n
+    report("serial-chain", core, 1 << 16, 8);
+  }
+  bench::note("Lem2 column is the measured max batches any trapped worker "
+              "waited — the paper's Lemma 2 proves it is at most 2");
+  bench::note("measured categories must sit under their envelopes by a "
+              "modest constant; big-batch steals dominate ds-heavy runs, "
+              "free steals dominate core-heavy runs, matching the proof's "
+              "case split");
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared helpers for the benchmark harnesses: row printing in a uniform
+// format and workload generation.
+//
+// Every figure/table harness prints (1) a header naming the paper artifact it
+// regenerates and (2) aligned rows, so `for b in build/bench/*; do $b; done`
+// yields a readable experiment log (captured into bench_output.txt).
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/timing.hpp"
+
+namespace batcher::bench {
+
+inline void header(const char* experiment_id, const char* description) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s — %s\n", experiment_id, description);
+  std::printf("==================================================================\n");
+}
+
+inline void note(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::printf("  # ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  va_end(args);
+}
+
+inline void row(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::printf("  ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  va_end(args);
+}
+
+inline std::vector<std::int64_t> random_keys(std::size_t n, std::uint64_t seed,
+                                             std::uint64_t range = 1ull << 40) {
+  Xoshiro256 rng(seed);
+  std::vector<std::int64_t> keys(n);
+  for (auto& k : keys) k = static_cast<std::int64_t>(rng.next_below(range));
+  return keys;
+}
+
+// Million operations per second.
+inline double mops(std::int64_t ops, double seconds) {
+  return seconds <= 0 ? 0.0 : static_cast<double>(ops) / seconds / 1e6;
+}
+
+}  // namespace batcher::bench

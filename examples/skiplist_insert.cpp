@@ -1,0 +1,75 @@
+// skiplist_insert: the paper's §7 experiment as a standalone application.
+//
+//   $ ./skiplist_insert [initial_size] [inserts] [workers] [keys_per_record]
+//
+// Pre-populates a batched skip list, then times a parallel insertion phase
+// where each BATCHIFY call carries `keys_per_record` insertion records
+// (default 100, as in the paper), and compares against the plain sequential
+// skip list on the identical key stream.
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "concurrent/seq_skiplist.hpp"
+#include "ds/batched_skiplist.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+#include "support/timing.hpp"
+
+int main(int argc, char** argv) {
+  const std::int64_t initial = argc > 1 ? std::atoll(argv[1]) : 100000;
+  const std::int64_t inserts = argc > 2 ? std::atoll(argv[2]) : 100000;
+  const unsigned workers = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 4;
+  const std::int64_t per_record = argc > 4 ? std::atoll(argv[4]) : 100;
+
+  batcher::Xoshiro256 rng(99);
+  std::vector<std::int64_t> init_keys(static_cast<std::size_t>(initial));
+  for (auto& k : init_keys) k = static_cast<std::int64_t>(rng.next_below(1ull << 40));
+  std::vector<std::int64_t> keys(static_cast<std::size_t>(inserts));
+  for (auto& k : keys) k = static_cast<std::int64_t>(rng.next_below(1ull << 40));
+
+  // Sequential baseline (the paper's SEQ line).
+  double seq_secs;
+  {
+    batcher::conc::SeqSkipList seq;
+    for (auto k : init_keys) seq.insert(k);
+    batcher::Stopwatch sw;
+    for (auto k : keys) seq.insert(k);
+    seq_secs = sw.elapsed_seconds();
+  }
+
+  // BATCHER (the paper's BAT line).
+  batcher::rt::Scheduler scheduler(workers);
+  batcher::ds::BatchedSkipList list(scheduler);
+  for (auto k : init_keys) list.insert_unsafe(k);
+
+  const std::int64_t calls = inserts / per_record;
+  batcher::Stopwatch sw;
+  scheduler.run([&] {
+    batcher::rt::parallel_for(
+        0, calls,
+        [&](std::int64_t c) {
+          list.multi_insert(std::span<const std::int64_t>(
+              keys.data() + c * per_record, static_cast<std::size_t>(per_record)));
+        },
+        /*grain=*/1);
+  });
+  const double bat_secs = sw.elapsed_seconds();
+
+  const auto stats = list.batcher().stats();
+  std::printf("skiplist_insert: initial=%lld inserts=%lld workers=%u "
+              "keys/record=%lld\n",
+              static_cast<long long>(initial), static_cast<long long>(inserts),
+              workers, static_cast<long long>(per_record));
+  std::printf("  SEQ: %.3fs (%.2f Minserts/s)\n", seq_secs,
+              static_cast<double>(inserts) / seq_secs / 1e6);
+  std::printf("  BAT: %.3fs (%.2f Minserts/s), %llu batches, mean size %.2f\n",
+              bat_secs, static_cast<double>(inserts) / bat_secs / 1e6,
+              static_cast<unsigned long long>(stats.batches_launched),
+              stats.mean_batch_size());
+  std::printf("  structure check   : %s, %zu elements\n",
+              list.check_invariants() ? "OK" : "VIOLATED", list.size_unsafe());
+  return list.check_invariants() ? 0 : 1;
+}

@@ -1,0 +1,200 @@
+#include "batcher/batcher.hpp"
+
+#include "parallel/prefix_sum.hpp"
+#include "runtime/api.hpp"
+#include "support/backoff.hpp"
+
+namespace batcher {
+
+Batcher::Batcher(rt::Scheduler& sched, BatchedStructure& ds, SetupPolicy setup)
+    : sched_(sched), ds_(ds), setup_(setup) {
+  const std::size_t P = sched_.num_workers();
+  slots_ = std::vector<Slot>(P);
+  working_.resize(P, nullptr);
+  marks_.resize(P, 0);
+  stat_cells_.histogram = std::vector<std::atomic<std::uint64_t>>(P + 1);
+}
+
+void Batcher::batchify(OpRecordBase& op) {
+  rt::Worker* w = rt::Worker::current();
+  BATCHER_ASSERT(w != nullptr && w->scheduler() == &sched_,
+                 "batchify must be called from a worker of the owning scheduler");
+  BATCHER_ASSERT(w->current_kind() == rt::TaskKind::Core,
+                 "batch implementations must not invoke batchify themselves");
+
+  Slot& slot = slots_[w->id()];
+  BATCHER_DASSERT(slot.status.load(std::memory_order_relaxed) == OpStatus::Free,
+                  "a worker has at most one suspended data-structure node");
+  slot.op = &op;
+  // The release pairs with the launcher's acquire scan: a launcher that sees
+  // `Pending` also sees the op pointer and the operation's arguments.
+  slot.status.store(OpStatus::Pending, std::memory_order_release);
+
+  // The trapped-worker rules of Fig. 3.
+  Backoff backoff;
+  while (true) {
+    // Non-empty batch deque: execute batch work.
+    rt::Task* task = w->pop(rt::TaskKind::Batch);
+    if (task != nullptr) {
+      w->run_task(task);
+      backoff.reset();
+      continue;
+    }
+    // Batch deque empty: resume if our operation completed.
+    if (slot.status.load(std::memory_order_acquire) == OpStatus::Done) break;
+    // Otherwise try to launch a batch if none is active...
+    std::uint32_t expected = 0;
+    if (batch_flag_.load(std::memory_order_relaxed) == 0 &&
+        batch_flag_.compare_exchange_strong(expected, 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      w->run_inline(rt::TaskKind::Batch, [this] { launch_batch(); });
+      backoff.reset();
+      continue;
+    }
+    // ...else steal from a random victim's batch deque.
+    task = w->try_steal(rt::TaskKind::Batch);
+    if (task != nullptr) {
+      w->run_task(task);
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+
+  // done -> free: only the owning worker makes this transition (§4).
+  slot.op = nullptr;
+  slot.status.store(OpStatus::Free, std::memory_order_relaxed);
+}
+
+void Batcher::launch_batch() {
+  const std::int32_t already =
+      batches_running_.fetch_add(1, std::memory_order_acq_rel);
+  BATCHER_ASSERT(already == 0, "Invariant 1 violated: overlapping batches");
+
+  std::size_t count = 0;
+  if (setup_ == SetupPolicy::Sequential) {
+    collect_sequential(&count);
+  } else {
+    collect_parallel(&count);
+  }
+  BATCHER_ASSERT(count <= sched_.num_workers(),
+                 "Invariant 2 violated: batch larger than P");
+
+  if (count > 0) {
+    ds_.run_batch(working_.data(), count);
+    if (setup_ == SetupPolicy::Sequential) {
+      complete_sequential();
+    } else {
+      complete_parallel();
+    }
+  }
+
+  // Stats (we are the unique launcher; plain relaxed updates suffice).
+  auto bump = [](std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
+    c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  };
+  bump(stat_cells_.batches_launched);
+  if (count == 0) bump(stat_cells_.empty_batches);
+  bump(stat_cells_.ops_processed, count);
+  if (count > stat_cells_.max_batch_size.load(std::memory_order_relaxed)) {
+    stat_cells_.max_batch_size.store(count, std::memory_order_relaxed);
+  }
+  bump(stat_cells_.histogram[count]);
+
+  batches_running_.fetch_sub(1, std::memory_order_acq_rel);
+  // Reopen the domain.  Release pairs with the next launcher's CAS acquire.
+  batch_flag_.store(0, std::memory_order_release);
+}
+
+void Batcher::collect_sequential(std::size_t* out_count) {
+  const std::size_t P = slots_.size();
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < P; ++i) {
+    if (slots_[i].status.load(std::memory_order_acquire) == OpStatus::Pending) {
+      slots_[i].status.store(OpStatus::Executing, std::memory_order_relaxed);
+      working_[count++] = slots_[i].op;
+    }
+  }
+  *out_count = count;
+}
+
+void Batcher::collect_parallel(std::size_t* out_count) {
+  // Fig. 4 steps 1-2: parallel status flip, then prefix-sum compaction.
+  const std::int64_t P = static_cast<std::int64_t>(slots_.size());
+  rt::parallel_for(
+      0, P,
+      [this](std::int64_t i) {
+        auto& s = slots_[static_cast<std::size_t>(i)];
+        if (s.status.load(std::memory_order_acquire) == OpStatus::Pending) {
+          s.status.store(OpStatus::Executing, std::memory_order_relaxed);
+          marks_[static_cast<std::size_t>(i)] = 1;
+        } else {
+          marks_[static_cast<std::size_t>(i)] = 0;
+        }
+      },
+      /*grain=*/1);
+  par::scan_inclusive(marks_.data(), P,
+                      [](std::uint32_t a, std::uint32_t b) { return a + b; });
+  const std::size_t count = marks_[static_cast<std::size_t>(P - 1)];
+  rt::parallel_for(
+      0, P,
+      [this](std::int64_t i) {
+        auto& s = slots_[static_cast<std::size_t>(i)];
+        // Executing status marks exactly the records this batch collected:
+        // the previous batch moved all of its records to Done before the
+        // batch flag reopened.
+        if (s.status.load(std::memory_order_relaxed) == OpStatus::Executing) {
+          working_[marks_[static_cast<std::size_t>(i)] - 1] = s.op;
+        }
+      },
+      /*grain=*/1);
+  *out_count = count;
+}
+
+void Batcher::complete_sequential() {
+  for (auto& s : slots_) {
+    if (s.status.load(std::memory_order_relaxed) == OpStatus::Executing) {
+      // Release publishes the results BOP wrote into the op records.
+      s.status.store(OpStatus::Done, std::memory_order_release);
+    }
+  }
+}
+
+void Batcher::complete_parallel() {
+  const std::int64_t P = static_cast<std::int64_t>(slots_.size());
+  rt::parallel_for(
+      0, P,
+      [this](std::int64_t i) {
+        auto& s = slots_[static_cast<std::size_t>(i)];
+        if (s.status.load(std::memory_order_relaxed) == OpStatus::Executing) {
+          s.status.store(OpStatus::Done, std::memory_order_release);
+        }
+      },
+      /*grain=*/1);
+}
+
+BatcherStats Batcher::stats() const {
+  BatcherStats out;
+  out.batches_launched =
+      stat_cells_.batches_launched.load(std::memory_order_relaxed);
+  out.empty_batches = stat_cells_.empty_batches.load(std::memory_order_relaxed);
+  out.ops_processed = stat_cells_.ops_processed.load(std::memory_order_relaxed);
+  out.max_batch_size =
+      stat_cells_.max_batch_size.load(std::memory_order_relaxed);
+  out.batch_size_histogram.reserve(stat_cells_.histogram.size());
+  for (const auto& h : stat_cells_.histogram) {
+    out.batch_size_histogram.push_back(h.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void Batcher::reset_stats() {
+  stat_cells_.batches_launched.store(0, std::memory_order_relaxed);
+  stat_cells_.empty_batches.store(0, std::memory_order_relaxed);
+  stat_cells_.ops_processed.store(0, std::memory_order_relaxed);
+  stat_cells_.max_batch_size.store(0, std::memory_order_relaxed);
+  for (auto& h : stat_cells_.histogram) h.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace batcher

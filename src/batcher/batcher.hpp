@@ -1,0 +1,114 @@
+// The BATCHER scheduler extension (paper §4).
+//
+// One `Batcher` instance forms an implicit-batching domain around one batched
+// data structure: it owns the P-slot pending array, the per-worker status
+// flags, the global active-batch flag, and the LAUNCHBATCH procedure.  The
+// host work-stealing runtime (src/runtime) supplies the dual deques and the
+// alternating-steal policy; `Batcher` adds the trapped-worker rules.
+//
+// A program may create several Batcher domains (one per data structure); each
+// batches independently, which matches the paper's model of a program using
+// one ADT per domain.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "batcher/op_record.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/worker.hpp"
+#include "support/config.hpp"
+#include "support/padded.hpp"
+
+namespace batcher {
+
+// Worker status with respect to this batching domain (§4): `pending` /
+// `executing` / `done` mean the worker is *trapped* on a suspended
+// data-structure node; `free` means it has none.
+enum class OpStatus : std::uint8_t { Free = 0, Pending, Executing, Done };
+
+// Counters describing one Batcher domain's activity.  Written only by the
+// (unique) active batch launcher, so single-writer relaxed atomics suffice.
+struct BatcherStats {
+  std::uint64_t batches_launched = 0;  // includes empty launches
+  std::uint64_t empty_batches = 0;
+  std::uint64_t ops_processed = 0;
+  std::uint64_t max_batch_size = 0;
+  std::vector<std::uint64_t> batch_size_histogram;  // index = ops in batch
+
+  double mean_batch_size() const {
+    const std::uint64_t nonempty = batches_launched - empty_batches;
+    return nonempty == 0 ? 0.0
+                         : static_cast<double>(ops_processed) /
+                               static_cast<double>(nonempty);
+  }
+};
+
+class Batcher {
+ public:
+  // How LAUNCHBATCH flips statuses and compacts the pending array.
+  // `Parallel` is the paper's Fig. 4 (parallel_for + parallel prefix sums,
+  // Θ(P) work / Θ(lg P) span); `Sequential` is the paper's own prototype
+  // simplification for small P (§7).
+  enum class SetupPolicy { Sequential, Parallel };
+
+  Batcher(rt::Scheduler& sched, BatchedStructure& ds,
+          SetupPolicy setup = SetupPolicy::Sequential);
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  // The paper's BATCHIFY: hands `op` to the scheduler and blocks until some
+  // batch has applied it.  Must be called from a worker of the owning
+  // scheduler, in core context (data-structure code never calls batchify).
+  // The calling worker is *trapped* until its operation completes: it only
+  // executes batch work, launches a batch when none is active, or steals
+  // from batch deques (Fig. 3).
+  void batchify(OpRecordBase& op);
+
+  rt::Scheduler& scheduler() const { return sched_; }
+
+  // Snapshot of domain statistics.  Safe to call anytime; exact when no
+  // batch is in flight.
+  BatcherStats stats() const;
+  void reset_stats();
+
+ private:
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<OpStatus> status{OpStatus::Free};
+    OpRecordBase* op = nullptr;
+  };
+
+  // The paper's LAUNCHBATCH (Fig. 4).  Runs in batch context on the worker
+  // that won the batch-flag CAS.
+  void launch_batch();
+
+  void collect_sequential(std::size_t* out_count);
+  void collect_parallel(std::size_t* out_count);
+  void complete_sequential();
+  void complete_parallel();
+
+  rt::Scheduler& sched_;
+  BatchedStructure& ds_;
+  const SetupPolicy setup_;
+
+  std::vector<Slot> slots_;                  // the pending array (size P)
+  std::vector<OpRecordBase*> working_;       // the working set (size <= P)
+  std::vector<std::uint32_t> marks_;         // prefix-sum scratch (size P)
+
+  alignas(kCacheLineSize) std::atomic<std::uint32_t> batch_flag_{0};
+  std::atomic<std::int32_t> batches_running_{0};  // Invariant 1 check
+
+  // Stats, written only under the batch flag (single writer at a time).
+  struct StatsCells {
+    std::atomic<std::uint64_t> batches_launched{0};
+    std::atomic<std::uint64_t> empty_batches{0};
+    std::atomic<std::uint64_t> ops_processed{0};
+    std::atomic<std::uint64_t> max_batch_size{0};
+    std::vector<std::atomic<std::uint64_t>> histogram;
+  };
+  StatsCells stat_cells_;
+};
+
+}  // namespace batcher

@@ -1,0 +1,134 @@
+// ExternalDomain — the paper's concluding suggestion (§8): "a pthreaded
+// program could run as normal, with data-structure calls replaced by BATCHER
+// calls, allowing work-stealing to operate over the data structure batches
+// while static pthreading operates over the main program."
+//
+// External (non-worker) threads publish operation records into a slot array,
+// exactly like workers publish into the pending array; a *pump* task running
+// inside the scheduler gathers them into batches of at most `batch_cap`
+// records and executes the structure's BOP as a batch dag — so the batch
+// itself is accelerated by work stealing even though the callers are plain
+// threads.  One pump per domain preserves Invariant 1; the cap preserves the
+// spirit of Invariant 2.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "batcher/op_record.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/worker.hpp"
+#include "support/backoff.hpp"
+#include "support/config.hpp"
+#include "support/padded.hpp"
+
+namespace batcher {
+
+class ExternalDomain {
+ public:
+  // `max_threads` bounds the number of external threads that may submit
+  // concurrently; thread `tid` must be in [0, max_threads).  `batch_cap`
+  // defaults to the scheduler's worker count (Invariant 2's P).
+  ExternalDomain(rt::Scheduler& sched, BatchedStructure& ds,
+                 std::size_t max_threads, std::size_t batch_cap = 0)
+      : sched_(sched),
+        ds_(ds),
+        batch_cap_(batch_cap != 0 ? batch_cap : sched.num_workers()),
+        slots_(max_threads) {
+    working_.reserve(slots_.size());
+  }
+
+  ExternalDomain(const ExternalDomain&) = delete;
+  ExternalDomain& operator=(const ExternalDomain&) = delete;
+
+  // Called by external thread `tid`: publishes `op` and blocks until a batch
+  // has applied it.  The analogue of BATCHIFY for non-worker threads.
+  void submit(std::size_t tid, OpRecordBase& op) {
+    BATCHER_ASSERT(rt::Worker::current() == nullptr,
+                   "workers must use Batcher::batchify, not ExternalDomain");
+    BATCHER_ASSERT(tid < slots_.size(), "external thread id out of range");
+    Slot& slot = *slots_[tid];
+    BATCHER_DASSERT(slot.status.load(std::memory_order_relaxed) == kFree,
+                    "one in-flight op per external thread");
+    slot.op = &op;
+    slot.status.store(kPending, std::memory_order_release);
+    Backoff backoff;
+    while (slot.status.load(std::memory_order_acquire) != kDone) {
+      backoff.pause();
+    }
+    slot.op = nullptr;
+    slot.status.store(kFree, std::memory_order_relaxed);
+  }
+
+  // The pump: run this inside Scheduler::run (typically as the root task, or
+  // spawned beside other work).  Serves batches until `shutdown` is called
+  // and every published record has been applied.
+  void serve() {
+    rt::Worker* w = rt::Worker::current();
+    BATCHER_ASSERT(w != nullptr, "serve() must run on a worker");
+    Backoff backoff;
+    while (true) {
+      working_.clear();
+      collected_.clear();
+      for (std::size_t i = 0;
+           i < slots_.size() && working_.size() < batch_cap_; ++i) {
+        Slot& slot = *slots_[i];
+        if (slot.status.load(std::memory_order_acquire) == kPending) {
+          slot.status.store(kExecuting, std::memory_order_relaxed);
+          working_.push_back(slot.op);
+          collected_.push_back(&slot);
+        }
+      }
+      if (!working_.empty()) {
+        // Execute the BOP as a batch dag so idle workers help via their
+        // batch deques — the whole point of the bridge.
+        w->run_inline(rt::TaskKind::Batch, [&] {
+          ds_.run_batch(working_.data(), working_.size());
+        });
+        for (Slot* slot : collected_) {
+          slot->status.store(kDone, std::memory_order_release);
+        }
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        ops_.fetch_add(working_.size(), std::memory_order_relaxed);
+        backoff.reset();
+        continue;
+      }
+      if (stop_.load(std::memory_order_acquire)) return;
+      backoff.pause();
+    }
+  }
+
+  // Ask the pump to exit once the slot array drains.  Safe from any thread.
+  void shutdown() { stop_.store(true, std::memory_order_release); }
+
+  std::uint64_t batches_served() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ops_served() const {
+    return ops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint8_t kFree = 0;
+  static constexpr std::uint8_t kPending = 1;
+  static constexpr std::uint8_t kExecuting = 2;
+  static constexpr std::uint8_t kDone = 3;
+
+  struct Slot {
+    std::atomic<std::uint8_t> status{kFree};
+    OpRecordBase* op = nullptr;
+  };
+
+  rt::Scheduler& sched_;
+  BatchedStructure& ds_;
+  const std::size_t batch_cap_;
+  std::vector<Padded<Slot>> slots_;
+  std::vector<OpRecordBase*> working_;   // pump-only scratch
+  std::vector<Slot*> collected_;         // pump-only scratch
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> ops_{0};
+};
+
+}  // namespace batcher

@@ -1,0 +1,41 @@
+// The interface between the three parties of implicit batching (§3):
+//
+//  * the *algorithm programmer* calls blocking data-structure operations that
+//    internally hand an OpRecord to the scheduler (`Batcher::batchify`);
+//  * the *data-structure programmer* implements `BatchedStructure::run_batch`
+//    (the paper's BOP), a dynamically multithreaded function that receives a
+//    whole batch and never has to cope with concurrency;
+//  * the *runtime* (Batcher) stitches the two together.
+#pragma once
+
+#include <cstddef>
+
+namespace batcher {
+
+// Base of every operation record.  A data structure derives its own record
+// type carrying the operation's arguments and result slot, exactly like the
+// paper's `struct OpRecord { int value; int result; }` (Fig. 2).  Records
+// live on the stack of the blocked caller; they stay valid for the whole
+// batch because the caller is trapped until its status turns done.
+struct OpRecordBase {
+ protected:
+  OpRecordBase() = default;
+  ~OpRecordBase() = default;  // never deleted through the base
+};
+
+// A batched implementation of an abstract data type.  `run_batch` is the BOP
+// of the paper: it is invoked by the scheduler with the compacted working
+// set, runs as a batch dag (it may fork via rt::parallel_invoke and friends),
+// and is guaranteed:
+//
+//   Invariant 1 — at most one run_batch is executing at any time, so no
+//                 locks or atomics are needed inside;
+//   Invariant 2 — count <= P (the number of workers).
+class BatchedStructure {
+ public:
+  virtual ~BatchedStructure() = default;
+
+  virtual void run_batch(OpRecordBase* const* ops, std::size_t count) = 0;
+};
+
+}  // namespace batcher

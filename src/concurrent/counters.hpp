@@ -1,0 +1,51 @@
+// Concurrent counter baselines for the §3 counter example.
+//
+//  * AtomicCounter — the "trivial concurrent counter" built on fetch-and-add.
+//    The paper points out that mutually exclusive hardware RMWs serialize:
+//    n increments take Ω(n) time regardless of P.
+//  * MutexCounter — the even-more-trivial lock-based counter, for scale.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "support/config.hpp"
+
+namespace batcher::conc {
+
+class AtomicCounter {
+ public:
+  explicit AtomicCounter(std::int64_t initial = 0) : value_(initial) {}
+
+  std::int64_t increment(std::int64_t delta) {
+    return value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  }
+
+  std::int64_t read() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  alignas(kCacheLineSize) std::atomic<std::int64_t> value_;
+};
+
+class MutexCounter {
+ public:
+  explicit MutexCounter(std::int64_t initial = 0) : value_(initial) {}
+
+  std::int64_t increment(std::int64_t delta) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ += delta;
+    return value_;
+  }
+
+  std::int64_t read() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::int64_t value_;
+};
+
+}  // namespace batcher::conc

@@ -1,0 +1,92 @@
+// Flat combining (Hendler, Incze, Shavit & Tzafrir, SPAA 2010).
+//
+// The paper treats flat combining as the degenerate case of implicit batching
+// in which every batch executes *sequentially* on the combiner thread (§1,
+// §7).  This implementation is the classic scheme: each thread publishes an
+// operation record in a publication slot, then either acquires the combiner
+// lock — becoming the combiner, applying every published record in one
+// sequential sweep — or spins until its record is served.
+//
+// `Op` is the record type; `Applier` is a callable `void(Op*)` that applies a
+// single record to the underlying sequential structure.  The combiner holds
+// the lock, so the applier needs no synchronization of its own.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/backoff.hpp"
+#include "support/config.hpp"
+#include "support/padded.hpp"
+
+namespace batcher::conc {
+
+template <typename Op, typename Applier>
+class FlatCombiner {
+ public:
+  // `slots` bounds the number of threads that may post concurrently; thread
+  // `tid` must be in [0, slots).
+  FlatCombiner(std::size_t slots, Applier applier)
+      : slots_(slots), applier_(std::move(applier)) {}
+
+  FlatCombiner(const FlatCombiner&) = delete;
+  FlatCombiner& operator=(const FlatCombiner&) = delete;
+
+  // Publishes `op` from thread `tid` and blocks until it has been applied
+  // (possibly by this thread acting as the combiner).
+  void apply(std::size_t tid, Op& op) {
+    Slot& slot = slots_[tid];
+    slot.op = &op;
+    slot.ready.store(true, std::memory_order_release);
+
+    Backoff backoff;
+    while (slot.ready.load(std::memory_order_acquire)) {
+      if (!lock_.load(std::memory_order_relaxed)) {
+        bool expected = false;
+        if (lock_.compare_exchange_strong(expected, true,
+                                          std::memory_order_acquire)) {
+          combine();
+          lock_.store(false, std::memory_order_release);
+          // Our own record was necessarily served by our sweep.
+          break;
+        }
+      }
+      backoff.pause();
+    }
+  }
+
+  std::uint64_t combine_passes() const {
+    return passes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ops_combined() const {
+    return combined_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Slot {
+    std::atomic<bool> ready{false};
+    Op* op = nullptr;
+  };
+
+  void combine() {
+    std::uint64_t served = 0;
+    for (auto& slot : slots_) {
+      if (slot.ready.load(std::memory_order_acquire)) {
+        applier_(slot.op);
+        slot.ready.store(false, std::memory_order_release);
+        ++served;
+      }
+    }
+    passes_.fetch_add(1, std::memory_order_relaxed);
+    combined_.fetch_add(served, std::memory_order_relaxed);
+  }
+
+  std::vector<Slot> slots_;
+  Applier applier_;
+  alignas(kCacheLineSize) std::atomic<bool> lock_{false};
+  std::atomic<std::uint64_t> passes_{0};
+  std::atomic<std::uint64_t> combined_{0};
+};
+
+}  // namespace batcher::conc

@@ -1,0 +1,33 @@
+// GlobalLock<T>: the classic coarse-grained baseline — wrap any sequential
+// structure behind one mutex.  Every access serializes, which is exactly the
+// Ω(n) behaviour the paper's introduction contrasts BATCHER against.
+#pragma once
+
+#include <mutex>
+#include <utility>
+
+namespace batcher::conc {
+
+template <typename T>
+class GlobalLock {
+ public:
+  template <typename... Args>
+  explicit GlobalLock(Args&&... args) : inner_(std::forward<Args>(args)...) {}
+
+  // Runs `fn(inner)` under the lock and returns its result.
+  template <typename Fn>
+  decltype(auto) with(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fn(inner_);
+  }
+
+  // Unsynchronized access for setup/teardown.
+  T& unsafe() { return inner_; }
+  const T& unsafe() const { return inner_; }
+
+ private:
+  std::mutex mutex_;
+  T inner_;
+};
+
+}  // namespace batcher::conc

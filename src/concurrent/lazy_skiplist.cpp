@@ -1,0 +1,171 @@
+#include "concurrent/lazy_skiplist.hpp"
+
+#include "support/backoff.hpp"
+
+namespace batcher::conc {
+
+LazySkipList::LazySkipList(std::uint64_t seed) : rng_(seed) {
+  head_ = allocate(kMinKey, kMaxHeight);
+  tail_ = allocate(kMaxKey, kMaxHeight);
+  for (int l = 0; l < kMaxHeight; ++l) {
+    head_->next[l].store(tail_, std::memory_order_relaxed);
+  }
+  head_->fully_linked.store(true, std::memory_order_relaxed);
+  tail_->fully_linked.store(true, std::memory_order_relaxed);
+}
+
+LazySkipList::~LazySkipList() {
+  for (Node* n : allocations_) delete n;
+}
+
+LazySkipList::Node* LazySkipList::allocate(Key key, int height) {
+  Node* n = new Node(key, height);
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  allocations_.push_back(n);
+  return n;
+}
+
+int LazySkipList::random_height() {
+  std::uint64_t bits;
+  {
+    std::lock_guard<std::mutex> lock(alloc_mutex_);
+    bits = rng_.next();
+  }
+  int h = 1;
+  while (h < kMaxHeight && (bits >> (h - 1) & 1u)) ++h;
+  return h;
+}
+
+int LazySkipList::find(Key key, Node** preds, Node** succs) const {
+  int found = -1;
+  Node* pred = head_;
+  for (int l = kMaxHeight - 1; l >= 0; --l) {
+    Node* cur = pred->next[l].load(std::memory_order_acquire);
+    while (cur->key < key) {
+      pred = cur;
+      cur = pred->next[l].load(std::memory_order_acquire);
+    }
+    if (found == -1 && cur->key == key) found = l;
+    preds[l] = pred;
+    succs[l] = cur;
+  }
+  return found;
+}
+
+bool LazySkipList::insert(Key key) {
+  const int top = random_height();
+  Node* preds[kMaxHeight];
+  Node* succs[kMaxHeight];
+  Backoff backoff;
+  while (true) {
+    const int found = find(key, preds, succs);
+    if (found != -1) {
+      Node* hit = succs[found];
+      if (!hit->marked.load(std::memory_order_acquire)) {
+        // Wait until the concurrent inserter finishes linking, then report
+        // the key as already present.
+        while (!hit->fully_linked.load(std::memory_order_acquire)) {
+          cpu_relax();
+        }
+        return false;
+      }
+      // Key is logically deleted but not yet unlinked: retry.
+      backoff.pause();
+      continue;
+    }
+
+    // Lock all predecessors up to `top`, validating as we go.
+    int highest_locked = -1;
+    bool valid = true;
+    for (int l = 0; valid && l < top; ++l) {
+      Node* pred = preds[l];
+      Node* succ = succs[l];
+      pred->lock.lock();
+      highest_locked = l;
+      valid = !pred->marked.load(std::memory_order_acquire) &&
+              !succ->marked.load(std::memory_order_acquire) &&
+              pred->next[l].load(std::memory_order_acquire) == succ;
+    }
+    if (!valid) {
+      for (int l = 0; l <= highest_locked; ++l) preds[l]->lock.unlock();
+      backoff.pause();
+      continue;
+    }
+
+    Node* node = allocate(key, top);
+    for (int l = 0; l < top; ++l) {
+      node->next[l].store(succs[l], std::memory_order_relaxed);
+    }
+    for (int l = 0; l < top; ++l) {
+      preds[l]->next[l].store(node, std::memory_order_release);
+    }
+    node->fully_linked.store(true, std::memory_order_release);
+    for (int l = 0; l <= highest_locked; ++l) preds[l]->lock.unlock();
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+}
+
+bool LazySkipList::contains(Key key) const {
+  Node* preds[kMaxHeight];
+  Node* succs[kMaxHeight];
+  const int found = find(key, preds, succs);
+  return found != -1 &&
+         succs[found]->fully_linked.load(std::memory_order_acquire) &&
+         !succs[found]->marked.load(std::memory_order_acquire);
+}
+
+bool LazySkipList::erase(Key key) {
+  Node* victim = nullptr;
+  bool is_marked = false;
+  int top = -1;
+  Node* preds[kMaxHeight];
+  Node* succs[kMaxHeight];
+  Backoff backoff;
+  while (true) {
+    const int found = find(key, preds, succs);
+    if (found != -1) victim = succs[found];
+    if (is_marked ||
+        (found != -1 &&
+         victim->fully_linked.load(std::memory_order_acquire) &&
+         victim->top_level == found + 1 &&
+         !victim->marked.load(std::memory_order_acquire))) {
+      if (!is_marked) {
+        top = victim->top_level;
+        victim->lock.lock();
+        if (victim->marked.load(std::memory_order_acquire)) {
+          victim->lock.unlock();
+          return false;  // someone else deleted it
+        }
+        victim->marked.store(true, std::memory_order_release);
+        is_marked = true;
+      }
+      // Lock and validate predecessors, then unlink.
+      int highest_locked = -1;
+      bool valid = true;
+      for (int l = 0; valid && l < top; ++l) {
+        Node* pred = preds[l];
+        pred->lock.lock();
+        highest_locked = l;
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                pred->next[l].load(std::memory_order_acquire) == victim;
+      }
+      if (!valid) {
+        for (int l = 0; l <= highest_locked; ++l) preds[l]->lock.unlock();
+        backoff.pause();
+        continue;
+      }
+      for (int l = top - 1; l >= 0; --l) {
+        preds[l]->next[l].store(victim->next[l].load(std::memory_order_acquire),
+                                std::memory_order_release);
+      }
+      victim->lock.unlock();
+      for (int l = 0; l <= highest_locked; ++l) preds[l]->lock.unlock();
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+}
+
+}  // namespace batcher::conc

@@ -1,0 +1,77 @@
+// Lock-based concurrent skip list (the "lazy" optimistic algorithm of
+// Herlihy, Lev, Luchangco & Shavit, as presented in The Art of Multiprocessor
+// Programming).
+//
+// This is the kind of hand-crafted concurrent structure the paper contrasts
+// implicit batching against: fine-grained per-node locks, optimistic
+// traversal, validation, logical deletion marks.  Correct under arbitrary
+// concurrency — and visibly more intricate than the lock-free-of-locks
+// batched skip list in src/ds, which is the paper's point.
+//
+// Memory management: nodes are retired, never reclaimed while the structure
+// lives (unlinked nodes stay readable for concurrent traversals); everything
+// is freed at destruction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace batcher::conc {
+
+class LazySkipList {
+ public:
+  using Key = std::int64_t;
+
+  explicit LazySkipList(std::uint64_t seed = 0xc0ffeeULL);
+  ~LazySkipList();
+
+  LazySkipList(const LazySkipList&) = delete;
+  LazySkipList& operator=(const LazySkipList&) = delete;
+
+  bool insert(Key key);
+  bool contains(Key key) const;
+  bool erase(Key key);
+
+  std::size_t size_approx() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kMaxHeight = 24;
+  static constexpr Key kMinKey = std::numeric_limits<Key>::min();
+  static constexpr Key kMaxKey = std::numeric_limits<Key>::max();
+
+  struct Node {
+    explicit Node(Key k, int h) : key(k), top_level(h) {
+      for (auto& n : next) n.store(nullptr, std::memory_order_relaxed);
+    }
+    const Key key;
+    const int top_level;  // levels [0, top_level) are linked
+    std::atomic<Node*> next[kMaxHeight];
+    std::recursive_mutex lock;  // a node can be pred at several levels
+    std::atomic<bool> marked{false};
+    std::atomic<bool> fully_linked{false};
+  };
+
+  // Fills preds/succs for all levels; returns the highest level at which
+  // `key` was found, or -1.
+  int find(Key key, Node** preds, Node** succs) const;
+
+  Node* allocate(Key key, int height);
+  int random_height();
+
+  Node* head_;
+  Node* tail_;
+  std::atomic<std::size_t> size_{0};
+
+  mutable std::mutex alloc_mutex_;
+  std::vector<Node*> allocations_;
+  Xoshiro256 rng_;  // guarded by alloc_mutex_
+};
+
+}  // namespace batcher::conc

@@ -1,0 +1,112 @@
+// Sequential skip list — the paper's §7 baseline ("SEQ"): plain inserts with
+// no concurrency control of any kind.  Also used as the reference model in
+// property tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/arena.hpp"
+#include "support/rng.hpp"
+
+namespace batcher::conc {
+
+class SeqSkipList {
+ public:
+  using Key = std::int64_t;
+
+  explicit SeqSkipList(std::uint64_t seed = 0xdecafbadULL) : rng_(seed) {
+    head_ = allocate(0, kMaxHeight);
+    for (int l = 0; l < kMaxHeight; ++l) head_->next[l] = nullptr;
+  }
+
+  SeqSkipList(const SeqSkipList&) = delete;
+  SeqSkipList& operator=(const SeqSkipList&) = delete;
+
+  bool insert(Key key) {
+    Node* preds[kMaxHeight];
+    find_preds(key, preds);
+    Node* hit = preds[0]->next[0];
+    if (hit != nullptr && hit->key == key) return false;
+    const int h = random_height();
+    Node* node = allocate(key, h);
+    if (h > height_) height_ = h;
+    for (int l = 0; l < h; ++l) {
+      node->next[l] = preds[l]->next[l];
+      preds[l]->next[l] = node;
+    }
+    ++size_;
+    return true;
+  }
+
+  bool contains(Key key) const {
+    const Node* cur = head_;
+    for (int l = height_ - 1; l >= 0; --l) {
+      while (cur->next[l] != nullptr && cur->next[l]->key < key) {
+        cur = cur->next[l];
+      }
+    }
+    const Node* candidate = cur->next[0];
+    return candidate != nullptr && candidate->key == key;
+  }
+
+  bool erase(Key key) {
+    Node* preds[kMaxHeight];
+    find_preds(key, preds);
+    Node* hit = preds[0]->next[0];
+    if (hit == nullptr || hit->key != key) return false;
+    for (int l = 0; l < hit->height; ++l) {
+      if (preds[l]->next[l] == hit) preds[l]->next[l] = hit->next[l];
+    }
+    while (height_ > 1 && head_->next[height_ - 1] == nullptr) --height_;
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  static constexpr int kMaxHeight = 24;
+
+  struct Node {
+    Key key;
+    int height;
+    Node* next[1];  // flexible
+  };
+
+  Node* allocate(Key key, int height) {
+    const std::size_t bytes =
+        sizeof(Node) + sizeof(Node*) * static_cast<std::size_t>(height - 1);
+    Node* n = static_cast<Node*>(arena_.allocate(bytes));
+    n->key = key;
+    n->height = height;
+    return n;
+  }
+
+  int random_height() {
+    const std::uint64_t bits = rng_.next();
+    int h = 1;
+    while (h < kMaxHeight && (bits >> (h - 1) & 1u)) ++h;
+    return h;
+  }
+
+  void find_preds(Key key, Node** preds) {
+    Node* cur = head_;
+    for (int l = kMaxHeight - 1; l >= 0; --l) {
+      if (l < height_) {
+        while (cur->next[l] != nullptr && cur->next[l]->key < key) {
+          cur = cur->next[l];
+        }
+      }
+      preds[l] = cur;
+    }
+  }
+
+  Node* head_;
+  int height_ = 1;
+  std::size_t size_ = 0;
+  Xoshiro256 rng_;
+  Arena arena_;
+};
+
+}  // namespace batcher::conc

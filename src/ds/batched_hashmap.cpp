@@ -1,0 +1,221 @@
+#include "ds/batched_hashmap.hpp"
+
+#include <algorithm>
+
+#include "parallel/sort.hpp"
+#include "runtime/api.hpp"
+#include "support/config.hpp"
+
+namespace batcher::ds {
+
+namespace {
+// Fibonacci-style mixer; buckets_.size() is always a power of two.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+BatchedHashMap::BatchedHashMap(rt::Scheduler& sched, Batcher::SetupPolicy setup)
+    : buckets_(64), batcher_(sched, *this, setup) {}
+
+std::size_t BatchedHashMap::bucket_of(Key key, std::size_t nbuckets) const {
+  return static_cast<std::size_t>(mix(static_cast<std::uint64_t>(key))) &
+         (nbuckets - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Blocking API.
+// ---------------------------------------------------------------------------
+
+void BatchedHashMap::put(Key key, Value value) {
+  Op op;
+  op.kind = Kind::Put;
+  op.key = key;
+  op.value = value;
+  batcher_.batchify(op);
+}
+
+std::optional<BatchedHashMap::Value> BatchedHashMap::get(Key key) {
+  Op op;
+  op.kind = Kind::Get;
+  op.key = key;
+  batcher_.batchify(op);
+  return op.out;
+}
+
+bool BatchedHashMap::erase(Key key) {
+  Op op;
+  op.kind = Kind::Erase;
+  op.key = key;
+  batcher_.batchify(op);
+  return op.found;
+}
+
+BatchedHashMap::Value BatchedHashMap::update_add(Key key, Value delta) {
+  Op op;
+  op.kind = Kind::Update;
+  op.key = key;
+  op.value = delta;
+  batcher_.batchify(op);
+  return *op.out;
+}
+
+// ---------------------------------------------------------------------------
+// Unsynchronized API.
+// ---------------------------------------------------------------------------
+
+void BatchedHashMap::put_unsafe(Key key, Value value) {
+  Bucket& b = buckets_[bucket_of(key, buckets_.size())];
+  for (Entry& e : b) {
+    if (e.key == key) {
+      e.value = value;
+      return;
+    }
+  }
+  b.push_back(Entry{key, value});
+  ++size_;
+  maybe_resize();
+}
+
+std::optional<BatchedHashMap::Value> BatchedHashMap::get_unsafe(Key key) const {
+  const Bucket& b = buckets_[bucket_of(key, buckets_.size())];
+  for (const Entry& e : b) {
+    if (e.key == key) return e.value;
+  }
+  return std::nullopt;
+}
+
+bool BatchedHashMap::check_invariants() const {
+  std::size_t count = 0;
+  for (std::size_t bi = 0; bi < buckets_.size(); ++bi) {
+    for (const Entry& e : buckets_[bi]) {
+      if (bucket_of(e.key, buckets_.size()) != bi) return false;
+      ++count;
+    }
+  }
+  return count == size_;
+}
+
+// ---------------------------------------------------------------------------
+// BOP.
+// ---------------------------------------------------------------------------
+
+void BatchedHashMap::apply_to_bucket(Bucket& bucket, Op* op) {
+  auto it = std::find_if(bucket.begin(), bucket.end(),
+                         [&](const Entry& e) { return e.key == op->key; });
+  switch (op->kind) {
+    case Kind::Put:
+      if (it != bucket.end()) {
+        it->value = op->value;
+      } else {
+        bucket.push_back(Entry{op->key, op->value});
+      }
+      break;
+    case Kind::Get:
+      op->out = (it != bucket.end()) ? std::optional<Value>(it->value)
+                                     : std::nullopt;
+      break;
+    case Kind::Erase:
+      if (it != bucket.end()) {
+        *it = bucket.back();
+        bucket.pop_back();
+        op->found = true;
+      } else {
+        op->found = false;
+      }
+      break;
+    case Kind::Update:
+      if (it != bucket.end()) {
+        it->value += op->value;
+        op->out = it->value;
+      } else {
+        bucket.push_back(Entry{op->key, op->value});
+        op->out = op->value;
+      }
+      break;
+  }
+}
+
+void BatchedHashMap::run_batch(OpRecordBase* const* ops, std::size_t count) {
+  if (count == 0) return;
+  // Group by bucket, preserving working-set order within a bucket via the
+  // low bits of the sort key.
+  order_.clear();
+  order_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Op* op = static_cast<Op*>(ops[i]);
+    const std::uint64_t bucket =
+        static_cast<std::uint64_t>(bucket_of(op->key, buckets_.size()));
+    order_.emplace_back((bucket << 20) | static_cast<std::uint64_t>(i), op);
+  }
+  par::parallel_sort(order_.data(), static_cast<std::int64_t>(order_.size()),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Find group boundaries, then apply groups in parallel.  Groups touch
+  // disjoint buckets, so the only shared bookkeeping is the size counter,
+  // which is accumulated from per-group deltas after the parallel phase.
+  std::vector<std::size_t> group_starts;
+  group_starts.push_back(0);
+  for (std::size_t i = 1; i < order_.size(); ++i) {
+    if ((order_[i].first >> 20) != (order_[i - 1].first >> 20)) {
+      group_starts.push_back(i);
+    }
+  }
+  group_starts.push_back(order_.size());
+
+  const std::size_t ngroups = group_starts.size() - 1;
+  std::vector<std::int64_t> delta(ngroups, 0);
+  rt::parallel_for(
+      0, static_cast<std::int64_t>(ngroups),
+      [&](std::int64_t g) {
+        const auto gi = static_cast<std::size_t>(g);
+        const std::size_t lo = group_starts[gi];
+        const std::size_t hi = group_starts[gi + 1];
+        const std::size_t bucket_index =
+            static_cast<std::size_t>(order_[lo].first >> 20);
+        Bucket& bucket = buckets_[bucket_index];
+        const std::int64_t before = static_cast<std::int64_t>(bucket.size());
+        for (std::size_t i = lo; i < hi; ++i) {
+          apply_to_bucket(bucket, order_[i].second);
+        }
+        delta[gi] = static_cast<std::int64_t>(bucket.size()) - before;
+      },
+      /*grain=*/1);
+
+  std::int64_t total = 0;
+  for (std::int64_t d : delta) total += d;
+  size_ = static_cast<std::size_t>(static_cast<std::int64_t>(size_) + total);
+
+  maybe_resize();
+}
+
+void BatchedHashMap::maybe_resize() {
+  if (size_ <= buckets_.size() * 2) return;
+  std::size_t nbuckets = buckets_.size();
+  while (size_ > nbuckets * 2) nbuckets *= 2;
+
+  std::vector<Bucket> fresh(nbuckets);
+  // Rehash: each new bucket pulls from the old buckets that can map to it.
+  // With power-of-two sizing, old bucket b maps to new buckets b + k*old_n,
+  // so new bucket j draws only from old bucket j & (old_n - 1): each new
+  // bucket reads one old bucket, and distinct new buckets write disjointly.
+  const std::size_t old_n = buckets_.size();
+  rt::parallel_for(
+      0, static_cast<std::int64_t>(nbuckets),
+      [&](std::int64_t j) {
+        const auto nj = static_cast<std::size_t>(j);
+        const Bucket& src = buckets_[nj & (old_n - 1)];
+        for (const Entry& e : src) {
+          if (bucket_of(e.key, nbuckets) == nj) fresh[nj].push_back(e);
+        }
+      },
+      /*grain=*/1);
+  buckets_ = std::move(fresh);
+}
+
+}  // namespace batcher::ds

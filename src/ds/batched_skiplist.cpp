@@ -1,0 +1,430 @@
+#include "ds/batched_skiplist.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "parallel/prefix_sum.hpp"
+#include "parallel/sort.hpp"
+#include "runtime/api.hpp"
+#include "support/config.hpp"
+
+namespace batcher::ds {
+
+namespace {
+// Sort key paired with its originating op (or kNoOp for multi-insert keys):
+// ties broken by op index so "first op wins" semantics are deterministic.
+struct TaggedKey {
+  BatchedSkipList::Key key;
+  std::uint32_t op_index;
+
+  bool operator<(const TaggedKey& o) const {
+    return key != o.key ? key < o.key : op_index < o.op_index;
+  }
+};
+}  // namespace
+
+BatchedSkipList::BatchedSkipList(rt::Scheduler& sched, std::uint64_t seed,
+                                 Batcher::SetupPolicy setup)
+    : rng_(seed), batcher_(sched, *this, setup) {
+  head_ = allocate_node(/*key=*/0, kMaxHeight);
+  for (int l = 0; l < kMaxHeight; ++l) head_->next[l] = nullptr;
+}
+
+BatchedSkipList::~BatchedSkipList() {
+  for (char* block : arena_blocks_) ::operator delete[](block);
+}
+
+BatchedSkipList::Node* BatchedSkipList::allocate_node(Key key, int height) {
+  const std::size_t bytes =
+      sizeof(Node) + sizeof(Node*) * static_cast<std::size_t>(height - 1);
+  // Bump allocation with 16-byte alignment.
+  const std::size_t aligned = (bytes + 15) & ~std::size_t{15};
+  if (arena_used_ + aligned > arena_cap_) {
+    const std::size_t block_size = std::max<std::size_t>(aligned, 1u << 20);
+    arena_blocks_.push_back(
+        static_cast<char*>(::operator new[](block_size)));
+    arena_used_ = 0;
+    arena_cap_ = block_size;
+  }
+  char* mem = arena_blocks_.back() + arena_used_;
+  arena_used_ += aligned;
+  Node* node = reinterpret_cast<Node*>(mem);
+  node->key = key;
+  node->height = height;
+  node->erased = false;
+  return node;
+}
+
+int BatchedSkipList::random_height() {
+  // Geometric with p = 1/2, capped.  Counting trailing ones of a uniform
+  // word gives the same distribution in O(1).
+  const std::uint64_t bits = rng_.next();
+  int h = 1;
+  while (h < kMaxHeight && (bits >> (h - 1) & 1u)) ++h;
+  return h;
+}
+
+void BatchedSkipList::find_preds(Key key, Node** preds) const {
+  Node* cur = head_;
+  for (int l = kMaxHeight - 1; l >= 0; --l) {
+    if (l < height_) {
+      while (cur->next[l] != nullptr && cur->next[l]->key < key) {
+        cur = cur->next[l];
+      }
+    }
+    preds[l] = cur;
+  }
+}
+
+BatchedSkipList::Node* BatchedSkipList::find_node(Key key) const {
+  Node* cur = head_;
+  for (int l = height_ - 1; l >= 0; --l) {
+    while (cur->next[l] != nullptr && cur->next[l]->key < key) {
+      cur = cur->next[l];
+    }
+  }
+  Node* candidate = cur->next[0];
+  return (candidate != nullptr && candidate->key == key) ? candidate : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Blocking (implicitly batched) API.
+// ---------------------------------------------------------------------------
+
+bool BatchedSkipList::insert(Key key) {
+  Op op;
+  op.kind = Kind::Insert;
+  op.key = key;
+  batcher_.batchify(op);
+  return op.found;
+}
+
+void BatchedSkipList::multi_insert(std::span<const Key> keys) {
+  if (keys.empty()) return;
+  Op op;
+  op.kind = Kind::MultiInsert;
+  op.keys = keys.data();
+  op.num_keys = keys.size();
+  batcher_.batchify(op);
+}
+
+bool BatchedSkipList::contains(Key key) {
+  Op op;
+  op.kind = Kind::Contains;
+  op.key = key;
+  batcher_.batchify(op);
+  return op.found;
+}
+
+bool BatchedSkipList::erase(Key key) {
+  Op op;
+  op.kind = Kind::Erase;
+  op.key = key;
+  batcher_.batchify(op);
+  return op.found;
+}
+
+std::optional<BatchedSkipList::Key> BatchedSkipList::successor(Key probe) {
+  Op op;
+  op.kind = Kind::Successor;
+  op.key = probe;
+  batcher_.batchify(op);
+  return op.out_key;
+}
+
+std::int64_t BatchedSkipList::range_count(Key lo, Key hi) {
+  Op op;
+  op.kind = Kind::RangeCount;
+  op.key = lo;
+  op.key2 = hi;
+  batcher_.batchify(op);
+  return op.count;
+}
+
+// ---------------------------------------------------------------------------
+// Unsynchronized setup/inspection API.
+// ---------------------------------------------------------------------------
+
+bool BatchedSkipList::insert_unsafe(Key key) {
+  Node* preds[kMaxHeight];
+  find_preds(key, preds);
+  Node* hit = preds[0]->next[0];
+  if (hit != nullptr && hit->key == key) return false;
+  const int h = random_height();
+  Node* node = allocate_node(key, h);
+  if (h > height_) height_ = h;
+  for (int l = 0; l < h; ++l) {
+    node->next[l] = preds[l]->next[l];
+    preds[l]->next[l] = node;
+  }
+  ++size_;
+  return true;
+}
+
+bool BatchedSkipList::contains_unsafe(Key key) const {
+  return find_node(key) != nullptr;
+}
+
+bool BatchedSkipList::check_invariants() const {
+  // Level 0 sorted and counted.
+  std::size_t count = 0;
+  for (Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+    ++count;
+    if (n->next[0] != nullptr && !(n->key < n->next[0]->key)) return false;
+  }
+  if (count != size_) return false;
+  // Every upper level is a sorted sublist of level 0.
+  for (int l = 1; l < height_; ++l) {
+    Node* lower = head_->next[0];
+    for (Node* n = head_->next[l]; n != nullptr; n = n->next[l]) {
+      if (n->height <= l) return false;
+      while (lower != nullptr && lower->key < n->key) lower = lower->next[0];
+      if (lower != n) return false;
+      if (n->next[l] != nullptr && !(n->key < n->next[l]->key)) return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// BOP.
+// ---------------------------------------------------------------------------
+
+void BatchedSkipList::run_batch(OpRecordBase* const* ops, std::size_t count) {
+  contains_ops_.clear();
+  erase_ops_.clear();
+  insert_ops_.clear();
+  multi_ops_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    Op* op = static_cast<Op*>(ops[i]);
+    switch (op->kind) {
+      case Kind::Contains:
+      case Kind::Successor:
+      case Kind::RangeCount:
+        contains_ops_.push_back(op);
+        break;
+      case Kind::Erase: erase_ops_.push_back(op); break;
+      case Kind::Insert: insert_ops_.push_back(op); break;
+      case Kind::MultiInsert: multi_ops_.push_back(op); break;
+    }
+  }
+  // Documented phase order: reads (pre-state), erase, insert.
+  if (!contains_ops_.empty()) apply_reads(contains_ops_);
+  if (!erase_ops_.empty()) apply_erases(erase_ops_);
+  if (!insert_ops_.empty() || !multi_ops_.empty()) {
+    apply_inserts(insert_ops_, multi_ops_);
+  }
+}
+
+void BatchedSkipList::apply_reads(std::vector<Op*>& ops) {
+  rt::parallel_for(
+      0, static_cast<std::int64_t>(ops.size()),
+      [&](std::int64_t i) {
+        Op* op = ops[static_cast<std::size_t>(i)];
+        switch (op->kind) {
+          case Kind::Contains:
+            op->found = (find_node(op->key) != nullptr);
+            break;
+          case Kind::Successor: {
+            // Descend to the predecessor of the probe, then step once.
+            const Node* cur = head_;
+            for (int l = height_ - 1; l >= 0; --l) {
+              while (cur->next[l] != nullptr && cur->next[l]->key < op->key) {
+                cur = cur->next[l];
+              }
+            }
+            const Node* succ = cur->next[0];
+            op->out_key = succ != nullptr ? std::optional<Key>(succ->key)
+                                          : std::nullopt;
+            break;
+          }
+          case Kind::RangeCount: {
+            const Node* cur = head_;
+            for (int l = height_ - 1; l >= 0; --l) {
+              while (cur->next[l] != nullptr && cur->next[l]->key < op->key) {
+                cur = cur->next[l];
+              }
+            }
+            std::int64_t n = 0;
+            for (const Node* it = cur->next[0];
+                 it != nullptr && it->key <= op->key2; it = it->next[0]) {
+              ++n;
+            }
+            op->count = n;
+            break;
+          }
+          default:
+            break;
+        }
+      },
+      /*grain=*/1);
+}
+
+void BatchedSkipList::apply_erases(std::vector<Op*>& ops) {
+  // Sort (key, op index): first op on a key wins the erase.
+  std::vector<TaggedKey> keys(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    keys[i] = TaggedKey{ops[i]->key, static_cast<std::uint32_t>(i)};
+  }
+  par::parallel_sort(keys.data(), static_cast<std::int64_t>(keys.size()));
+
+  // Parallel search for per-level predecessors of each distinct key.
+  const std::size_t nk = keys.size();
+  pred_scratch_.assign(nk * kMaxHeight, nullptr);
+  rt::parallel_for(
+      0, static_cast<std::int64_t>(nk),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        if (idx > 0 && keys[idx].key == keys[idx - 1].key) return;  // dup
+        find_preds(keys[idx].key, &pred_scratch_[idx * kMaxHeight]);
+      },
+      /*grain=*/1);
+
+  // Sequential unlink in ascending key order.  A recorded predecessor may
+  // itself have been erased earlier in this phase; updating its pointers
+  // would leave the victim linked in the live chain.  `finger[l]` tracks the
+  // most recent *live* level-l predecessor (keys ascend, so fingers only
+  // move forward), and a dead recorded predecessor falls back to it.
+  Node* finger[kMaxHeight];
+  for (int l = 0; l < kMaxHeight; ++l) finger[l] = head_;
+  for (std::size_t i = 0; i < nk; ++i) {
+    Op* op = ops[keys[i].op_index];
+    if (i > 0 && keys[i].key == keys[i - 1].key) {
+      op->found = false;  // duplicate erase in the same batch loses
+      continue;
+    }
+    const Key key = keys[i].key;
+    Node** preds = &pred_scratch_[i * kMaxHeight];
+    // Locate the victim from a live level-0 predecessor.
+    Node* p0 = preds[0];
+    if (p0->erased || (finger[0] != head_ &&
+                       (p0 == head_ || finger[0]->key > p0->key))) {
+      p0 = finger[0];
+    }
+    Node* hit = p0->next[0];
+    while (hit != nullptr && hit->key < key) hit = hit->next[0];
+    if (hit == nullptr || hit->key != key) {
+      op->found = false;
+      continue;
+    }
+    for (int l = 0; l < hit->height; ++l) {
+      Node* p = preds[l];
+      if (p->erased ||
+          (finger[l] != head_ && (p == head_ || finger[l]->key > p->key))) {
+        p = finger[l];
+      }
+      while (p->next[l] != hit && p->next[l] != nullptr &&
+             p->next[l]->key < key) {
+        p = p->next[l];
+      }
+      if (p->next[l] == hit) {
+        p->next[l] = hit->next[l];
+        finger[l] = p;
+      }
+    }
+    hit->erased = true;
+    --size_;
+    op->found = true;
+    // Memory stays in the arena (reclaimed at destruction; see header).
+  }
+  while (height_ > 1 && head_->next[height_ - 1] == nullptr) --height_;
+}
+
+void BatchedSkipList::apply_inserts(const std::vector<Op*>& single,
+                                    const std::vector<Op*>& multi) {
+  // Step 1 (gather): compute per-op key offsets with a prefix sum, then copy
+  // all keys in parallel.
+  const std::size_t num_sources = single.size() + multi.size();
+  key_offsets_.assign(num_sources, 0);
+  for (std::size_t i = 0; i < single.size(); ++i) key_offsets_[i] = 1;
+  for (std::size_t i = 0; i < multi.size(); ++i) {
+    key_offsets_[single.size() + i] =
+        static_cast<std::uint32_t>(multi[i]->num_keys);
+  }
+  par::scan_inclusive(key_offsets_.data(),
+                      static_cast<std::int64_t>(num_sources),
+                      [](std::uint32_t a, std::uint32_t b) { return a + b; });
+  const std::size_t total_keys = key_offsets_[num_sources - 1];
+
+  std::vector<TaggedKey> keys(total_keys);
+  rt::parallel_for(
+      0, static_cast<std::int64_t>(num_sources),
+      [&](std::int64_t si) {
+        const auto s = static_cast<std::size_t>(si);
+        const std::size_t end = key_offsets_[s];
+        if (s < single.size()) {
+          keys[end - 1] = TaggedKey{single[s]->key, static_cast<std::uint32_t>(s)};
+        } else {
+          const Op* op = multi[s - single.size()];
+          const std::size_t begin = end - op->num_keys;
+          for (std::size_t k = 0; k < op->num_keys; ++k) {
+            keys[begin + k] =
+                TaggedKey{op->keys[k], static_cast<std::uint32_t>(s)};
+          }
+        }
+      },
+      /*grain=*/1);
+
+  // Step 1 (sort).
+  par::parallel_sort(keys.data(), static_cast<std::int64_t>(keys.size()));
+
+  // Step 2 (parallel search): per-level predecessors for the first
+  // occurrence of every distinct key.
+  const std::size_t nk = keys.size();
+  pred_scratch_.assign(nk * kMaxHeight, nullptr);
+  rt::parallel_for(
+      0, static_cast<std::int64_t>(nk),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        if (idx > 0 && keys[idx].key == keys[idx - 1].key) return;  // dup
+        find_preds(keys[idx].key, &pred_scratch_[idx * kMaxHeight]);
+      },
+      /*grain=*/1);
+
+  // Step 3 (sequential splice), ascending.  For each level, the true
+  // predecessor is whichever is later of (a) the recorded pre-batch
+  // predecessor and (b) the most recently spliced new node reaching that
+  // level — both have keys < key, and nothing else can lie between.
+  Node* last_spliced[kMaxHeight] = {nullptr};
+  for (std::size_t i = 0; i < nk; ++i) {
+    const Key key = keys[i].key;
+    const std::uint32_t src = keys[i].op_index;
+    Op* op = src < single.size() ? single[src] : nullptr;
+    if (i > 0 && keys[i].key == keys[i - 1].key) {
+      if (op != nullptr) op->found = false;  // duplicate within batch
+      continue;
+    }
+    Node** preds = &pred_scratch_[i * kMaxHeight];
+    // Already present?
+    {
+      Node* p = preds[0];
+      if (last_spliced[0] != nullptr &&
+          (p == head_ || last_spliced[0]->key > p->key)) {
+        p = last_spliced[0];
+      }
+      Node* hit = p->next[0];
+      while (hit != nullptr && hit->key < key) hit = hit->next[0];
+      if (hit != nullptr && hit->key == key) {
+        if (op != nullptr) op->found = false;
+        continue;
+      }
+    }
+    const int h = random_height();
+    Node* node = allocate_node(key, h);
+    if (h > height_) height_ = h;
+    for (int l = 0; l < h; ++l) {
+      Node* p = preds[l];
+      if (last_spliced[l] != nullptr &&
+          (p == head_ || last_spliced[l]->key > p->key)) {
+        p = last_spliced[l];
+      }
+      node->next[l] = p->next[l];
+      p->next[l] = node;
+      last_spliced[l] = node;
+    }
+    ++size_;
+    if (op != nullptr) op->found = true;
+  }
+}
+
+}  // namespace batcher::ds

@@ -1,0 +1,120 @@
+// Batched 2-3 search tree (paper §3, after Paul, Vishkin & Wagener's parallel
+// 2-3 tree dictionary).
+//
+// Leaf-oriented 2-3 tree: keys live in leaves, every internal node has 2 or 3
+// children, and all leaves sit at the same depth.  The batched insert is the
+// PVW pipeline flattened into fork/join recursion:
+//
+//   1. sort the batch's keys (parallel merge sort) and drop duplicates;
+//   2. recursively partition the sorted keys among a node's children by the
+//      router keys and recurse *in parallel* — the subtrees are disjoint, so
+//      no concurrency control is needed (Invariant 1 supplies the rest);
+//   3. on the way back up, each node regroups its (possibly > 3) children
+//      into fresh 2-3 nodes; overflow propagates as the returned node list,
+//      and the root grows new levels when its list has more than one entry.
+//
+// A size-x batch costs O(x lg n) work for the searches plus O(x lg x) for the
+// sort, with O(lg n + lg x) span — the quantities the paper plugs into
+// Theorem 1 to get the O((T1 + n lg n)/P + m lg n + T∞) search-tree bound.
+//
+// ERASE uses tombstones: a batch of erases marks leaves dead in parallel;
+// when more than half the leaves are dead the whole tree is rebuilt from the
+// live keys (parallel collect + parallel bottom-up build), keeping the
+// amortized cost per erase at O(lg n).  This is the standard batched
+// mark-and-rebuild scheme; the paper's examples only exercise inserts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "batcher/batcher.hpp"
+#include "batcher/op_record.hpp"
+#include "support/arena.hpp"
+
+namespace batcher::ds {
+
+class BatchedTree23 final : public BatchedStructure {
+ public:
+  using Key = std::int64_t;
+
+  enum class Kind : std::uint8_t { Insert, Contains, Erase };
+
+  struct Op : OpRecordBase {
+    Kind kind = Kind::Insert;
+    Key key = 0;
+    bool found = false;  // Contains/Erase hit; Insert newly inserted
+  };
+
+  explicit BatchedTree23(rt::Scheduler& sched,
+                         Batcher::SetupPolicy setup = Batcher::SetupPolicy::Sequential);
+
+  BatchedTree23(const BatchedTree23&) = delete;
+  BatchedTree23& operator=(const BatchedTree23&) = delete;
+
+  // --- blocking, implicitly batched API ---
+  bool insert(Key key);
+  bool contains(Key key);
+  bool erase(Key key);
+
+  // --- unsynchronized API for setup/inspection outside runs ---
+  bool insert_unsafe(Key key);          // routed through run_batch machinery
+  void bulk_build_unsafe(std::span<const Key> sorted_unique_keys);
+  bool contains_unsafe(Key key) const;
+  std::size_t size_unsafe() const { return live_size_; }
+  int height_unsafe() const;
+
+  // Structural self-check: uniform leaf depth, 2-3 fanout, router keys equal
+  // to subtree minima, sorted leaf order.  For tests.
+  bool check_invariants() const;
+
+  Batcher& batcher() { return batcher_; }
+
+  void run_batch(OpRecordBase* const* ops, std::size_t count) override;
+
+ private:
+  struct Node {
+    Key min_key;    // minimum key in the subtree (router)
+    int height;     // 0 = leaf
+    // Leaf payload:
+    bool dead;
+    // Internal payload:
+    int nchild;
+    Node* child[3];
+  };
+
+  Node* make_leaf(Key key);
+  Node* make_internal(Node* const* children, int nchild);
+
+  const Node* find_leaf(Key key) const;
+
+  // Inserts sorted distinct keys into the subtree at `node`; appends the 1+
+  // replacement nodes (same height as `node`) to `out`.
+  void bulk_insert(Node* node, std::span<const Key> keys,
+                   std::vector<Node*>& out);
+  // Regroups >= 2 same-height nodes into fresh 2-3 parents; appends to out.
+  void regroup(const std::vector<Node*>& nodes, std::vector<Node*>& out);
+  // Collapses a list of same-height siblings into a single root.
+  Node* build_up(std::vector<Node*> level);
+
+  void apply_contains(std::vector<Op*>& ops);
+  void apply_erases(std::vector<Op*>& ops);
+  void apply_inserts(std::vector<Op*>& ops);
+
+  std::size_t count_live(const Node* node) const;
+  void collect_live(const Node* node, Key* out) const;
+  Node* build_from_sorted(std::span<const Key> keys, Arena& arena);
+  void rebuild();
+
+  bool check_node(const Node* node, int expected_height) const;
+
+  Node* root_ = nullptr;  // nullptr = empty tree; may be a bare leaf
+  std::size_t live_size_ = 0;
+  std::size_t dead_count_ = 0;
+  Arena arena_;
+
+  std::vector<Op*> contains_ops_, erase_ops_, insert_ops_;  // batch scratch
+  Batcher batcher_;
+};
+
+}  // namespace batcher::ds

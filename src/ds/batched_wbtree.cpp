@@ -1,0 +1,462 @@
+#include "ds/batched_wbtree.hpp"
+
+#include <algorithm>
+
+#include "parallel/sort.hpp"
+#include "runtime/api.hpp"
+#include "support/config.hpp"
+
+namespace batcher::ds {
+
+namespace {
+
+// Below this many nodes the set operations recurse sequentially: spawning a
+// task per tiny subtree would drown the win.
+constexpr std::int64_t kParallelCutoff = 512;
+
+struct TaggedKey {
+  BatchedWBTree::Key key;
+  std::uint32_t op_index;
+  bool operator<(const TaggedKey& o) const {
+    return key != o.key ? key < o.key : op_index < o.op_index;
+  }
+};
+
+}  // namespace
+
+BatchedWBTree::BatchedWBTree(rt::Scheduler& sched, Batcher::SetupPolicy setup)
+    : batcher_(sched, *this, setup) {}
+
+// ---------------------------------------------------------------------------
+// Node helpers and rotations.
+// ---------------------------------------------------------------------------
+
+BatchedWBTree::Node* BatchedWBTree::make_node(Node* l, Key k, Node* r) {
+  Node* n = static_cast<Node*>(arena_.allocate(sizeof(Node)));
+  n->key = k;
+  n->left = l;
+  n->right = r;
+  n->size = 1 + tsize(l) + tsize(r);
+  return n;
+}
+
+BatchedWBTree::Node* BatchedWBTree::update(Node* t) {
+  t->size = 1 + tsize(t->left) + tsize(t->right);
+  return t;
+}
+
+BatchedWBTree::Node* BatchedWBTree::rotate_left(Node* t) {
+  Node* r = t->right;
+  t->right = r->left;
+  r->left = t;
+  update(t);
+  return update(r);
+}
+
+BatchedWBTree::Node* BatchedWBTree::rotate_right(Node* t) {
+  Node* l = t->left;
+  t->left = l->right;
+  l->right = t;
+  update(t);
+  return update(l);
+}
+
+// Adams-style rebalance after t->right grew (Δ = 3, Γ = 2 on weights).
+BatchedWBTree::Node* BatchedWBTree::balance_right_heavy(Node* t) {
+  if (weight(t->right) <= 3 * weight(t->left)) return t;
+  Node* r = t->right;
+  if (weight(r->left) < 2 * weight(r->right)) {
+    return rotate_left(t);
+  }
+  t->right = rotate_right(r);
+  return rotate_left(t);
+}
+
+BatchedWBTree::Node* BatchedWBTree::balance_left_heavy(Node* t) {
+  if (weight(t->left) <= 3 * weight(t->right)) return t;
+  Node* l = t->left;
+  if (weight(l->right) < 2 * weight(l->left)) {
+    return rotate_right(t);
+  }
+  t->left = rotate_left(l);
+  return rotate_right(t);
+}
+
+// ---------------------------------------------------------------------------
+// Join-based primitives.
+// ---------------------------------------------------------------------------
+
+BatchedWBTree::Node* BatchedWBTree::join(Node* l, Key k, Node* r) {
+  if (weight(l) > 3 * weight(r)) {
+    // Descend l's right spine until the pieces balance, fixing on unwind.
+    l->right = join(l->right, k, r);
+    update(l);
+    return balance_right_heavy(l);
+  }
+  if (weight(r) > 3 * weight(l)) {
+    r->left = join(l, k, r->left);
+    update(r);
+    return balance_left_heavy(r);
+  }
+  return make_node(l, k, r);
+}
+
+BatchedWBTree::Node* BatchedWBTree::split_last(Node* t, Key* out_key) {
+  if (t->right == nullptr) {
+    *out_key = t->key;
+    return t->left;
+  }
+  t->right = split_last(t->right, out_key);
+  update(t);
+  return balance_left_heavy(t);
+}
+
+BatchedWBTree::Node* BatchedWBTree::join2(Node* l, Node* r) {
+  if (l == nullptr) return r;
+  if (r == nullptr) return l;
+  Key k;
+  l = split_last(l, &k);
+  return join(l, k, r);
+}
+
+BatchedWBTree::SplitResult BatchedWBTree::split(Node* t, Key k) {
+  if (t == nullptr) return SplitResult{nullptr, false, nullptr};
+  if (k == t->key) return SplitResult{t->left, true, t->right};
+  if (k < t->key) {
+    SplitResult s = split(t->left, k);
+    return SplitResult{s.left, s.found, join(s.right, t->key, t->right)};
+  }
+  SplitResult s = split(t->right, k);
+  return SplitResult{join(t->left, t->key, s.left), s.found, s.right};
+}
+
+BatchedWBTree::Node* BatchedWBTree::union_with(Node* t, Node* batch) {
+  if (t == nullptr) return batch;
+  if (batch == nullptr) return t;
+  SplitResult s = split(batch, t->key);  // a duplicate of t->key is dropped
+  Node* l;
+  Node* r;
+  if (tsize(t) + tsize(batch) > kParallelCutoff) {
+    rt::parallel_invoke([&] { l = union_with(t->left, s.left); },
+                        [&] { r = union_with(t->right, s.right); });
+  } else {
+    l = union_with(t->left, s.left);
+    r = union_with(t->right, s.right);
+  }
+  return join(l, t->key, r);
+}
+
+BatchedWBTree::Node* BatchedWBTree::difference(Node* t, const Node* batch) {
+  if (t == nullptr) return nullptr;
+  if (batch == nullptr) return t;
+  SplitResult s = split(t, batch->key);  // drops batch->key if present
+  Node* l;
+  Node* r;
+  if (tsize(t) > kParallelCutoff) {
+    rt::parallel_invoke([&] { l = difference(s.left, batch->left); },
+                        [&] { r = difference(s.right, batch->right); });
+  } else {
+    l = difference(s.left, batch->left);
+    r = difference(s.right, batch->right);
+  }
+  return join2(l, r);
+}
+
+BatchedWBTree::Node* BatchedWBTree::build_range(const Key* keys,
+                                                std::int64_t n) {
+  if (n <= 0) return nullptr;
+  const std::int64_t mid = n / 2;
+  if (n > kParallelCutoff) {
+    Node* l;
+    Node* r;
+    rt::parallel_invoke([&] { l = build_range(keys, mid); },
+                        [&] { r = build_range(keys + mid + 1, n - mid - 1); });
+    return make_node(l, keys[mid], r);
+  }
+  return make_node(build_range(keys, mid), keys[mid],
+                   build_range(keys + mid + 1, n - mid - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Read-only queries.
+// ---------------------------------------------------------------------------
+
+bool BatchedWBTree::contains_in(const Node* t, Key k) const {
+  while (t != nullptr) {
+    if (k == t->key) return true;
+    t = k < t->key ? t->left : t->right;
+  }
+  return false;
+}
+
+std::int64_t BatchedWBTree::rank_in(const Node* t, Key k) const {
+  std::int64_t before = 0;  // #keys strictly smaller than k
+  while (t != nullptr) {
+    if (k <= t->key) {
+      t = t->left;
+    } else {
+      before += tsize(t->left) + 1;
+      t = t->right;
+    }
+  }
+  return before;
+}
+
+const BatchedWBTree::Node* BatchedWBTree::select_in(const Node* t,
+                                                    std::int64_t i) const {
+  while (t != nullptr) {
+    const std::int64_t left = tsize(t->left);
+    if (i < left) {
+      t = t->left;
+    } else if (i == left) {
+      return t;
+    } else {
+      i -= left + 1;
+      t = t->right;
+    }
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Blocking API.
+// ---------------------------------------------------------------------------
+
+bool BatchedWBTree::insert(Key key) {
+  Op op;
+  op.kind = Kind::Insert;
+  op.key = key;
+  batcher_.batchify(op);
+  return op.found;
+}
+
+bool BatchedWBTree::erase(Key key) {
+  Op op;
+  op.kind = Kind::Erase;
+  op.key = key;
+  batcher_.batchify(op);
+  return op.found;
+}
+
+bool BatchedWBTree::contains(Key key) {
+  Op op;
+  op.kind = Kind::Contains;
+  op.key = key;
+  batcher_.batchify(op);
+  return op.found;
+}
+
+std::int64_t BatchedWBTree::rank(Key key) {
+  Op op;
+  op.kind = Kind::Rank;
+  op.key = key;
+  batcher_.batchify(op);
+  return op.count;
+}
+
+std::optional<BatchedWBTree::Key> BatchedWBTree::select(std::int64_t index) {
+  Op op;
+  op.kind = Kind::Select;
+  op.count = index;
+  batcher_.batchify(op);
+  return op.out_key;
+}
+
+std::int64_t BatchedWBTree::range_count(Key lo, Key hi) {
+  Op op;
+  op.kind = Kind::RangeCount;
+  op.key = lo;
+  op.key2 = hi;
+  batcher_.batchify(op);
+  return op.count;
+}
+
+bool BatchedWBTree::insert_unsafe(Key key) {
+  Op op;
+  op.kind = Kind::Insert;
+  op.key = key;
+  OpRecordBase* ops[1] = {&op};
+  run_batch(ops, 1);
+  return op.found;
+}
+
+bool BatchedWBTree::contains_unsafe(Key key) const {
+  return contains_in(root_, key);
+}
+
+void BatchedWBTree::bulk_build_unsafe(std::span<const Key> sorted_unique_keys) {
+  BATCHER_ASSERT(root_ == nullptr, "bulk_build_unsafe requires an empty tree");
+  root_ = build_range(sorted_unique_keys.data(),
+                      static_cast<std::int64_t>(sorted_unique_keys.size()));
+  size_ = sorted_unique_keys.size();
+}
+
+int BatchedWBTree::height_unsafe() const {
+  int h = 0;
+  for (const Node* t = root_; t != nullptr;) {
+    ++h;
+    t = tsize(t->left) >= tsize(t->right) ? t->left : t->right;
+  }
+  return h;  // depth along the heavy path bounds the height within O(1)
+}
+
+// ---------------------------------------------------------------------------
+// BOP.
+// ---------------------------------------------------------------------------
+
+void BatchedWBTree::run_batch(OpRecordBase* const* ops, std::size_t count) {
+  read_ops_.clear();
+  erase_ops_.clear();
+  insert_ops_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    Op* op = static_cast<Op*>(ops[i]);
+    switch (op->kind) {
+      case Kind::Insert: insert_ops_.push_back(op); break;
+      case Kind::Erase: erase_ops_.push_back(op); break;
+      default: read_ops_.push_back(op); break;
+    }
+  }
+  // Phase order: reads on the pre-batch tree, then erases, then inserts.
+  if (!read_ops_.empty()) apply_reads(read_ops_);
+  if (!erase_ops_.empty()) apply_erases(erase_ops_);
+  if (!insert_ops_.empty()) apply_inserts(insert_ops_);
+}
+
+void BatchedWBTree::apply_reads(const std::vector<Op*>& ops) {
+  rt::parallel_for(
+      0, static_cast<std::int64_t>(ops.size()),
+      [&](std::int64_t i) {
+        Op* op = ops[static_cast<std::size_t>(i)];
+        switch (op->kind) {
+          case Kind::Contains:
+            op->found = contains_in(root_, op->key);
+            break;
+          case Kind::Rank:
+            op->count = rank_in(root_, op->key);
+            break;
+          case Kind::Select: {
+            const Node* n = select_in(root_, op->count);
+            op->out_key = n != nullptr ? std::optional<Key>(n->key)
+                                       : std::nullopt;
+            break;
+          }
+          case Kind::RangeCount: {
+            // #keys <= hi minus #keys < lo.
+            const std::int64_t below_hi =
+                rank_in(root_, op->key2) +
+                (contains_in(root_, op->key2) ? 1 : 0);
+            op->count = below_hi - rank_in(root_, op->key);
+            break;
+          }
+          default:
+            break;
+        }
+      },
+      /*grain=*/1);
+}
+
+void BatchedWBTree::apply_erases(std::vector<Op*>& ops) {
+  std::vector<TaggedKey> keys(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    keys[i] = TaggedKey{ops[i]->key, static_cast<std::uint32_t>(i)};
+  }
+  par::parallel_sort(keys.data(), static_cast<std::int64_t>(keys.size()));
+
+  // Pre-pass: resolve found flags (first op on a key wins) on the pre-erase
+  // tree, and gather the keys actually present.
+  std::vector<std::uint8_t> hit(keys.size(), 0);
+  rt::parallel_for(
+      0, static_cast<std::int64_t>(keys.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        Op* op = ops[keys[idx].op_index];
+        if (idx > 0 && keys[idx].key == keys[idx - 1].key) {
+          op->found = false;
+          return;
+        }
+        op->found = contains_in(root_, keys[idx].key);
+        hit[idx] = op->found ? 1 : 0;
+      },
+      /*grain=*/1);
+
+  std::vector<Key> present;
+  present.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (hit[i]) present.push_back(keys[i].key);
+  }
+  if (present.empty()) return;
+
+  Node* del_tree =
+      build_range(present.data(), static_cast<std::int64_t>(present.size()));
+  root_ = difference(root_, del_tree);
+  size_ -= present.size();
+}
+
+void BatchedWBTree::apply_inserts(std::vector<Op*>& ops) {
+  std::vector<TaggedKey> keys(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    keys[i] = TaggedKey{ops[i]->key, static_cast<std::uint32_t>(i)};
+  }
+  par::parallel_sort(keys.data(), static_cast<std::int64_t>(keys.size()));
+
+  std::vector<std::uint8_t> fresh(keys.size(), 0);
+  rt::parallel_for(
+      0, static_cast<std::int64_t>(keys.size()),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        Op* op = ops[keys[idx].op_index];
+        if (idx > 0 && keys[idx].key == keys[idx - 1].key) {
+          op->found = false;  // duplicate within the batch
+          return;
+        }
+        op->found = !contains_in(root_, keys[idx].key);
+        fresh[idx] = op->found ? 1 : 0;
+      },
+      /*grain=*/1);
+
+  std::vector<Key> new_keys;
+  new_keys.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (fresh[i]) new_keys.push_back(keys[i].key);
+  }
+  if (new_keys.empty()) return;
+
+  Node* ins_tree =
+      build_range(new_keys.data(), static_cast<std::int64_t>(new_keys.size()));
+  root_ = union_with(root_, ins_tree);
+  size_ += new_keys.size();
+}
+
+// ---------------------------------------------------------------------------
+// Invariants.
+// ---------------------------------------------------------------------------
+
+bool BatchedWBTree::check_node(const Node* t, Key* min_key,
+                               Key* max_key) const {
+  if (t == nullptr) return true;
+  if (t->size != 1 + tsize(t->left) + tsize(t->right)) return false;
+  // Δ = 3 weight balance.
+  if (weight(t->left) > 3 * weight(t->right)) return false;
+  if (weight(t->right) > 3 * weight(t->left)) return false;
+  Key lmin = t->key, lmax = t->key, rmin = t->key, rmax = t->key;
+  if (t->left != nullptr) {
+    if (!check_node(t->left, &lmin, &lmax)) return false;
+    if (!(lmax < t->key)) return false;
+  }
+  if (t->right != nullptr) {
+    if (!check_node(t->right, &rmin, &rmax)) return false;
+    if (!(t->key < rmin)) return false;
+  }
+  *min_key = lmin;
+  *max_key = rmax;
+  return true;
+}
+
+bool BatchedWBTree::check_invariants() const {
+  if (root_ == nullptr) return size_ == 0;
+  if (static_cast<std::size_t>(root_->size) != size_) return false;
+  Key mn, mx;
+  return check_node(root_, &mn, &mx);
+}
+
+}  // namespace batcher::ds

@@ -1,0 +1,112 @@
+// Parallel prefix sums (scan).
+//
+// Prefix sums are the paper's workhorse primitive: the batched counter's BOP
+// is one scan (Fig. 2), and LAUNCHBATCH compacts the pending array with one
+// (Fig. 4).  Two implementations are provided:
+//
+//  * `scan_inclusive_blocked` — the practical three-phase scheme (block sums,
+//    serial scan of per-block sums, block fixup).  Θ(n) work, Θ(n/B + B)
+//    span; with B ≈ √n this is Θ(√n), and for the ≤P-element arrays BATCHER
+//    scans it is effectively flat.
+//  * `scan_inclusive_recursive` — Ladner–Fischer-style divide and conquer
+//    with Θ(n) work and Θ(lg² n) span under binary forking (lg n levels of
+//    recursion, each adding a constant offset in parallel).  This matches the
+//    bound the paper quotes for prefix sums in the fork/join model.
+//
+// Both are in-place and generic over the (associative) operator.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/api.hpp"
+
+namespace batcher::par {
+
+namespace detail {
+
+template <typename T, typename Op>
+void add_offset(T* data, std::int64_t n, const T& offset, const Op& op) {
+  rt::parallel_for(0, n, [&](std::int64_t i) { data[i] = op(offset, data[i]); });
+}
+
+template <typename T, typename Op>
+void scan_recursive_impl(T* data, std::int64_t n, const Op& op,
+                         std::int64_t grain) {
+  if (n <= grain) {
+    for (std::int64_t i = 1; i < n; ++i) data[i] = op(data[i - 1], data[i]);
+    return;
+  }
+  const std::int64_t mid = n / 2;
+  rt::parallel_invoke([&] { scan_recursive_impl(data, mid, op, grain); },
+                      [&] { scan_recursive_impl(data + mid, n - mid, op, grain); });
+  add_offset(data + mid, n - mid, data[mid - 1], op);
+}
+
+}  // namespace detail
+
+// In-place inclusive scan, recursive variant (theory-shaped span).
+template <typename T, typename Op>
+void scan_inclusive_recursive(T* data, std::int64_t n, const Op& op,
+                              std::int64_t grain = 0) {
+  if (n <= 1) return;
+  if (grain <= 0) grain = rt::default_grain(n);
+  detail::scan_recursive_impl(data, n, op, grain);
+}
+
+// In-place inclusive scan, blocked variant (practical default).
+template <typename T, typename Op>
+void scan_inclusive_blocked(T* data, std::int64_t n, const Op& op) {
+  if (n <= 1) return;
+  rt::Worker* w = rt::current_worker();
+  const std::int64_t p = (w != nullptr) ? w->scheduler()->num_workers() : 1;
+  const std::int64_t blocks = std::min<std::int64_t>(n, 4 * p);
+  if (blocks <= 1) {
+    for (std::int64_t i = 1; i < n; ++i) data[i] = op(data[i - 1], data[i]);
+    return;
+  }
+  const std::int64_t block_size = (n + blocks - 1) / blocks;
+  std::vector<T> sums(static_cast<std::size_t>(blocks));
+
+  // Phase 1: independent scans of each block, recording each block's total.
+  rt::parallel_for(
+      0, blocks,
+      [&](std::int64_t b) {
+        const std::int64_t lo = b * block_size;
+        const std::int64_t hi = std::min(n, lo + block_size);
+        for (std::int64_t i = lo + 1; i < hi; ++i)
+          data[i] = op(data[i - 1], data[i]);
+        sums[static_cast<std::size_t>(b)] = data[hi - 1];
+      },
+      /*grain=*/1);
+
+  // Phase 2: serial exclusive scan over the (few) block totals.
+  for (std::int64_t b = 1; b < blocks; ++b)
+    sums[static_cast<std::size_t>(b)] =
+        op(sums[static_cast<std::size_t>(b - 1)], sums[static_cast<std::size_t>(b)]);
+
+  // Phase 3: add each block's prefix offset.
+  rt::parallel_for(
+      1, blocks,
+      [&](std::int64_t b) {
+        const std::int64_t lo = b * block_size;
+        const std::int64_t hi = std::min(n, lo + block_size);
+        const T& offset = sums[static_cast<std::size_t>(b - 1)];
+        for (std::int64_t i = lo; i < hi; ++i) data[i] = op(offset, data[i]);
+      },
+      /*grain=*/1);
+}
+
+// Default entry point used throughout the library.
+template <typename T, typename Op>
+void scan_inclusive(T* data, std::int64_t n, const Op& op) {
+  scan_inclusive_blocked(data, n, op);
+}
+
+template <typename T>
+void prefix_sums(T* data, std::int64_t n) {
+  scan_inclusive(data, n, [](const T& a, const T& b) { return a + b; });
+}
+
+}  // namespace batcher::par

@@ -1,0 +1,49 @@
+// Parallel reduction with binary forking: O(n) work, O(lg n) span.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "runtime/api.hpp"
+
+namespace batcher::par {
+
+namespace detail {
+
+template <typename T, typename Map, typename Op>
+T reduce_recurse(std::int64_t lo, std::int64_t hi, std::int64_t grain,
+                 const T& identity, const Map& map, const Op& op) {
+  if (hi - lo <= grain) {
+    T acc = identity;
+    for (std::int64_t i = lo; i < hi; ++i) acc = op(std::move(acc), map(i));
+    return acc;
+  }
+  const std::int64_t mid = lo + (hi - lo) / 2;
+  T left{}, right{};
+  rt::parallel_invoke(
+      [&] { left = reduce_recurse(lo, mid, grain, identity, map, op); },
+      [&] { right = reduce_recurse(mid, hi, grain, identity, map, op); });
+  return op(std::move(left), std::move(right));
+}
+
+}  // namespace detail
+
+// reduce over [lo, hi): op(... op(map(lo), map(lo+1)) ..., map(hi-1)).
+// `op` must be associative; `identity` its neutral element.
+template <typename T, typename Map, typename Op>
+T parallel_reduce(std::int64_t lo, std::int64_t hi, T identity, const Map& map,
+                  const Op& op, std::int64_t grain = 0) {
+  if (hi <= lo) return identity;
+  if (grain <= 0) grain = rt::default_grain(hi - lo);
+  return detail::reduce_recurse(lo, hi, grain, identity, map, op);
+}
+
+// Convenience: sum of map(i).
+template <typename T, typename Map>
+T parallel_sum(std::int64_t lo, std::int64_t hi, const Map& map,
+               std::int64_t grain = 0) {
+  return parallel_reduce<T>(
+      lo, hi, T{}, map, [](T a, T b) { return a + b; }, grain);
+}
+
+}  // namespace batcher::par

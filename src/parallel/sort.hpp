@@ -1,0 +1,115 @@
+// Parallel merge sort with a parallel merge.
+//
+// The batched 2-3 search tree (§3 of the paper) sorts each batch before
+// inserting; the paper quotes O(x lg x) work for sorting x keys.  This merge
+// sort delivers Θ(n lg n) work and Θ(lg³ n) span (parallel merge by
+// binary-search splitting), which is all the headroom a ≤P-element batch
+// needs.  Stable within merge ties (left half wins).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "runtime/api.hpp"
+
+namespace batcher::par {
+
+namespace detail {
+
+inline constexpr std::int64_t kSortCutoff = 512;
+inline constexpr std::int64_t kMergeCutoff = 512;
+
+template <typename T, typename Cmp>
+void merge_swapped(const T* a, std::int64_t na, const T* b, std::int64_t nb,
+                   T* out, const Cmp& cmp);
+
+// Merges sorted [a, a+na) and [b, b+nb) into out.
+template <typename T, typename Cmp>
+void merge_parallel(const T* a, std::int64_t na, const T* b, std::int64_t nb,
+                    T* out, const Cmp& cmp) {
+  if (na + nb <= kMergeCutoff) {
+    std::merge(a, a + na, b, b + nb, out, cmp);
+    return;
+  }
+  if (na < nb) {
+    // Keep the larger run on the left so the pivot split is balanced.
+    merge_swapped(a, na, b, nb, out, cmp);
+    return;
+  }
+  const std::int64_t mid_a = na / 2;
+  const T& pivot = a[mid_a];
+  // lower_bound keeps equal keys from `b` on the right of equal keys from
+  // `a`, giving a stable merge.
+  const std::int64_t mid_b =
+      std::lower_bound(b, b + nb, pivot, cmp) - b;
+  out[mid_a + mid_b] = pivot;
+  rt::parallel_invoke(
+      [&] { merge_parallel(a, mid_a, b, mid_b, out, cmp); },
+      [&] {
+        merge_parallel(a + mid_a + 1, na - mid_a - 1, b + mid_b, nb - mid_b,
+                       out + mid_a + mid_b + 1, cmp);
+      });
+}
+
+// Helper so the size-balancing swap keeps stability: when the right run goes
+// first we must split on *upper* bound to preserve left-before-right ties.
+template <typename T, typename Cmp>
+void merge_swapped(const T* a, std::int64_t na, const T* b, std::int64_t nb,
+                   T* out, const Cmp& cmp) {
+  const std::int64_t mid_b = nb / 2;
+  const T& pivot = b[mid_b];
+  const std::int64_t mid_a =
+      std::upper_bound(a, a + na, pivot, cmp) - a;
+  out[mid_a + mid_b] = pivot;
+  rt::parallel_invoke(
+      [&] { merge_parallel(a, mid_a, b, mid_b, out, cmp); },
+      [&] {
+        merge_parallel(a + mid_a, na - mid_a, b + mid_b + 1, nb - mid_b - 1,
+                       out + mid_a + mid_b + 1, cmp);
+      });
+}
+
+// Sorts [data, data+n); `buf` is scratch of the same size.  If `to_buf`, the
+// sorted output lands in buf, else in data.
+template <typename T, typename Cmp>
+void msort(T* data, T* buf, std::int64_t n, bool to_buf, const Cmp& cmp) {
+  if (n <= kSortCutoff) {
+    std::stable_sort(data, data + n, cmp);
+    if (to_buf) std::copy(data, data + n, buf);
+    return;
+  }
+  const std::int64_t mid = n / 2;
+  rt::parallel_invoke([&] { msort(data, buf, mid, !to_buf, cmp); },
+                      [&] { msort(data + mid, buf + mid, n - mid, !to_buf, cmp); });
+  const T* src = to_buf ? data : buf;
+  T* dst = to_buf ? buf : data;
+  merge_parallel(src, mid, src + mid, n - mid, dst, cmp);
+}
+
+}  // namespace detail
+
+template <typename T, typename Cmp>
+void parallel_sort(T* data, std::int64_t n, const Cmp& cmp) {
+  if (n <= 1) return;
+  std::vector<T> buf(static_cast<std::size_t>(n));
+  detail::msort(data, buf.data(), n, /*to_buf=*/false, cmp);
+}
+
+template <typename T>
+void parallel_sort(T* data, std::int64_t n) {
+  parallel_sort(data, n, std::less<T>{});
+}
+
+template <typename T, typename Cmp>
+void parallel_sort(std::vector<T>& v, const Cmp& cmp) {
+  parallel_sort(v.data(), static_cast<std::int64_t>(v.size()), cmp);
+}
+
+template <typename T>
+void parallel_sort(std::vector<T>& v) {
+  parallel_sort(v.data(), static_cast<std::int64_t>(v.size()));
+}
+
+}  // namespace batcher::par

@@ -1,0 +1,95 @@
+// Public fork/join API: spawn/sync-style parallelism usable from any task
+// running inside a Scheduler::run (and degrading to sequential execution when
+// called from an ordinary thread, which keeps data-structure code testable in
+// isolation).
+//
+// All constructs are *structured*: a fork's children complete before the
+// forking call returns, matching the paper's model where the only
+// synchronization is joins (§2, footnote 4).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "runtime/scheduler.hpp"
+#include "runtime/task.hpp"
+#include "runtime/worker.hpp"
+
+namespace batcher::rt {
+
+inline Worker* current_worker() { return Worker::current(); }
+
+// Fork/join over two arms.  `f0` runs inline on the calling worker; `f1` is
+// spawned and may be stolen.  Returns after both complete.
+template <typename F0, typename F1>
+void parallel_invoke(F0&& f0, F1&& f1) {
+  Worker* w = current_worker();
+  if (w == nullptr) {
+    f0();
+    f1();
+    return;
+  }
+  JoinCounter join(1);
+  Task* child = make_task(std::forward<F1>(f1), &join, w->current_kind());
+  w->push(child);
+  f0();
+  w->wait(join);
+}
+
+namespace detail {
+
+template <typename Body>
+void pfor_recurse(std::int64_t lo, std::int64_t hi, std::int64_t grain,
+                  const Body& body) {
+  // Binary forking, as the paper assumes (§2, footnote 5).
+  while (hi - lo > grain) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    parallel_invoke([&] { pfor_recurse(lo, mid, grain, body); },
+                    [&] { pfor_recurse(mid, hi, grain, body); });
+    return;
+  }
+  for (std::int64_t i = lo; i < hi; ++i) body(i);
+}
+
+template <typename Body>
+void pfor_blocked_recurse(std::int64_t lo, std::int64_t hi, std::int64_t grain,
+                          const Body& body) {
+  while (hi - lo > grain) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    parallel_invoke([&] { pfor_blocked_recurse(lo, mid, grain, body); },
+                    [&] { pfor_blocked_recurse(mid, hi, grain, body); });
+    return;
+  }
+  body(lo, hi);
+}
+
+}  // namespace detail
+
+// Reasonable default grain: enough leaves to load-balance 8 ways per worker
+// without drowning in task frames.
+inline std::int64_t default_grain(std::int64_t n) {
+  Worker* w = current_worker();
+  const std::int64_t p = (w != nullptr) ? w->scheduler()->num_workers() : 1;
+  const std::int64_t g = n / (8 * p);
+  return g > 1 ? g : 1;
+}
+
+// parallel_for over [lo, hi): body(i) for each index.
+template <typename Body>
+void parallel_for(std::int64_t lo, std::int64_t hi, const Body& body,
+                  std::int64_t grain = 0) {
+  if (hi <= lo) return;
+  if (grain <= 0) grain = default_grain(hi - lo);
+  detail::pfor_recurse(lo, hi, grain, body);
+}
+
+// parallel_for handing each leaf the whole subrange: body(lo, hi).
+template <typename Body>
+void parallel_for_blocked(std::int64_t lo, std::int64_t hi, const Body& body,
+                          std::int64_t grain = 0) {
+  if (hi <= lo) return;
+  if (grain <= 0) grain = default_grain(hi - lo);
+  detail::pfor_blocked_recurse(lo, hi, grain, body);
+}
+
+}  // namespace batcher::rt

@@ -1,0 +1,140 @@
+// Chase–Lev work-stealing deque with a growable circular buffer.
+//
+// One owner thread pushes/pops at the bottom; any number of thieves steal
+// from the top.  The memory-ordering discipline follows Lê, Pop, Cohen &
+// Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+// Models" (PPoPP 2013), i.e. the C11 adaptation of Chase & Lev's algorithm.
+//
+// Buffers are retired, not freed, while the deque lives: a thief that loaded
+// an old buffer pointer may still be reading a slot from it.  All retired
+// buffers are reclaimed when the deque is destroyed (workers outlive every
+// task they ever held, so this is safe and avoids a full reclamation scheme).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/config.hpp"
+
+namespace batcher::rt {
+
+class Task;  // defined in task.hpp; the deque only moves pointers around
+
+class WorkDeque {
+ public:
+  explicit WorkDeque(std::int64_t initial_capacity = 64)
+      : top_(0), bottom_(0), buffer_(new Buffer(initial_capacity)) {}
+
+  WorkDeque(const WorkDeque&) = delete;
+  WorkDeque& operator=(const WorkDeque&) = delete;
+
+  ~WorkDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* b : retired_) delete b;
+  }
+
+  // Owner only.  Pushes a task at the bottom.
+  void push(Task* task) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > buf->capacity - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, task);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only.  Pops from the bottom; nullptr when empty.
+  Task* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    Task* task = nullptr;
+    if (t <= b) {
+      task = buf->get(b);
+      if (t == b) {
+        // Last element: race against thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          task = nullptr;  // a thief won
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      // Deque was already empty.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return task;
+  }
+
+  // Any thread.  Steals from the top; nullptr on empty deque or lost race.
+  Task* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t < b) {
+      Buffer* buf = buffer_.load(std::memory_order_consume);
+      Task* task = buf->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return nullptr;  // lost the race
+      }
+      return task;
+    }
+    return nullptr;
+  }
+
+  // Approximate: may be stale by the time the caller acts on it.  Used only
+  // for scheduling heuristics and invariant checks, never for correctness.
+  bool empty() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b <= t;
+  }
+
+  std::int64_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<Task*>[cap]) {
+      BATCHER_DASSERT((cap & (cap - 1)) == 0, "deque capacity must be a power of two");
+    }
+    ~Buffer() { delete[] slots; }
+
+    void put(std::int64_t i, Task* task) {
+      slots[i & mask].store(task, std::memory_order_relaxed);
+    }
+    Task* get(std::int64_t i) const {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::atomic<Task*>* const slots;
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    Buffer* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  alignas(kCacheLineSize) std::atomic<std::int64_t> top_;
+  alignas(kCacheLineSize) std::atomic<std::int64_t> bottom_;
+  alignas(kCacheLineSize) std::atomic<Buffer*> buffer_;
+  std::vector<Buffer*> retired_;  // owner-only
+};
+
+}  // namespace batcher::rt

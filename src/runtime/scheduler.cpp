@@ -1,0 +1,80 @@
+#include "runtime/scheduler.hpp"
+
+#include "support/config.hpp"
+
+namespace batcher::rt {
+
+Scheduler::Scheduler(unsigned num_workers, std::uint64_t seed) {
+  BATCHER_ASSERT(num_workers >= 1, "scheduler needs at least one worker");
+  SplitMix64 seeder(seed);
+  workers_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(this, i, seeder.next()));
+  }
+  threads_.reserve(num_workers);
+  for (unsigned i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { worker_thread(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  workers_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void Scheduler::worker_thread(unsigned index) { workers_[index]->main_loop(); }
+
+void Scheduler::note_root_done() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    root_done_.store(true, std::memory_order_release);
+  }
+  caller_cv_.notify_all();
+}
+
+void Scheduler::run(std::function<void()> root) {
+  BATCHER_ASSERT(Worker::current() == nullptr,
+                 "Scheduler::run must not be called from a worker; "
+                 "use parallel_invoke for nested parallelism");
+  BATCHER_ASSERT(!run_active_.load(std::memory_order_acquire),
+                 "Scheduler::run calls cannot overlap");
+
+  root_done_.store(false, std::memory_order_release);
+  Task* root_task = make_task(
+      [this, fn = std::move(root)]() mutable {
+        fn();
+        note_root_done();
+      },
+      /*join=*/nullptr, TaskKind::Core);
+  inbox_.store(root_task, std::memory_order_release);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    run_active_.store(true, std::memory_order_release);
+  }
+  workers_cv_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    caller_cv_.wait(lock,
+                    [this] { return root_done_.load(std::memory_order_acquire); });
+    // All structured work has completed (the root returned); park workers.
+    run_active_.store(false, std::memory_order_release);
+  }
+}
+
+StatsSnapshot Scheduler::total_stats() const {
+  StatsSnapshot total;
+  for (const auto& w : workers_) total += w->stats();
+  return total;
+}
+
+void Scheduler::reset_stats() {
+  for (auto& w : workers_) w->stats().reset();
+}
+
+}  // namespace batcher::rt

@@ -1,0 +1,82 @@
+// The fork/join scheduler: owns the worker threads and the run lifecycle.
+//
+// A Scheduler spawns `num_workers` dedicated threads at construction.  `run`
+// submits a root core task and blocks the calling (external) thread until the
+// root — and, for structured programs, every transitively spawned task — has
+// completed.  Between runs the workers park on a condition variable so idle
+// schedulers cost nothing.
+//
+// The BATCHER extension (src/batcher) plugs into this scheduler purely
+// through the public Worker operations: dual deques, kind-tagged tasks, the
+// alternating-steal policy, and `help_batch_once` for trapped workers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/task.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/worker.hpp"
+
+namespace batcher::rt {
+
+class Scheduler {
+ public:
+  // Creates `num_workers` worker threads (at least 1).  `seed` makes victim
+  // selection reproducible across runs with the same thread interleaving.
+  explicit Scheduler(unsigned num_workers,
+                     std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  unsigned num_workers() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Executes `root` as a core task on the worker pool; blocks until it (and
+  // all structured descendants) finish.  Must be called from a non-worker
+  // thread; calls cannot be nested (use parallel_invoke inside a run).
+  void run(std::function<void()> root);
+
+  Worker& worker(unsigned i) { return *workers_[i]; }
+  const Worker& worker(unsigned i) const { return *workers_[i]; }
+
+  // Aggregated instrumentation across all workers (approximate while a run
+  // is active; exact once run() has returned and workers have parked).
+  StatsSnapshot total_stats() const;
+  void reset_stats();
+
+  bool stopping() const { return stop_.load(std::memory_order_acquire); }
+  bool run_active() const { return run_active_.load(std::memory_order_acquire); }
+
+  // Claims the pending root task, if any.  Called by workers; the root is
+  // handed off through this inbox rather than a deque so that no thread ever
+  // touches another worker's deque from the owner side.
+  Task* take_root() { return inbox_.exchange(nullptr, std::memory_order_acquire); }
+
+ private:
+  friend class Worker;
+
+  void worker_thread(unsigned index);
+  void note_root_done();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<Task*> inbox_{nullptr};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> run_active_{false};
+  std::atomic<bool> root_done_{false};
+
+  std::mutex mutex_;
+  std::condition_variable workers_cv_;  // wakes parked workers for a new run
+  std::condition_variable caller_cv_;   // wakes the run() caller on completion
+};
+
+}  // namespace batcher::rt

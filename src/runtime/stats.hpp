@@ -1,0 +1,67 @@
+// Instrumentation counters.
+//
+// Each worker owns a stats block; only the owning worker writes it (plain
+// load+store on relaxed atomics — single-writer, so no RMW needed), while the
+// scheduler may read it from other threads at any time.  The categories
+// mirror the quantities the paper's analysis charges steps to (§5): work
+// executed, steal attempts split by target deque kind, successful steals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace batcher::rt {
+
+// Single-writer counter: owner bumps, anyone reads.
+class Counter {
+ public:
+  void bump(std::uint64_t n = 1) {
+    value_.store(value_.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+  }
+  std::uint64_t get() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+struct WorkerStats {
+  Counter tasks_executed;       // task frames run to completion
+  Counter core_steal_attempts;  // attempts aimed at core deques
+  Counter batch_steal_attempts; // attempts aimed at batch deques
+  Counter steals_succeeded;
+  Counter join_help_runs;       // tasks run while waiting at a join
+
+  void reset() {
+    tasks_executed.reset();
+    core_steal_attempts.reset();
+    batch_steal_attempts.reset();
+    steals_succeeded.reset();
+    join_help_runs.reset();
+  }
+};
+
+// Plain-value aggregate for reporting.
+struct StatsSnapshot {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t core_steal_attempts = 0;
+  std::uint64_t batch_steal_attempts = 0;
+  std::uint64_t steals_succeeded = 0;
+  std::uint64_t join_help_runs = 0;
+
+  StatsSnapshot& operator+=(const WorkerStats& w) {
+    tasks_executed += w.tasks_executed.get();
+    core_steal_attempts += w.core_steal_attempts.get();
+    batch_steal_attempts += w.batch_steal_attempts.get();
+    steals_succeeded += w.steals_succeeded.get();
+    join_help_runs += w.join_help_runs.get();
+    return *this;
+  }
+
+  std::uint64_t total_steal_attempts() const {
+    return core_steal_attempts + batch_steal_attempts;
+  }
+};
+
+}  // namespace batcher::rt

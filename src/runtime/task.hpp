@@ -1,0 +1,92 @@
+// Task frames and join counters for the fork/join runtime.
+//
+// The runtime is *child-stealing*: `spawn` heap-allocates a small task frame
+// holding the child closure and pushes it on the spawning worker's deque; the
+// parent continues inline and later blocks (helping) at a join.  This is the
+// portable-C++ stand-in for Cilk-5's continuation stealing; DESIGN.md §5
+// explains why it preserves the BATCHER invariants.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "support/config.hpp"
+
+namespace batcher::rt {
+
+// Invariant 3 of the paper: every ready node lives on a core deque or a batch
+// deque according to which dag it belongs to.  TaskKind is that tag.
+enum class TaskKind : std::uint8_t { Core = 0, Batch = 1 };
+inline constexpr int kNumTaskKinds = 2;
+
+// Counts outstanding children of a fork.  The parent waits (while helping)
+// until the count drops to zero.  Counts only reach zero once per join.
+class JoinCounter {
+ public:
+  explicit JoinCounter(std::int64_t n) : count_(n) {}
+
+  JoinCounter(const JoinCounter&) = delete;
+  JoinCounter& operator=(const JoinCounter&) = delete;
+
+  void add(std::int64_t n = 1) { count_.fetch_add(n, std::memory_order_relaxed); }
+
+  // Called by the child *after* its closure has been destroyed, so that the
+  // parent never resumes while a child still references its stack frame.
+  void finish() { count_.fetch_sub(1, std::memory_order_release); }
+
+  bool done() const { return count_.load(std::memory_order_acquire) <= 0; }
+
+ private:
+  std::atomic<std::int64_t> count_;
+};
+
+// Type-erased task frame.  Uses a function-pointer vtable-of-one instead of a
+// virtual so the whole frame stays one allocation with no RTTI.
+class Task {
+ public:
+  using InvokeFn = void (*)(Task*);
+
+  Task(InvokeFn invoke, JoinCounter* join, TaskKind kind)
+      : invoke_(invoke), join_(join), kind_(kind) {}
+
+  // Runs the closure, destroys the frame, then releases the join.  The caller
+  // must not touch `this` afterwards.
+  void run_and_release() {
+    JoinCounter* join = join_;
+    invoke_(this);  // executes and deletes the frame
+    if (join != nullptr) join->finish();
+  }
+
+  TaskKind kind() const { return kind_; }
+
+ private:
+  const InvokeFn invoke_;
+  JoinCounter* const join_;
+  const TaskKind kind_;
+};
+
+template <typename F>
+class ClosureTask final : public Task {
+ public:
+  ClosureTask(F&& fn, JoinCounter* join, TaskKind kind)
+      : Task(&ClosureTask::invoke, join, kind), fn_(std::move(fn)) {}
+
+ private:
+  static void invoke(Task* base) {
+    auto* self = static_cast<ClosureTask*>(base);
+    F fn = std::move(self->fn_);
+    delete self;  // free the frame before running: the closure may run long
+    fn();
+  }
+
+  F fn_;
+};
+
+template <typename F>
+Task* make_task(F&& fn, JoinCounter* join, TaskKind kind) {
+  using Decayed = std::decay_t<F>;
+  return new ClosureTask<Decayed>(Decayed(std::forward<F>(fn)), join, kind);
+}
+
+}  // namespace batcher::rt

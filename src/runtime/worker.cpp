@@ -1,0 +1,106 @@
+#include "runtime/worker.hpp"
+
+#include "runtime/scheduler.hpp"
+#include "support/backoff.hpp"
+
+namespace batcher::rt {
+
+namespace {
+thread_local Worker* t_current_worker = nullptr;
+}  // namespace
+
+Worker* Worker::current() { return t_current_worker; }
+
+void Worker::run_task(Task* task) {
+  const TaskKind saved = kind_;
+  kind_ = task->kind();
+  task->run_and_release();
+  kind_ = saved;
+  stats_.tasks_executed.bump();
+}
+
+Task* Worker::try_steal(TaskKind kind) {
+  const unsigned P = sched_->num_workers();
+  if (kind == TaskKind::Core) {
+    stats_.core_steal_attempts.bump();
+  } else {
+    stats_.batch_steal_attempts.bump();
+  }
+  if (P <= 1) return nullptr;
+  unsigned victim = static_cast<unsigned>(rng_.next_below(P - 1));
+  if (victim >= id_) ++victim;  // uniform over workers other than self
+  Task* task = sched_->worker(victim).deque(kind).steal();
+  if (task != nullptr) stats_.steals_succeeded.bump();
+  return task;
+}
+
+Task* Worker::steal_alternating() {
+  // §4: the k-th steal attempt of a free worker targets core deques when k is
+  // even, batch deques when k is odd.
+  const TaskKind kind =
+      (steal_tick_++ % 2 == 0) ? TaskKind::Core : TaskKind::Batch;
+  return try_steal(kind);
+}
+
+void Worker::wait(JoinCounter& join) {
+  const TaskKind waiting_kind = kind_;
+  Backoff backoff;
+  while (!join.done()) {
+    // Drain our own deque for the dag we are part of first: those tasks are
+    // the children whose completion the join is (usually) waiting on.
+    Task* task = pop(waiting_kind);
+    if (task == nullptr) {
+      if (waiting_kind == TaskKind::Batch) {
+        // Inside a batch dag, only batch work may be executed (§4).
+        task = try_steal(TaskKind::Batch);
+      } else {
+        // A free worker helps anywhere, alternating between deque kinds.
+        task = pop(TaskKind::Batch);
+        if (task == nullptr) task = steal_alternating();
+      }
+    }
+    if (task != nullptr) {
+      stats_.join_help_runs.bump();
+      run_task(task);
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+}
+
+bool Worker::help_batch_once() {
+  Task* task = pop(TaskKind::Batch);
+  if (task == nullptr) task = try_steal(TaskKind::Batch);
+  if (task == nullptr) return false;
+  run_task(task);
+  return true;
+}
+
+void Worker::main_loop() {
+  t_current_worker = this;
+  Backoff backoff;
+  while (!sched_->stopping()) {
+    if (!sched_->run_active()) {
+      // Park between runs.
+      std::unique_lock<std::mutex> lock(sched_->mutex_);
+      sched_->workers_cv_.wait(lock, [this] {
+        return sched_->stopping() || sched_->run_active();
+      });
+      continue;
+    }
+    Task* task = sched_->take_root();
+    if (task == nullptr) task = pop(TaskKind::Batch);
+    if (task == nullptr) task = pop(TaskKind::Core);
+    if (task == nullptr) task = steal_alternating();
+    if (task != nullptr) {
+      run_task(task);
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+  t_current_worker = nullptr;
+}
+
+}  // namespace batcher::rt

@@ -1,0 +1,99 @@
+// Per-worker state and the scheduling loops.
+//
+// A worker owns two Chase–Lev deques (core and batch — Invariant 3), a
+// deterministic RNG for victim selection, and a steal-attempt counter that
+// drives the paper's alternating-steal policy: the k-th steal attempt of a
+// *free* worker targets a random victim's core deque when k is even and its
+// batch deque when k is odd (§4).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/deque.hpp"
+#include "runtime/stats.hpp"
+#include "runtime/task.hpp"
+#include "support/config.hpp"
+#include "support/rng.hpp"
+
+namespace batcher::rt {
+
+class Scheduler;
+
+class alignas(kCacheLineSize) Worker {
+ public:
+  Worker(Scheduler* scheduler, unsigned id, std::uint64_t seed)
+      : sched_(scheduler), id_(id), rng_(seed) {}
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  unsigned id() const { return id_; }
+  Scheduler* scheduler() const { return sched_; }
+
+  // The dag the currently-assigned node belongs to.  Spawns inherit it, so
+  // core tasks push to core deques and batch tasks to batch deques.
+  TaskKind current_kind() const { return kind_; }
+
+  // Owner-side deque operations.
+  void push(Task* task) { deques_[static_cast<int>(task->kind())].push(task); }
+  Task* pop(TaskKind kind) { return deques_[static_cast<int>(kind)].pop(); }
+
+  WorkDeque& deque(TaskKind kind) { return deques_[static_cast<int>(kind)]; }
+  const WorkDeque& deque(TaskKind kind) const {
+    return deques_[static_cast<int>(kind)];
+  }
+
+  // Executes one task frame, temporarily switching the worker's kind to the
+  // task's dag.  Restores the previous kind afterwards, so a trapped worker
+  // that helps with batch work returns to its suspended core context.
+  void run_task(Task* task);
+
+  // Blocks (helping) until the join is satisfied.  In core context the worker
+  // behaves as a free worker: it drains its own deque for the waited dag and
+  // otherwise steals with the alternating policy.  In batch context it only
+  // touches batch deques, as the paper's rules require.
+  void wait(JoinCounter& join);
+
+  // One scheduling attempt of a *trapped* worker (used by batchify): pop own
+  // batch deque, else steal from a random victim's batch deque.  Runs the
+  // task if one was found.  Returns true if any task was executed.
+  bool help_batch_once();
+
+  // Steal helpers.  Every call counts as one steal attempt in the stats.
+  Task* try_steal(TaskKind kind);
+  Task* steal_alternating();
+
+  // Runs `fn` inline with the worker temporarily switched to `kind`, so that
+  // everything `fn` spawns lands on the corresponding deque.  Used by the
+  // BATCHER extension to execute LAUNCHBATCH as a batch-dag root (§4).
+  template <typename F>
+  void run_inline(TaskKind kind, F&& fn) {
+    const TaskKind saved = kind_;
+    kind_ = kind;
+    fn();
+    kind_ = saved;
+  }
+
+  // Top-level loop for scheduler-owned threads.
+  void main_loop();
+
+  WorkerStats& stats() { return stats_; }
+  const WorkerStats& stats() const { return stats_; }
+
+  // Thread-local accessor: the worker the calling thread is, or nullptr.
+  static Worker* current();
+
+ private:
+  friend class Scheduler;
+
+  Scheduler* const sched_;
+  const unsigned id_;
+  Xoshiro256 rng_;
+  std::uint64_t steal_tick_ = 0;
+  TaskKind kind_ = TaskKind::Core;
+  WorkerStats stats_;
+  WorkDeque deques_[kNumTaskKinds];
+};
+
+}  // namespace batcher::rt

@@ -1,0 +1,40 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+
+namespace batcher::sim {
+
+std::int64_t ilog2(std::int64_t x) {
+  std::int64_t lg = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++lg;
+  }
+  return std::max<std::int64_t>(lg, 1);
+}
+
+WorkSpan CounterCostModel::batch_cost(std::int64_t k) const {
+  return WorkSpan{unit_ * k, ilog2(k) + 1};
+}
+
+WorkSpan SkipListCostModel::batch_cost(std::int64_t k) const {
+  const std::int64_t per_op = ilog2(size_ + 2);
+  return WorkSpan{unit_ * k * per_op, per_op + ilog2(k)};
+}
+
+std::int64_t SkipListCostModel::sequential_op_cost() const {
+  return unit_ * ilog2(size_ + 2);
+}
+
+WorkSpan SearchTreeCostModel::batch_cost(std::int64_t k) const {
+  const std::int64_t lg_size = ilog2(size_ + 2);
+  const std::int64_t lg_k = ilog2(k);
+  const std::int64_t lglg_k = ilog2(lg_k + 1);
+  return WorkSpan{unit_ * k * (lg_size + lg_k), lg_size + lg_k * lglg_k};
+}
+
+std::int64_t SearchTreeCostModel::sequential_op_cost() const {
+  return unit_ * ilog2(size_ + 2);
+}
+
+}  // namespace batcher::sim

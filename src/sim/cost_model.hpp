@@ -1,0 +1,77 @@
+// Batch cost models: how much (work, span) a batched operation on k records
+// costs, for each data structure of §3/§7.  The simulator turns these numbers
+// into explicit fork/join batch dags.
+#pragma once
+
+#include <cstdint>
+
+namespace batcher::sim {
+
+struct WorkSpan {
+  std::int64_t work;
+  std::int64_t span;
+};
+
+// Interface: stateful so structures can grow as batches commit (a skip list's
+// per-op cost is lg(current size)).
+class BatchCostModel {
+ public:
+  virtual ~BatchCostModel() = default;
+
+  // Cost of one batched operation over k records.
+  virtual WorkSpan batch_cost(std::int64_t k) const = 0;
+
+  // Sequential per-record cost (used by the flat-combining and contended-
+  // concurrent simulators: one record applied alone).
+  virtual std::int64_t sequential_op_cost() const = 0;
+
+  // Called when a batch of k records commits (lets the model grow).
+  virtual void on_commit(std::int64_t k) { (void)k; }
+};
+
+// Batched counter (Fig. 2): prefix sums.  W = a·k, s = lg k + c.
+class CounterCostModel final : public BatchCostModel {
+ public:
+  explicit CounterCostModel(std::int64_t unit = 2) : unit_(unit) {}
+  WorkSpan batch_cost(std::int64_t k) const override;
+  std::int64_t sequential_op_cost() const override { return unit_; }
+
+ private:
+  std::int64_t unit_;
+};
+
+// Batched skip list (§7): per-record search cost lg(size); searches parallel,
+// build/splice sequential-ish but proportional to k.
+// W = a·k·lg(size), s = lg(size) + lg(k).
+class SkipListCostModel final : public BatchCostModel {
+ public:
+  explicit SkipListCostModel(std::int64_t initial_size, std::int64_t unit = 1)
+      : size_(initial_size), unit_(unit) {}
+  WorkSpan batch_cost(std::int64_t k) const override;
+  std::int64_t sequential_op_cost() const override;
+  void on_commit(std::int64_t k) override { size_ += k; }
+
+  std::int64_t current_size() const { return size_; }
+
+ private:
+  std::int64_t size_;
+  std::int64_t unit_;
+};
+
+// Batched 2-3 tree (§3): W = k·(lg size + lg k), s = lg size + lg k · lglg k.
+class SearchTreeCostModel final : public BatchCostModel {
+ public:
+  explicit SearchTreeCostModel(std::int64_t initial_size, std::int64_t unit = 1)
+      : size_(initial_size), unit_(unit) {}
+  WorkSpan batch_cost(std::int64_t k) const override;
+  std::int64_t sequential_op_cost() const override;
+  void on_commit(std::int64_t k) override { size_ += k; }
+
+ private:
+  std::int64_t size_;
+  std::int64_t unit_;
+};
+
+std::int64_t ilog2(std::int64_t x);  // floor(lg x), >= 1 result clamp
+
+}  // namespace batcher::sim

@@ -1,0 +1,212 @@
+#include "sim/dag.hpp"
+
+#include <algorithm>
+
+#include "support/config.hpp"
+
+namespace batcher::sim {
+
+namespace {
+
+// Topological order by Kahn's algorithm; dags here are built top-down, so
+// node ids are already nearly topological, but we do it properly.
+std::vector<NodeId> topo_order(const Dag& dag) {
+  const std::size_t n = dag.size();
+  std::vector<std::uint8_t> indeg(dag.join_degree.begin(),
+                                  dag.join_degree.end());
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    const NodeId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (NodeId c : {dag.child0[v], dag.child1[v]}) {
+      if (c != kNoNode && --indeg[c] == 0) frontier.push_back(c);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::int64_t Dag::span() const {
+  const auto order = topo_order(*this);
+  std::vector<std::int64_t> depth(size(), 0);
+  std::int64_t best = 0;
+  for (NodeId v : order) {
+    const std::int64_t d = depth[v] + 1;  // count this node
+    best = std::max(best, d);
+    for (NodeId c : {child0[v], child1[v]}) {
+      if (c != kNoNode) depth[c] = std::max(depth[c], d);
+    }
+  }
+  return best;
+}
+
+std::int64_t Dag::num_ds_nodes() const {
+  std::int64_t n = 0;
+  for (std::uint8_t f : is_ds) n += f;
+  return n;
+}
+
+std::int64_t Dag::max_ds_on_path() const {
+  const auto order = topo_order(*this);
+  std::vector<std::int64_t> count(size(), 0);
+  std::int64_t best = 0;
+  for (NodeId v : order) {
+    const std::int64_t c = count[v] + (is_ds[v] ? 1 : 0);
+    best = std::max(best, c);
+    for (NodeId ch : {child0[v], child1[v]}) {
+      if (ch != kNoNode) count[ch] = std::max(count[ch], c);
+    }
+  }
+  return best;
+}
+
+bool Dag::validate() const {
+  if (root == kNoNode || root >= size()) return false;
+  if (join_degree[root] != 0) return false;
+  std::size_t roots = 0;
+  for (NodeId v = 0; v < size(); ++v) {
+    if (join_degree[v] == 0) ++roots;
+    for (NodeId c : {child0[v], child1[v]}) {
+      if (c != kNoNode && c >= size()) return false;
+    }
+  }
+  if (roots != 1) return false;
+  // Acyclic & connected: topological order must cover every node.
+  return topo_order(*this).size() == size();
+}
+
+Segment build_chain(Dag& dag, std::int64_t len) {
+  BATCHER_ASSERT(len >= 1, "chain length must be positive");
+  const NodeId first = dag.add_node();
+  NodeId prev = first;
+  for (std::int64_t i = 1; i < len; ++i) {
+    const NodeId next = dag.add_node();
+    dag.add_edge(prev, next);
+    prev = next;
+  }
+  return Segment{first, prev};
+}
+
+namespace {
+
+// Recursive binary fork/join over [lo, hi) leaves.
+Segment fork_join_recurse(Dag& dag, std::int64_t lo, std::int64_t hi,
+                          std::int64_t chain_len) {
+  if (hi - lo == 1) return build_chain(dag, chain_len);
+  const std::int64_t mid = lo + (hi - lo) / 2;
+  const NodeId fork = dag.add_node();
+  const Segment left = fork_join_recurse(dag, lo, mid, chain_len);
+  const Segment right = fork_join_recurse(dag, mid, hi, chain_len);
+  const NodeId join = dag.add_node();
+  dag.add_edge(fork, left.first);
+  dag.add_edge(fork, right.first);
+  dag.add_edge(left.last, join);
+  dag.add_edge(right.last, join);
+  return Segment{fork, join};
+}
+
+}  // namespace
+
+Segment build_fork_join(Dag& dag, std::int64_t leaves, std::int64_t chain_len) {
+  BATCHER_ASSERT(leaves >= 1 && chain_len >= 1, "bad fork/join parameters");
+  return fork_join_recurse(dag, 0, leaves, chain_len);
+}
+
+Segment build_with_work_span(Dag& dag, std::int64_t work, std::int64_t span) {
+  work = std::max<std::int64_t>(work, 1);
+  span = std::max<std::int64_t>(span, 1);
+  if (work <= span) return build_chain(dag, work);
+  // leaves ≈ work/span gives chains of ≈ span nodes; the binary fork/join
+  // tree adds 2·⌈lg leaves⌉ to the span (unavoidable under binary forking —
+  // a requested span below lg(work) is infeasible and gets clamped here).
+  const std::int64_t leaves = std::max<std::int64_t>(1, work / span);
+  const std::int64_t chain =
+      std::max<std::int64_t>(1, (work - 2 * (leaves - 1)) / leaves);
+  return build_fork_join(dag, leaves, chain);
+}
+
+Dag build_parallel_loop_with_ds(std::int64_t n, std::int64_t pre,
+                                std::int64_t post, std::int64_t ds_per_iter) {
+  BATCHER_ASSERT(n >= 1 && ds_per_iter >= 0 && pre >= 0 && post >= 0,
+                 "bad loop parameters");
+  Dag dag;
+
+  // One leaf = pre-chain, ds nodes, post-chain (at least one core node so
+  // every leaf is non-empty).
+  auto build_leaf = [&](auto&&) -> Segment {
+    Segment seg = build_chain(dag, std::max<std::int64_t>(pre, 1));
+    NodeId tail = seg.last;
+    for (std::int64_t d = 0; d < ds_per_iter; ++d) {
+      const NodeId ds = dag.add_node(/*ds_node=*/true);
+      dag.add_edge(tail, ds);
+      tail = ds;
+    }
+    if (post > 0) {
+      const Segment p = build_chain(dag, post);
+      dag.add_edge(tail, p.first);
+      tail = p.last;
+    }
+    return Segment{seg.first, tail};
+  };
+
+  // Binary fork tree over n leaves.
+  struct Rec {
+    Dag& dag;
+    decltype(build_leaf)& leaf;
+    Segment operator()(std::int64_t lo, std::int64_t hi) {
+      if (hi - lo == 1) return leaf(0);
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      const NodeId fork = dag.add_node();
+      const Segment l = (*this)(lo, mid);
+      const Segment r = (*this)(mid, hi);
+      const NodeId join = dag.add_node();
+      dag.add_edge(fork, l.first);
+      dag.add_edge(fork, r.first);
+      dag.add_edge(l.last, join);
+      dag.add_edge(r.last, join);
+      return Segment{fork, join};
+    }
+  };
+  Rec rec{dag, build_leaf};
+  const Segment all = rec(0, n);
+  dag.root = all.first;
+  BATCHER_DASSERT(dag.validate(), "built an invalid dag");
+  return dag;
+}
+
+Dag build_sequential_ds_chain(std::int64_t n, std::int64_t gap) {
+  BATCHER_ASSERT(n >= 1 && gap >= 0, "bad chain parameters");
+  Dag dag;
+  const NodeId first = dag.add_node();
+  NodeId tail = first;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const NodeId ds = dag.add_node(/*ds_node=*/true);
+    dag.add_edge(tail, ds);
+    tail = ds;
+    for (std::int64_t g = 0; g < gap; ++g) {
+      const NodeId c = dag.add_node();
+      dag.add_edge(tail, c);
+      tail = c;
+    }
+  }
+  dag.root = first;
+  BATCHER_DASSERT(dag.validate(), "built an invalid dag");
+  return dag;
+}
+
+Dag build_plain_fork_join(std::int64_t leaves, std::int64_t chain_len) {
+  Dag dag;
+  const Segment all = build_fork_join(dag, leaves, chain_len);
+  dag.root = all.first;
+  BATCHER_DASSERT(dag.validate(), "built an invalid dag");
+  return dag;
+}
+
+}  // namespace batcher::sim

@@ -1,0 +1,93 @@
+// Explicit computation dags for the scheduler simulator.
+//
+// The simulator executes the paper's model directly (§2): unit-time nodes,
+// binary forking, dags that unfold as nodes execute.  A Dag here is the
+// a-posteriori object; builders produce the shapes the paper's analysis talks
+// about — fork/join trees over chains, and core dags whose leaves contain
+// data-structure nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace batcher::sim {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+struct Dag {
+  // Structure-of-arrays; node ids are dense.
+  std::vector<NodeId> child0;       // first successor (kNoNode if none)
+  std::vector<NodeId> child1;       // second successor (kNoNode if none)
+  std::vector<std::uint8_t> join_degree;  // incoming-edge count (1 or 2;
+                                          // 0 for the root)
+  std::vector<std::uint8_t> is_ds;  // 1 = data-structure node
+  NodeId root = kNoNode;
+
+  std::size_t size() const { return child0.size(); }
+
+  NodeId add_node(bool ds_node = false) {
+    child0.push_back(kNoNode);
+    child1.push_back(kNoNode);
+    join_degree.push_back(0);
+    is_ds.push_back(ds_node ? 1 : 0);
+    return static_cast<NodeId>(child0.size() - 1);
+  }
+
+  void add_edge(NodeId from, NodeId to) {
+    if (child0[from] == kNoNode) {
+      child0[from] = to;
+    } else {
+      child1[from] = to;
+    }
+    ++join_degree[to];
+  }
+
+  // Number of nodes = work (every node is unit time).
+  std::int64_t work() const { return static_cast<std::int64_t>(size()); }
+  // Longest path through the dag, in nodes (the span).  O(V+E).
+  std::int64_t span() const;
+  // Count of data-structure nodes.
+  std::int64_t num_ds_nodes() const;
+  // Maximum number of ds nodes on any path (the paper's m).
+  std::int64_t max_ds_on_path() const;
+
+  // Sanity: every non-root node has join_degree >= 1, edges well-formed.
+  bool validate() const;
+};
+
+// --- Builders -------------------------------------------------------------
+
+// A serial chain of `len` nodes.  Returns (first, last).
+struct Segment {
+  NodeId first;
+  NodeId last;
+};
+Segment build_chain(Dag& dag, std::int64_t len);
+
+// Balanced binary fork/join over `leaves` leaf segments; each leaf is a chain
+// of `chain_len` nodes.  Work Θ(leaves·chain_len + leaves), span
+// Θ(lg leaves + chain_len).
+Segment build_fork_join(Dag& dag, std::int64_t leaves, std::int64_t chain_len);
+
+// Fork/join dag approximating a computation with the given work and span:
+// chooses a leaf count and chain length so that work and span land within a
+// small constant of the request.  Used by batch cost models.
+Segment build_with_work_span(Dag& dag, std::int64_t work, std::int64_t span);
+
+// The paper's running example (Fig. 1): a parallel loop over `n` iterations;
+// each iteration runs `pre` core nodes, then `ds_per_iter` data-structure
+// nodes in sequence, then `post` core nodes.  T1 = Θ(n·(pre+post)),
+// T∞ = Θ(lg n + pre + post), total ds nodes n·ds_per_iter, m = ds_per_iter.
+Dag build_parallel_loop_with_ds(std::int64_t n, std::int64_t pre,
+                                std::int64_t post, std::int64_t ds_per_iter);
+
+// A purely sequential chain of n ds nodes separated by `gap` core nodes:
+// the worst case m = n.  For trap-latency experiments.
+Dag build_sequential_ds_chain(std::int64_t n, std::int64_t gap);
+
+// Plain fork/join core dag with no ds nodes (for validating the baseline
+// work-stealing bound T1/P + O(T∞)).
+Dag build_plain_fork_join(std::int64_t leaves, std::int64_t chain_len);
+
+}  // namespace batcher::sim

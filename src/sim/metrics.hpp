@@ -1,0 +1,58 @@
+// Result record for a simulated execution.
+#pragma once
+
+#include <cstdint>
+
+namespace batcher::sim {
+
+struct SimResult {
+  std::int64_t makespan = 0;        // timesteps until the dag completed
+
+  // Per-kind processor-step accounting (sums over all workers; each worker
+  // contributes exactly one step per timestep, so the columns sum to
+  // makespan * P).
+  std::int64_t busy_core = 0;       // core-dag nodes executed
+  std::int64_t busy_batch = 0;      // batch-dag (BOP) nodes executed
+  std::int64_t busy_setup = 0;      // batch-setup/cleanup nodes executed
+  std::int64_t steal_attempts = 0;  // failed + successful
+  std::int64_t steals_succeeded = 0;
+  std::int64_t idle = 0;            // trapped spinning / nothing to do
+
+  // Batching behaviour.
+  std::int64_t batches = 0;
+  std::int64_t batch_ops = 0;       // total operations across batches
+  std::int64_t max_batch_size = 0;
+  std::int64_t trapped_steps = 0;   // steps spent in trapped state
+
+  // §5 analysis quantities (BATCHER simulator only).
+  //
+  // Steal attempts partitioned exactly as the proof partitions them: a
+  // *big-batch* steal happens while a big batch is active; otherwise the
+  // attempt is *trapped* or *free* according to the thief's status.  A batch
+  // is big if it is τ-long (span > τ), τ-wide (work > P·τ), popular
+  // (> P/4 ops), or adjacent to such a batch (the adjacency is what the
+  // proof triples its counts for; we track it live via "previous batch was
+  // big" + a pending flag for the successor).
+  std::int64_t big_batch_steals = 0;   // bounded by Lemma 9
+  std::int64_t free_steals = 0;        // bounded by Lemmas 10 + 11
+  std::int64_t trapped_steals = 0;     // bounded by Lemma 13
+  std::int64_t long_batches = 0;       // span > τ
+  std::int64_t wide_batches = 0;       // work > P·τ
+  std::int64_t popular_batches = 0;    // ops > P/4
+  std::int64_t big_batches = 0;        // union incl. neighbours
+  std::int64_t trimmed_span = 0;       // Σ span over long batches (S_τ(n))
+  std::int64_t tau = 0;                // the τ used for classification
+
+  // Lemma 2: once an operation is pending, at most two batches execute
+  // before it completes.  max over all traps of "#batch completions between
+  // posting the record and turning done".
+  std::int64_t max_batches_waited = 0;
+
+  double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batch_ops) /
+                              static_cast<double>(batches);
+  }
+};
+
+}  // namespace batcher::sim

@@ -1,0 +1,62 @@
+// Timestep simulator of the full BATCHER scheduler (§4) over an explicit
+// core dag with data-structure nodes.
+//
+// The simulation executes the paper's operational rules exactly:
+//   * per-worker core and batch deques (Invariant 3);
+//   * worker statuses free/pending/executing/done, with trapped workers
+//     restricted to batch work (Fig. 3);
+//   * the alternating-steal policy for free workers (configurable, for the
+//     ablation study);
+//   * immediate batch launch guarded by a global flag, with the whole
+//     pending array collected into the batch (Invariants 1 & 2);
+//   * a batch-setup + BOP + cleanup dag of Θ(P) work and Θ(lg P) span per
+//     launch, with the BOP part sized by a per-structure cost model.
+//
+// All randomness flows from the seed, so runs are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.hpp"
+#include "sim/dag.hpp"
+#include "sim/metrics.hpp"
+
+namespace batcher::sim {
+
+enum class StealPolicy : std::uint8_t {
+  Alternating,    // the paper's policy: even ticks core, odd ticks batch
+  CoreOnly,       // free workers only steal core deques
+  BatchOnly,      // free workers only steal batch deques
+  UniformRandom,  // coin-flip per attempt
+};
+
+struct BatcherSimConfig {
+  unsigned workers = 8;
+  std::uint64_t seed = 1;
+  StealPolicy policy = StealPolicy::Alternating;
+  // Launch-immediately is the paper's rule (min_batch_ops = 1).  Setting it
+  // higher makes trapped workers hold the launch until that many operations
+  // are pending or `max_wait_steps` have elapsed (ablation ABL-batch).
+  std::int64_t min_batch_ops = 1;
+  std::int64_t max_wait_steps = 1 << 20;
+  // Include the Θ(P)-work / Θ(lg P)-span setup+cleanup dag per batch.
+  bool setup_overhead = true;
+  // τ for the §5 batch classification (long/wide/popular) in the result's
+  // analysis counters.  0 = auto: the data-structure span s(n), i.e. the
+  // cost model's span for a size-P batch (the τ Corollary 14 picks).
+  std::int64_t tau = 0;
+  // Cap on operations collected per launch (0 = P, the paper's Invariant 2).
+  // Setting this to 1 models a *helper lock* (Agrawal, Leiserson & Sukha,
+  // PPoPP 2010 — the paper's §6 comparison): each data-structure operation
+  // becomes its own parallel critical section that blocked workers help
+  // complete, with no cross-operation batching.  Collection starts at the
+  // launching worker so the launcher's own operation is always served.
+  std::int64_t max_ops_per_batch = 0;
+};
+
+// Simulates the core dag under BATCHER; `model` prices each batch and may
+// grow as batches commit (it is mutated).
+SimResult simulate_batcher(const Dag& core, BatchCostModel& model,
+                           const BatcherSimConfig& config);
+
+}  // namespace batcher::sim

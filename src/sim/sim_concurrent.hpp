@@ -1,0 +1,28 @@
+// Timestep simulator of a parallel program using a *contended concurrent*
+// data structure — the paper's introduction scenario: each access occupies
+// its processor for a latency that grows with the number of simultaneous
+// accessors (e.g., CAS retry storms, combining-free fetch-and-add queues),
+// giving the Ω(P)-per-access worst case and hence Ω(n) total time.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/dag.hpp"
+#include "sim/metrics.hpp"
+
+namespace batcher::sim {
+
+struct ConcurrentSimConfig {
+  unsigned workers = 8;
+  std::uint64_t seed = 1;
+  // Latency of a ds access that starts when c other accesses are in flight:
+  // base_cost + contention_factor * c.  contention_factor = 0 models an
+  // ideal (fully parallel) concurrent structure; 1 models full serialization
+  // of the contended path.
+  std::int64_t base_cost = 1;
+  std::int64_t contention_factor = 1;
+};
+
+SimResult simulate_concurrent(const Dag& core, const ConcurrentSimConfig& cfg);
+
+}  // namespace batcher::sim

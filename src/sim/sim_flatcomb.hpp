@@ -1,0 +1,19 @@
+// Timestep simulator of flat combining (§1/§7): implicit batching where every
+// batch executes *sequentially* on the combiner.  Identical core-dag handling
+// to the BATCHER simulator, but a launched batch is a serial chain of
+// k · sequential_op_cost nodes that only the combiner executes; the other
+// trapped workers spin.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.hpp"
+#include "sim/dag.hpp"
+#include "sim/metrics.hpp"
+
+namespace batcher::sim {
+
+SimResult simulate_flatcomb(const Dag& core, BatchCostModel& model,
+                            unsigned workers, std::uint64_t seed);
+
+}  // namespace batcher::sim

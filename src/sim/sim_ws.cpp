@@ -1,0 +1,83 @@
+#include "sim/sim_ws.hpp"
+
+#include <vector>
+
+#include "support/config.hpp"
+#include "support/rng.hpp"
+
+namespace batcher::sim {
+
+SimResult simulate_ws(const Dag& dag, unsigned workers, std::uint64_t seed) {
+  BATCHER_ASSERT(workers >= 1, "need at least one worker");
+  BATCHER_ASSERT(dag.validate(), "invalid dag");
+
+  const std::size_t n = dag.size();
+  std::vector<std::uint8_t> indeg(dag.join_degree.begin(),
+                                  dag.join_degree.end());
+
+  struct Worker {
+    std::vector<NodeId> deque;  // back = bottom (owner side), front = top
+    NodeId assigned = kNoNode;
+  };
+  std::vector<Worker> ws(workers);
+  ws[0].assigned = dag.root;
+
+  Xoshiro256 rng(seed);
+  SimResult res;
+  std::size_t executed = 0;
+
+  auto execute = [&](Worker& w) {
+    const NodeId v = w.assigned;
+    ++executed;
+    ++res.busy_core;
+    NodeId enabled[2];
+    int ne = 0;
+    for (NodeId c : {dag.child0[v], dag.child1[v]}) {
+      if (c != kNoNode && --indeg[c] == 0) enabled[ne++] = c;
+    }
+    if (ne >= 1) {
+      w.assigned = enabled[0];
+      if (ne == 2) w.deque.push_back(enabled[1]);
+    } else if (!w.deque.empty()) {
+      w.assigned = w.deque.back();
+      w.deque.pop_back();
+    } else {
+      w.assigned = kNoNode;
+    }
+  };
+
+  while (executed < n) {
+    ++res.makespan;
+    for (unsigned p = 0; p < workers; ++p) {
+      if (executed >= n) {
+        ++res.idle;  // account remaining workers this step
+        continue;
+      }
+      Worker& w = ws[p];
+      if (w.assigned != kNoNode) {
+        execute(w);
+        continue;
+      }
+      // Deque should be empty when unassigned (we pop on completion), so
+      // this is a steal attempt.
+      ++res.steal_attempts;
+      if (workers == 1) {
+        ++res.idle;
+        continue;
+      }
+      unsigned victim = static_cast<unsigned>(rng.next_below(workers - 1));
+      if (victim >= p) ++victim;
+      Worker& v = ws[victim];
+      if (!v.deque.empty()) {
+        w.assigned = v.deque.front();  // steal from the top
+        v.deque.erase(v.deque.begin());
+        ++res.steals_succeeded;
+      } else if (v.assigned == kNoNode && victim == 0) {
+        // nothing; root already taken
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace batcher::sim

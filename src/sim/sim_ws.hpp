@@ -1,0 +1,19 @@
+// Timestep simulator of classic randomized work stealing (Blumofe–Leiserson /
+// ABP) over an explicit dag with no data-structure nodes.  Validates the
+// baseline T_P = O(T1/P + T∞) behaviour the paper generalizes.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/dag.hpp"
+#include "sim/metrics.hpp"
+
+namespace batcher::sim {
+
+// Simulates `dag` on `workers` unit-speed processors.  Deterministic given
+// `seed`.  Every timestep each worker either executes its assigned node,
+// takes a node from its own deque (and executes it the same step), or spends
+// the step on one steal attempt.
+SimResult simulate_ws(const Dag& dag, unsigned workers, std::uint64_t seed);
+
+}  // namespace batcher::sim

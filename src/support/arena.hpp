@@ -1,0 +1,82 @@
+// Bump-pointer arena for node-based structures.
+//
+// Batched data structures run one batch at a time (Invariant 1), so they need
+// no concurrent allocator and no safe-memory-reclamation scheme: nodes are
+// bump-allocated and freed wholesale when the arena is reset or destroyed.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace batcher {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_size = 1u << 20) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  Arena(Arena&& o) noexcept
+      : block_size_(o.block_size_),
+        blocks_(std::move(o.blocks_)),
+        used_(o.used_),
+        cap_(o.cap_) {
+    o.blocks_.clear();
+    o.used_ = o.cap_ = 0;
+  }
+  Arena& operator=(Arena&& o) noexcept {
+    if (this != &o) {
+      release();
+      block_size_ = o.block_size_;
+      blocks_ = std::move(o.blocks_);
+      used_ = o.used_;
+      cap_ = o.cap_;
+      o.blocks_.clear();
+      o.used_ = o.cap_ = 0;
+    }
+    return *this;
+  }
+
+  ~Arena() { release(); }
+
+  // Raw allocation, 16-byte aligned.  Objects are NOT destructed by the
+  // arena; only use for trivially-destructible node types.
+  void* allocate(std::size_t bytes) {
+    const std::size_t aligned = (bytes + 15) & ~std::size_t{15};
+    if (used_ + aligned > cap_) {
+      const std::size_t size = aligned > block_size_ ? aligned : block_size_;
+      blocks_.push_back(static_cast<char*>(::operator new[](size)));
+      used_ = 0;
+      cap_ = size;
+    }
+    void* mem = blocks_.back() + used_;
+    used_ += aligned;
+    return mem;
+  }
+
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return ::new (allocate(sizeof(T))) T{std::forward<Args>(args)...};
+  }
+
+  std::size_t bytes_reserved() const { return blocks_.size() * block_size_; }
+
+ private:
+  void release() {
+    for (char* b : blocks_) ::operator delete[](b);
+    blocks_.clear();
+    used_ = cap_ = 0;
+  }
+
+  std::size_t block_size_;
+  std::vector<char*> blocks_;
+  std::size_t used_ = 0;
+  std::size_t cap_ = 0;
+};
+
+}  // namespace batcher

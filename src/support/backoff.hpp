@@ -1,0 +1,46 @@
+// Bounded exponential backoff for contended spin loops.
+//
+// Workers spin in exactly two places: waiting at a join whose children were
+// stolen, and (trapped workers) waiting for a batch to complete when there is
+// no batch work to help with.  Both loops must stay responsive — the paper's
+// analysis charges every timestep to work or to a steal attempt — so backoff
+// caps at a short yield rather than a sleep.
+#pragma once
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace batcher {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+ public:
+  void pause() {
+    if (count_ < kSpinLimit) {
+      for (int i = 0; i < (1 << count_); ++i) cpu_relax();
+      ++count_;
+    } else {
+      // Oversubscribed or single-core machines need the yield: a spinning
+      // thread could otherwise starve the worker holding the work.
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { count_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 6;  // up to 64 pause instructions
+  int count_ = 0;
+};
+
+}  // namespace batcher

@@ -1,0 +1,35 @@
+// Basic configuration knobs and checked-assertion macros shared by every
+// subsystem.  Nothing here depends on the runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+
+namespace batcher {
+
+// Destructive interference distance.  std::hardware_destructive_interference_size
+// is not reliably available across standard libraries, so pin the common x86-64
+// value (two lines on recent Intel prefetchers is overkill for our purposes).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// BATCHER_ASSERT is active in all build types: scheduler invariants are cheap
+// relative to the work they guard and this is a research codebase where a
+// silent invariant violation is worse than a few percent of throughput.
+#define BATCHER_ASSERT(cond, msg)                                              \
+  do {                                                                         \
+    if (!(cond)) [[unlikely]] {                                                \
+      std::fprintf(stderr, "BATCHER_ASSERT failed at %s:%d: %s\n  %s\n",       \
+                   __FILE__, __LINE__, #cond, (msg));                          \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (0)
+
+// Debug-only assertion for hot paths (deque operations, per-node bookkeeping).
+#ifndef NDEBUG
+#define BATCHER_DASSERT(cond, msg) BATCHER_ASSERT(cond, msg)
+#else
+#define BATCHER_DASSERT(cond, msg) ((void)0)
+#endif
+
+}  // namespace batcher

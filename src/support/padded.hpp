@@ -1,0 +1,25 @@
+// Cache-line padded wrapper to keep per-worker state on private lines.
+#pragma once
+
+#include <cstddef>
+
+#include "support/config.hpp"
+
+namespace batcher {
+
+// Padded<T> occupies a whole number of cache lines so that arrays of
+// per-worker state (statuses, counters, deque anchors) never false-share.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+}  // namespace batcher

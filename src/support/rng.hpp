@@ -1,0 +1,80 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Work-stealing victim selection needs a generator that is (a) cheap — a few
+// arithmetic ops, no modulo bias in the common case, (b) per-worker so there
+// is no shared state, and (c) seedable so simulator runs are reproducible.
+// We use xoshiro256** (Blackman & Vigna) seeded via splitmix64, the standard
+// pairing recommended by the authors.
+#pragma once
+
+#include <cstdint>
+
+namespace batcher {
+
+// splitmix64: used to expand a single 64-bit seed into generator state.
+// Passes BigCrush when used as a generator itself; here it is a seeder.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: all-purpose 64-bit generator, 256 bits of state, period 2^256-1.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  constexpr result_type operator()() { return next(); }
+
+  constexpr std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  // Slightly biased for astronomically large bounds; victim selection and
+  // workload generation do not care.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * static_cast<unsigned __int128>(bound);
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace batcher

@@ -1,0 +1,31 @@
+// Wall-clock timing helpers for benchmarks and tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace batcher {
+
+// Monotonic stopwatch.  Construction starts it; elapsed_* reads it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t elapsed_nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace batcher

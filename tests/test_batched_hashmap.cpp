@@ -1,0 +1,160 @@
+// Tests for the batched hash map.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ds/batched_hashmap.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace batcher::ds {
+namespace {
+
+using Key = BatchedHashMap::Key;
+using Value = BatchedHashMap::Value;
+
+TEST(BatchedHashMap, UnsafePutGetOverwrite) {
+  rt::Scheduler sched(1);
+  BatchedHashMap map(sched);
+  map.put_unsafe(1, 10);
+  map.put_unsafe(2, 20);
+  map.put_unsafe(1, 11);
+  EXPECT_EQ(*map.get_unsafe(1), 11);
+  EXPECT_EQ(*map.get_unsafe(2), 20);
+  EXPECT_FALSE(map.get_unsafe(3).has_value());
+  EXPECT_EQ(map.size_unsafe(), 2u);
+  EXPECT_TRUE(map.check_invariants());
+}
+
+class HashMapParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HashMapParam, ParallelPutsAllLand) {
+  rt::Scheduler sched(GetParam());
+  BatchedHashMap map(sched);
+  constexpr std::int64_t kN = 3000;
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) { map.put(i, i * 7); });
+  });
+  EXPECT_EQ(map.size_unsafe(), static_cast<std::size_t>(kN));
+  EXPECT_TRUE(map.check_invariants());
+  for (Key k = 0; k < kN; ++k) {
+    ASSERT_EQ(*map.get_unsafe(k), k * 7) << "key " << k;
+  }
+}
+
+TEST_P(HashMapParam, ResizeKeepsEverything) {
+  rt::Scheduler sched(GetParam());
+  BatchedHashMap map(sched);
+  const std::size_t buckets0 = map.bucket_count_unsafe();
+  constexpr std::int64_t kN = 2000;  // forces several doublings from 64
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) { map.put(i, -i); });
+  });
+  EXPECT_GT(map.bucket_count_unsafe(), buckets0);
+  EXPECT_TRUE(map.check_invariants());
+  for (Key k = 0; k < kN; ++k) ASSERT_EQ(*map.get_unsafe(k), -k);
+}
+
+TEST_P(HashMapParam, UpdateAddBuildsHistogram) {
+  // The update op is a batched read-modify-write: concurrent adds to the
+  // same key must all take effect (they serialize within the bucket group).
+  rt::Scheduler sched(GetParam());
+  BatchedHashMap map(sched);
+  constexpr std::int64_t kN = 4000;
+  constexpr std::int64_t kBins = 32;
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) {
+      map.update_add(i % kBins, 1);
+    });
+  });
+  EXPECT_EQ(map.size_unsafe(), static_cast<std::size_t>(kBins));
+  for (Key k = 0; k < kBins; ++k) {
+    ASSERT_EQ(*map.get_unsafe(k), kN / kBins) << "bin " << k;
+  }
+}
+
+TEST_P(HashMapParam, EraseAndConservation) {
+  rt::Scheduler sched(GetParam());
+  BatchedHashMap map(sched);
+  for (Key k = 0; k < 1000; ++k) map.put_unsafe(k, k);
+  std::atomic<std::int64_t> hits{0};
+  sched.run([&] {
+    rt::parallel_for(0, 1500, [&](std::int64_t i) {
+      if (map.erase(i)) hits.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(hits.load(), 1000);
+  EXPECT_EQ(map.size_unsafe(), 0u);
+  EXPECT_TRUE(map.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, HashMapParam,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(BatchedHashMap, BatchAppliesInWorkingSetOrderPerKey) {
+  rt::Scheduler sched(4);
+  BatchedHashMap map(sched);
+  using Op = BatchedHashMap::Op;
+  Op put1, get_mid, put2, get_end;
+  put1.kind = BatchedHashMap::Kind::Put;
+  put1.key = 5;
+  put1.value = 100;
+  get_mid.kind = BatchedHashMap::Kind::Get;
+  get_mid.key = 5;
+  put2.kind = BatchedHashMap::Kind::Put;
+  put2.key = 5;
+  put2.value = 200;
+  get_end.kind = BatchedHashMap::Kind::Get;
+  get_end.key = 5;
+  OpRecordBase* ops[4] = {&put1, &get_mid, &put2, &get_end};
+  map.run_batch(ops, 4);
+  EXPECT_EQ(*get_mid.out, 100) << "get must see the put before it in the batch";
+  EXPECT_EQ(*get_end.out, 200) << "get must see the later put";
+  EXPECT_EQ(*map.get_unsafe(5), 200);
+}
+
+TEST(BatchedHashMap, RandomTraceMatchesUnorderedMap) {
+  rt::Scheduler sched(2);
+  BatchedHashMap map(sched);
+  std::unordered_map<Key, Value> ref;
+  Xoshiro256 rng(61);
+  for (int step = 0; step < 8000; ++step) {
+    const Key k = static_cast<Key>(rng.next_below(256));
+    switch (rng.next_below(4)) {
+      case 0: {
+        const Value v = static_cast<Value>(rng.next());
+        map.put_unsafe(k, v);
+        ref[k] = v;
+        break;
+      }
+      case 1: {
+        auto got = map.get_unsafe(k);
+        auto it = ref.find(k);
+        ASSERT_EQ(got.has_value(), it != ref.end());
+        if (got.has_value()) {
+          ASSERT_EQ(*got, it->second);
+        }
+        break;
+      }
+      default: {
+        // Exercise erase through a single-op batch.
+        BatchedHashMap::Op op;
+        op.kind = BatchedHashMap::Kind::Erase;
+        op.key = k;
+        OpRecordBase* ops[1] = {&op};
+        map.run_batch(ops, 1);
+        ASSERT_EQ(op.found, ref.erase(k) > 0);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(map.size_unsafe(), ref.size());
+  EXPECT_TRUE(map.check_invariants());
+}
+
+}  // namespace
+}  // namespace batcher::ds

@@ -1,0 +1,186 @@
+// Tests for the batched order-maintenance list.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "ds/batched_om.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace batcher::ds {
+namespace {
+
+using OM = BatchedOrderMaintenance;
+using Handle = OM::Handle;
+
+TEST(BatchedOM, BaseAndSingleInsert) {
+  rt::Scheduler sched(1);
+  OM om(sched);
+  const Handle a = om.insert_after_unsafe(om.base());
+  EXPECT_NE(a, OM::kInvalidHandle);
+  EXPECT_TRUE(om.precedes_unsafe(om.base(), a));
+  EXPECT_FALSE(om.precedes_unsafe(a, om.base()));
+  EXPECT_TRUE(om.check_invariants());
+}
+
+TEST(BatchedOM, SequentialChainKeepsOrder) {
+  rt::Scheduler sched(1);
+  OM om(sched);
+  std::vector<Handle> chain{om.base()};
+  for (int i = 0; i < 2000; ++i) {
+    chain.push_back(om.insert_after_unsafe(chain.back()));
+  }
+  EXPECT_TRUE(om.check_invariants());
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    ASSERT_TRUE(om.precedes_unsafe(chain[i], chain[i + 1]));
+  }
+}
+
+TEST(BatchedOM, InsertsAfterBaseComeOutInReverseChainOrder) {
+  // Repeated insert_after(base) prepends: later inserts sit closer to base.
+  rt::Scheduler sched(1);
+  OM om(sched);
+  const Handle first = om.insert_after_unsafe(om.base());
+  const Handle second = om.insert_after_unsafe(om.base());
+  EXPECT_TRUE(om.precedes_unsafe(second, first));
+  EXPECT_TRUE(om.check_invariants());
+}
+
+TEST(BatchedOM, RelabelTriggersAndPreservesOrder) {
+  // Hammering the same gap exhausts labels and forces global relabels.
+  rt::Scheduler sched(1);
+  OM om(sched);
+  std::vector<Handle> order_snapshot;
+  const Handle anchor = om.insert_after_unsafe(om.base());
+  Handle cursor = anchor;
+  for (int i = 0; i < 5000; ++i) {
+    // Always insert right after `anchor`, squeezing the same gap.
+    const Handle h = om.insert_after_unsafe(anchor);
+    if (i % 500 == 0) order_snapshot.push_back(h);
+    cursor = h;
+  }
+  EXPECT_GT(om.relabels_unsafe(), 0u);
+  EXPECT_TRUE(om.check_invariants());
+  // Later inserts after the same anchor precede earlier ones.
+  for (std::size_t i = 0; i + 1 < order_snapshot.size(); ++i) {
+    ASSERT_TRUE(om.precedes_unsafe(order_snapshot[i + 1], order_snapshot[i]));
+  }
+  (void)cursor;
+}
+
+TEST(BatchedOM, BatchGroupSemantics) {
+  // One batch with several inserts after the same anchor: they land in
+  // working-set order, all between the anchor and its old successor.
+  rt::Scheduler sched(4);
+  OM om(sched);
+  const Handle tail = om.insert_after_unsafe(om.base());
+  OM::Op ops[3];
+  for (auto& op : ops) {
+    op.kind = OM::Kind::InsertAfter;
+    op.a = om.base();
+  }
+  OpRecordBase* ptrs[3] = {&ops[0], &ops[1], &ops[2]};
+  om.run_batch(ptrs, 3);
+  EXPECT_TRUE(om.check_invariants());
+  EXPECT_TRUE(om.precedes_unsafe(om.base(), ops[0].result));
+  EXPECT_TRUE(om.precedes_unsafe(ops[0].result, ops[1].result));
+  EXPECT_TRUE(om.precedes_unsafe(ops[1].result, ops[2].result));
+  EXPECT_TRUE(om.precedes_unsafe(ops[2].result, tail));
+}
+
+TEST(BatchedOM, BatchReadsSeePreBatchLabels) {
+  rt::Scheduler sched(2);
+  OM om(sched);
+  const Handle a = om.insert_after_unsafe(om.base());
+  OM::Op ins, query;
+  ins.kind = OM::Kind::InsertAfter;
+  ins.a = om.base();
+  query.kind = OM::Kind::Precedes;
+  query.a = om.base();
+  query.b = a;
+  OpRecordBase* ptrs[2] = {&ins, &query};
+  om.run_batch(ptrs, 2);
+  EXPECT_TRUE(query.before);  // base < a in the pre-batch list
+  EXPECT_TRUE(om.check_invariants());
+}
+
+class OMParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OMParam, ParallelForkJoinLabellingStaysConsistent) {
+  // The race-detector pattern: an irregular fork/join computation inserts an
+  // event after its parent's event at every fork, concurrently.
+  rt::Scheduler sched(GetParam());
+  OM om(sched);
+  std::atomic<std::int64_t> events{0};
+
+  struct Rec {
+    OM& om;
+    std::atomic<std::int64_t>& events;
+    void operator()(Handle parent, int depth) {
+      if (depth <= 0) return;
+      const Handle mine = om.insert_after(parent);
+      events.fetch_add(1);
+      rt::parallel_invoke([&] { (*this)(mine, depth - 1); },
+                          [&] { (*this)(mine, depth - 2); });
+    }
+  };
+  Rec rec{om, events};
+  sched.run([&] { rec(om.base(), 12); });
+
+  EXPECT_EQ(om.size_unsafe(), static_cast<std::size_t>(events.load()) + 1);
+  EXPECT_TRUE(om.check_invariants());
+}
+
+TEST_P(OMParam, ChildAlwaysAfterParent) {
+  rt::Scheduler sched(GetParam());
+  OM om(sched);
+  constexpr std::int64_t kN = 500;
+  std::vector<Handle> parents(kN), children(kN);
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) {
+      const Handle p = om.insert_after(om.base());
+      const Handle c = om.insert_after(p);
+      parents[static_cast<std::size_t>(i)] = p;
+      children[static_cast<std::size_t>(i)] = c;
+    });
+  });
+  EXPECT_TRUE(om.check_invariants());
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(om.precedes_unsafe(parents[static_cast<std::size_t>(i)],
+                                   children[static_cast<std::size_t>(i)]));
+    ASSERT_TRUE(om.precedes_unsafe(om.base(),
+                                   parents[static_cast<std::size_t>(i)]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, OMParam,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(BatchedOM, RandomizedAgainstReferenceList) {
+  // Reference: an explicit std::vector order of handles.
+  rt::Scheduler sched(1);
+  OM om(sched);
+  std::vector<Handle> order{om.base()};
+  Xoshiro256 rng(91);
+  for (int step = 0; step < 4000; ++step) {
+    const std::size_t pos = rng.next_below(order.size());
+    const Handle h = om.insert_after_unsafe(order[pos]);
+    order.insert(order.begin() + static_cast<std::ptrdiff_t>(pos) + 1, h);
+  }
+  ASSERT_TRUE(om.check_invariants());
+  // Spot-check 2000 random pairs.
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t x = rng.next_below(order.size());
+    const std::size_t y = rng.next_below(order.size());
+    if (x == y) continue;
+    ASSERT_EQ(om.precedes_unsafe(order[x], order[y]), x < y)
+        << "pair " << x << "," << y;
+  }
+}
+
+}  // namespace
+}  // namespace batcher::ds

@@ -1,0 +1,170 @@
+// Tests for the batched priority queue (pairing heap with bulk meld).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "ds/batched_pq.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace batcher::ds {
+namespace {
+
+using Key = BatchedPriorityQueue::Key;
+
+TEST(BatchedPQ, UnsafeHeapOrder) {
+  rt::Scheduler sched(1);
+  BatchedPriorityQueue pq(sched);
+  for (Key k : {5, 3, 8, 1, 9, 2}) pq.insert_unsafe(k);
+  EXPECT_EQ(pq.size_unsafe(), 6u);
+  EXPECT_TRUE(pq.check_invariants());
+  std::vector<Key> out;
+  while (auto v = pq.extract_min_unsafe()) out.push_back(*v);
+  EXPECT_EQ(out, (std::vector<Key>{1, 2, 3, 5, 8, 9}));
+  EXPECT_FALSE(pq.extract_min_unsafe().has_value());
+}
+
+TEST(BatchedPQ, PeekDoesNotRemove) {
+  rt::Scheduler sched(1);
+  BatchedPriorityQueue pq(sched);
+  pq.insert_unsafe(4);
+  EXPECT_EQ(*pq.peek_min_unsafe(), 4);
+  EXPECT_EQ(pq.size_unsafe(), 1u);
+}
+
+TEST(BatchedPQ, DuplicateKeysAllSurvive) {
+  rt::Scheduler sched(1);
+  BatchedPriorityQueue pq(sched);
+  for (int i = 0; i < 10; ++i) pq.insert_unsafe(7);
+  EXPECT_EQ(pq.size_unsafe(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(*pq.extract_min_unsafe(), 7);
+}
+
+class PQParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PQParam, ParallelInsertsThenSequentialDrainSorted) {
+  rt::Scheduler sched(GetParam());
+  BatchedPriorityQueue pq(sched);
+  constexpr std::int64_t kN = 3000;
+  Xoshiro256 rng(41);
+  std::vector<Key> keys(kN);
+  for (auto& k : keys) k = static_cast<Key>(rng.next_below(1u << 20));
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) {
+      pq.insert(keys[static_cast<std::size_t>(i)]);
+    });
+  });
+  EXPECT_EQ(pq.size_unsafe(), static_cast<std::size_t>(kN));
+  EXPECT_TRUE(pq.check_invariants());
+
+  std::sort(keys.begin(), keys.end());
+  for (std::int64_t i = 0; i < kN; ++i) {
+    auto v = pq.extract_min_unsafe();
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(*v, keys[static_cast<std::size_t>(i)]) << "position " << i;
+  }
+}
+
+TEST_P(PQParam, ParallelExtractMinsReturnDistinctSmallest) {
+  rt::Scheduler sched(GetParam());
+  BatchedPriorityQueue pq(sched);
+  constexpr std::int64_t kN = 1000;
+  for (Key k = 0; k < kN; ++k) pq.insert_unsafe(k);
+  constexpr std::int64_t kPops = 300;
+  std::vector<std::optional<Key>> popped(kPops);
+  sched.run([&] {
+    rt::parallel_for(0, kPops, [&](std::int64_t i) {
+      popped[static_cast<std::size_t>(i)] = pq.extract_min();
+    });
+  });
+  std::vector<Key> got;
+  for (const auto& v : popped) {
+    ASSERT_TRUE(v.has_value());
+    got.push_back(*v);
+  }
+  std::sort(got.begin(), got.end());
+  for (std::int64_t i = 0; i < kPops; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)], i) << "pops must be the k smallest";
+  }
+  EXPECT_EQ(pq.size_unsafe(), static_cast<std::size_t>(kN - kPops));
+}
+
+TEST_P(PQParam, MixedInsertExtractConservesElements) {
+  rt::Scheduler sched(GetParam());
+  BatchedPriorityQueue pq(sched);
+  for (Key k = 0; k < 500; ++k) pq.insert_unsafe(k * 10);
+  constexpr std::int64_t kOps = 1000;
+  std::atomic<std::int64_t> pops_ok{0};
+  sched.run([&] {
+    rt::parallel_for(0, kOps, [&](std::int64_t i) {
+      if (i % 2 == 0) {
+        pq.insert(i);
+      } else {
+        if (pq.extract_min().has_value()) pops_ok.fetch_add(1);
+      }
+    });
+  });
+  EXPECT_EQ(pq.size_unsafe(),
+            500u + kOps / 2 - static_cast<std::size_t>(pops_ok.load()));
+  EXPECT_TRUE(pq.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, PQParam,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(BatchedPQ, BatchSemanticsInsertsBeforeExtracts) {
+  // Within one batch, extract-mins observe the batch's inserts.
+  rt::Scheduler sched(4);
+  BatchedPriorityQueue pq(sched);
+  pq.insert_unsafe(100);
+  using Op = BatchedPriorityQueue::Op;
+  Op ins, ext1, ext2;
+  ins.kind = BatchedPriorityQueue::Kind::Insert;
+  ins.key = 5;
+  ext1.kind = ext2.kind = BatchedPriorityQueue::Kind::ExtractMin;
+  OpRecordBase* ops[3] = {&ext1, &ins, &ext2};  // listing order irrelevant
+  pq.run_batch(ops, 3);
+  EXPECT_EQ(*ext1.out, 5);    // first extract takes the same-batch insert
+  EXPECT_EQ(*ext2.out, 100);
+  EXPECT_EQ(pq.size_unsafe(), 0u);
+}
+
+TEST(BatchedPQ, ExtractFromEmptyReturnsNothing) {
+  rt::Scheduler sched(2);
+  BatchedPriorityQueue pq(sched);
+  sched.run([&] {
+    EXPECT_FALSE(pq.extract_min().has_value());
+    pq.insert(3);
+    EXPECT_EQ(*pq.extract_min(), 3);
+    EXPECT_FALSE(pq.extract_min().has_value());
+  });
+}
+
+TEST(BatchedPQ, MatchesStdPriorityQueueOnRandomTrace) {
+  rt::Scheduler sched(1);
+  BatchedPriorityQueue pq(sched);
+  std::priority_queue<Key, std::vector<Key>, std::greater<>> ref;
+  Xoshiro256 rng(53);
+  for (int step = 0; step < 5000; ++step) {
+    if (ref.empty() || rng.next_below(3) != 0) {
+      const Key k = static_cast<Key>(rng.next_below(10000));
+      pq.insert_unsafe(k);
+      ref.push(k);
+    } else {
+      auto got = pq.extract_min_unsafe();
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(*got, ref.top());
+      ref.pop();
+    }
+  }
+  EXPECT_EQ(pq.size_unsafe(), ref.size());
+}
+
+}  // namespace
+}  // namespace batcher::ds

@@ -1,0 +1,166 @@
+// Tests for the batched FIFO queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ds/batched_queue.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace batcher::ds {
+namespace {
+
+TEST(BatchedQueue, SequentialFifoOrder) {
+  rt::Scheduler sched(2);
+  BatchedQueue<int> q(sched);
+  sched.run([&] {
+    for (int i = 0; i < 100; ++i) q.enqueue(i);
+    for (int i = 0; i < 100; ++i) {
+      auto v = q.dequeue();
+      ASSERT_TRUE(v.has_value());
+      ASSERT_EQ(*v, i);
+    }
+    EXPECT_FALSE(q.dequeue().has_value());
+  });
+  EXPECT_EQ(q.size_unsafe(), 0u);
+}
+
+TEST(BatchedQueue, WrapAroundAndShrink) {
+  rt::Scheduler sched(1);
+  BatchedQueue<int> q(sched);
+  sched.run([&] {
+    // Interleave to force head_ to travel around the circular buffer.
+    for (int round = 0; round < 200; ++round) {
+      q.enqueue(round * 2);
+      q.enqueue(round * 2 + 1);
+      auto v = q.dequeue();
+      ASSERT_TRUE(v.has_value());
+      ASSERT_EQ(*v, round);
+    }
+    // Drain; the table should shrink back down.
+    for (int i = 0; i < 200; ++i) q.dequeue();
+  });
+  EXPECT_EQ(q.size_unsafe(), 0u);
+  EXPECT_LT(q.capacity_unsafe(), 512u);
+}
+
+TEST(BatchedQueue, BatchSemanticsEnqueuesBeforeDequeues) {
+  rt::Scheduler sched(4);
+  BatchedQueue<int> q(sched);
+  using Op = BatchedQueue<int>::Op;
+  Op deq_first, enq;
+  deq_first.kind = BatchedQueue<int>::Kind::Dequeue;
+  enq.kind = BatchedQueue<int>::Kind::Enqueue;
+  enq.value = 7;
+  OpRecordBase* ops[2] = {&deq_first, &enq};  // dequeue listed first
+  q.run_batch(ops, 2);
+  ASSERT_TRUE(deq_first.out.has_value());
+  EXPECT_EQ(*deq_first.out, 7);
+  EXPECT_EQ(q.size_unsafe(), 0u);
+}
+
+TEST(BatchedQueue, BatchDequeuesTakeDistinctFrontElements) {
+  rt::Scheduler sched(4);
+  BatchedQueue<int> q(sched);
+  using Op = BatchedQueue<int>::Op;
+  {
+    std::vector<Op> enqs(5);
+    std::vector<OpRecordBase*> ptrs;
+    for (int i = 0; i < 5; ++i) {
+      enqs[static_cast<std::size_t>(i)].kind = BatchedQueue<int>::Kind::Enqueue;
+      enqs[static_cast<std::size_t>(i)].value = i + 1;
+      ptrs.push_back(&enqs[static_cast<std::size_t>(i)]);
+    }
+    q.run_batch(ptrs.data(), ptrs.size());
+  }
+  std::vector<Op> deqs(3);
+  std::vector<OpRecordBase*> ptrs;
+  for (auto& d : deqs) {
+    d.kind = BatchedQueue<int>::Kind::Dequeue;
+    ptrs.push_back(&d);
+  }
+  q.run_batch(ptrs.data(), ptrs.size());
+  EXPECT_EQ(*deqs[0].out, 1);
+  EXPECT_EQ(*deqs[1].out, 2);
+  EXPECT_EQ(*deqs[2].out, 3);
+  EXPECT_EQ(q.size_unsafe(), 2u);
+}
+
+class QueueParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(QueueParam, ParallelMixConservesElements) {
+  rt::Scheduler sched(GetParam());
+  BatchedQueue<std::int64_t> q(sched);
+  constexpr std::int64_t kN = 4000;
+  std::vector<std::optional<std::int64_t>> popped(kN);
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) {
+      if (i % 2 == 0) {
+        q.enqueue(i);
+      } else {
+        popped[static_cast<std::size_t>(i)] = q.dequeue();
+      }
+    });
+  });
+  std::int64_t ok_pops = 0;
+  std::set<std::int64_t> seen;
+  for (const auto& v : popped) {
+    if (v.has_value()) {
+      ++ok_pops;
+      EXPECT_TRUE(seen.insert(*v).second) << "value dequeued twice";
+      EXPECT_EQ(*v % 2, 0) << "dequeued a value never enqueued";
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(q.size_unsafe()), kN / 2 - ok_pops);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, QueueParam,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(BatchedQueue, RandomBatchesMatchReferenceDeque) {
+  rt::Scheduler sched(4);
+  BatchedQueue<std::int64_t> q(sched);
+  std::deque<std::int64_t> model;
+  Xoshiro256 rng(44);
+  for (int b = 0; b < 300; ++b) {
+    const std::size_t batch_size = 1 + rng.next_below(8);
+    std::vector<BatchedQueue<std::int64_t>::Op> ops(batch_size);
+    std::vector<OpRecordBase*> ptrs;
+    for (auto& op : ops) {
+      if (rng.next() & 1) {
+        op.kind = BatchedQueue<std::int64_t>::Kind::Enqueue;
+        op.value = static_cast<std::int64_t>(rng.next_below(1u << 30));
+      } else {
+        op.kind = BatchedQueue<std::int64_t>::Kind::Dequeue;
+      }
+      ptrs.push_back(&op);
+    }
+    q.run_batch(ptrs.data(), ptrs.size());
+    // Reference: enqueues first (working-set order), then dequeues.
+    for (const auto& op : ops) {
+      if (op.kind == BatchedQueue<std::int64_t>::Kind::Enqueue) {
+        model.push_back(op.value);
+      }
+    }
+    for (auto& op : ops) {
+      if (op.kind != BatchedQueue<std::int64_t>::Kind::Dequeue) continue;
+      if (model.empty()) {
+        ASSERT_FALSE(op.out.has_value()) << "batch " << b;
+      } else {
+        ASSERT_TRUE(op.out.has_value());
+        ASSERT_EQ(*op.out, model.front()) << "batch " << b;
+        model.pop_front();
+      }
+    }
+    ASSERT_EQ(q.size_unsafe(), model.size()) << "batch " << b;
+  }
+}
+
+}  // namespace
+}  // namespace batcher::ds

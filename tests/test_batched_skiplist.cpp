@@ -1,0 +1,292 @@
+// Tests for the batched skip list (paper §7).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "ds/batched_skiplist.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace batcher::ds {
+namespace {
+
+using Key = BatchedSkipList::Key;
+
+TEST(BatchedSkipList, UnsafeInsertAndContains) {
+  rt::Scheduler sched(1);
+  BatchedSkipList list(sched);
+  EXPECT_TRUE(list.insert_unsafe(5));
+  EXPECT_TRUE(list.insert_unsafe(1));
+  EXPECT_TRUE(list.insert_unsafe(9));
+  EXPECT_FALSE(list.insert_unsafe(5));  // duplicate
+  EXPECT_TRUE(list.contains_unsafe(1));
+  EXPECT_TRUE(list.contains_unsafe(5));
+  EXPECT_TRUE(list.contains_unsafe(9));
+  EXPECT_FALSE(list.contains_unsafe(4));
+  EXPECT_EQ(list.size_unsafe(), 3u);
+  EXPECT_TRUE(list.check_invariants());
+}
+
+class SkipListParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SkipListParam, ParallelInsertsMatchReferenceSet) {
+  rt::Scheduler sched(GetParam());
+  BatchedSkipList list(sched);
+  constexpr std::int64_t kN = 3000;
+  Xoshiro256 rng(17);
+  std::vector<Key> keys(kN);
+  for (auto& k : keys) k = static_cast<Key>(rng.next_below(kN * 2));
+  std::set<Key> reference(keys.begin(), keys.end());
+
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) {
+      list.insert(keys[static_cast<std::size_t>(i)]);
+    });
+  });
+  EXPECT_EQ(list.size_unsafe(), reference.size());
+  EXPECT_TRUE(list.check_invariants());
+  for (Key k : reference) EXPECT_TRUE(list.contains_unsafe(k));
+  EXPECT_FALSE(list.contains_unsafe(kN * 2 + 5));
+}
+
+TEST_P(SkipListParam, InsertReportsNewness) {
+  rt::Scheduler sched(GetParam());
+  BatchedSkipList list(sched);
+  constexpr std::int64_t kN = 1000;
+  std::atomic<std::int64_t> fresh{0};
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) {
+      if (list.insert(i % 100)) fresh.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(fresh.load(), 100);
+  EXPECT_EQ(list.size_unsafe(), 100u);
+}
+
+TEST_P(SkipListParam, MultiInsertHandlesManyKeysPerRecord) {
+  // The paper's experiment creates 100 insertion records per BATCHIFY call.
+  rt::Scheduler sched(GetParam());
+  BatchedSkipList list(sched);
+  constexpr std::int64_t kCalls = 100;
+  constexpr std::int64_t kPerCall = 100;
+  std::vector<std::vector<Key>> blocks(kCalls);
+  Xoshiro256 rng(23);
+  std::set<Key> reference;
+  for (auto& block : blocks) {
+    block.resize(kPerCall);
+    for (auto& k : block) {
+      k = static_cast<Key>(rng.next_below(1u << 20));
+      reference.insert(k);
+    }
+  }
+  sched.run([&] {
+    rt::parallel_for(0, kCalls, [&](std::int64_t i) {
+      list.multi_insert(blocks[static_cast<std::size_t>(i)]);
+    });
+  });
+  EXPECT_EQ(list.size_unsafe(), reference.size());
+  EXPECT_TRUE(list.check_invariants());
+  for (Key k : reference) ASSERT_TRUE(list.contains_unsafe(k));
+}
+
+TEST_P(SkipListParam, EraseRemovesAndReports) {
+  rt::Scheduler sched(GetParam());
+  BatchedSkipList list(sched);
+  for (Key k = 0; k < 500; ++k) list.insert_unsafe(k);
+  std::atomic<std::int64_t> hits{0};
+  sched.run([&] {
+    rt::parallel_for(0, 500, [&](std::int64_t i) {
+      if (list.erase(i * 2)) hits.fetch_add(1);  // even keys 0..998; >=500 miss
+    });
+  });
+  EXPECT_EQ(hits.load(), 250);
+  EXPECT_EQ(list.size_unsafe(), 250u);
+  EXPECT_TRUE(list.check_invariants());
+  for (Key k = 0; k < 500; ++k) {
+    EXPECT_EQ(list.contains_unsafe(k), k % 2 == 1) << "key " << k;
+  }
+}
+
+TEST_P(SkipListParam, MixedWorkloadAgainstPhaseAwareOracle) {
+  // contains -> erase -> insert within a batch, so a contains can race with
+  // a same-turn erase/insert only across batches.  We avoid key overlap
+  // between op kinds so results are deterministic regardless of batching.
+  rt::Scheduler sched(GetParam());
+  BatchedSkipList list(sched);
+  for (Key k = 0; k < 300; ++k) list.insert_unsafe(k * 3);  // multiples of 3
+  std::atomic<std::int64_t> contains_hits{0}, erase_hits{0}, insert_new{0};
+  sched.run([&] {
+    rt::parallel_for(0, 300, [&](std::int64_t i) {
+      switch (i % 3) {
+        case 0:  // contains on untouched keys
+          if (list.contains(i * 3)) contains_hits.fetch_add(1);
+          break;
+        case 1:  // erase keys never queried
+          if (list.erase(i * 3)) erase_hits.fetch_add(1);
+          break;
+        default:  // insert brand-new keys
+          if (list.insert(i * 3 + 1)) insert_new.fetch_add(1);
+          break;
+      }
+    });
+  });
+  EXPECT_EQ(contains_hits.load(), 100);
+  EXPECT_EQ(erase_hits.load(), 100);
+  EXPECT_EQ(insert_new.load(), 100);
+  EXPECT_EQ(list.size_unsafe(), 300u - 100u + 100u);
+  EXPECT_TRUE(list.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, SkipListParam,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(BatchedSkipList, BatchWithDuplicateInsertsFirstWins) {
+  rt::Scheduler sched(4);
+  BatchedSkipList list(sched);
+  using Op = BatchedSkipList::Op;
+  Op a, b, c;
+  a.kind = b.kind = c.kind = BatchedSkipList::Kind::Insert;
+  a.key = b.key = 7;
+  c.key = 9;
+  OpRecordBase* ops[3] = {&a, &b, &c};
+  list.run_batch(ops, 3);
+  EXPECT_TRUE(a.found);
+  EXPECT_FALSE(b.found);
+  EXPECT_TRUE(c.found);
+  EXPECT_EQ(list.size_unsafe(), 2u);
+  EXPECT_TRUE(list.check_invariants());
+}
+
+TEST(BatchedSkipList, BatchPhaseOrderContainsSeesPreState) {
+  rt::Scheduler sched(4);
+  BatchedSkipList list(sched);
+  list.insert_unsafe(10);
+  using Op = BatchedSkipList::Op;
+  Op contains_new, contains_old, erase_old, insert_new;
+  contains_new.kind = BatchedSkipList::Kind::Contains;
+  contains_new.key = 20;  // inserted in this same batch
+  contains_old.kind = BatchedSkipList::Kind::Contains;
+  contains_old.key = 10;  // erased in this same batch
+  erase_old.kind = BatchedSkipList::Kind::Erase;
+  erase_old.key = 10;
+  insert_new.kind = BatchedSkipList::Kind::Insert;
+  insert_new.key = 20;
+  OpRecordBase* ops[4] = {&insert_new, &erase_old, &contains_new, &contains_old};
+  list.run_batch(ops, 4);
+  EXPECT_FALSE(contains_new.found) << "contains must see pre-batch state";
+  EXPECT_TRUE(contains_old.found) << "contains must see pre-batch state";
+  EXPECT_TRUE(erase_old.found);
+  EXPECT_TRUE(insert_new.found);
+  EXPECT_TRUE(list.contains_unsafe(20));
+  EXPECT_FALSE(list.contains_unsafe(10));
+}
+
+TEST(BatchedSkipList, SortedAndReverseSortedBulkInserts) {
+  rt::Scheduler sched(4);
+  BatchedSkipList list(sched);
+  std::vector<Key> asc(1000), desc(1000);
+  for (int i = 0; i < 1000; ++i) {
+    asc[static_cast<std::size_t>(i)] = i;
+    desc[static_cast<std::size_t>(i)] = 5000 - i;
+  }
+  sched.run([&] {
+    list.multi_insert(asc);
+    list.multi_insert(desc);
+  });
+  EXPECT_EQ(list.size_unsafe(), 2000u);
+  EXPECT_TRUE(list.check_invariants());
+}
+
+TEST(BatchedSkipList, AdjacentAndNegativeKeys) {
+  rt::Scheduler sched(2);
+  BatchedSkipList list(sched);
+  sched.run([&] {
+    rt::parallel_for(-50, 50, [&](std::int64_t i) { list.insert(i); });
+  });
+  EXPECT_EQ(list.size_unsafe(), 100u);
+  EXPECT_TRUE(list.check_invariants());
+  EXPECT_TRUE(list.contains_unsafe(-50));
+  EXPECT_TRUE(list.contains_unsafe(49));
+  EXPECT_FALSE(list.contains_unsafe(50));
+}
+
+TEST(BatchedSkipList, SuccessorQueries) {
+  rt::Scheduler sched(4);
+  BatchedSkipList list(sched);
+  for (Key k = 0; k < 100; ++k) list.insert_unsafe(k * 10);  // 0,10,...,990
+  std::atomic<std::int64_t> bad{0};
+  sched.run([&] {
+    rt::parallel_for(0, 100, [&](std::int64_t i) {
+      // Probe between stored keys: successor is the next multiple of 10.
+      auto s = list.successor(i * 10 - 5);
+      if (!s.has_value() || *s != i * 10) bad.fetch_add(1);
+      // Exact probe returns the key itself.
+      auto e = list.successor(i * 10);
+      if (!e.has_value() || *e != i * 10) bad.fetch_add(1);
+    });
+    EXPECT_FALSE(list.successor(991).has_value());
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(BatchedSkipList, RangeCountQueries) {
+  rt::Scheduler sched(4);
+  BatchedSkipList list(sched);
+  for (Key k = 0; k < 1000; ++k) list.insert_unsafe(k);
+  std::atomic<std::int64_t> bad{0};
+  sched.run([&] {
+    rt::parallel_for(0, 100, [&](std::int64_t i) {
+      if (list.range_count(i, i + 49) != 50) bad.fetch_add(1);
+      if (list.range_count(i, i) != 1) bad.fetch_add(1);
+      if (list.range_count(1000 + i, 2000) != 0) bad.fetch_add(1);
+    });
+    EXPECT_EQ(list.range_count(-100, 5000), 1000);
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(BatchedSkipList, ReadsSeePreBatchStateInMixedBatch) {
+  rt::Scheduler sched(2);
+  BatchedSkipList list(sched);
+  list.insert_unsafe(10);
+  list.insert_unsafe(20);
+  using Op = BatchedSkipList::Op;
+  Op erase10, range_probe, succ_probe;
+  erase10.kind = BatchedSkipList::Kind::Erase;
+  erase10.key = 10;
+  range_probe.kind = BatchedSkipList::Kind::RangeCount;
+  range_probe.key = 0;
+  range_probe.key2 = 100;
+  succ_probe.kind = BatchedSkipList::Kind::Successor;
+  succ_probe.key = 5;
+  OpRecordBase* ops[3] = {&erase10, &range_probe, &succ_probe};
+  list.run_batch(ops, 3);
+  EXPECT_EQ(range_probe.count, 2) << "reads run before the erase phase";
+  EXPECT_EQ(*succ_probe.out_key, 10);
+  EXPECT_TRUE(erase10.found);
+  EXPECT_FALSE(list.contains_unsafe(10));
+}
+
+TEST(BatchedSkipList, EraseEverythingThenReinsert) {
+  rt::Scheduler sched(4);
+  BatchedSkipList list(sched);
+  for (Key k = 0; k < 200; ++k) list.insert_unsafe(k);
+  sched.run([&] {
+    rt::parallel_for(0, 200, [&](std::int64_t i) { list.erase(i); });
+  });
+  EXPECT_EQ(list.size_unsafe(), 0u);
+  EXPECT_TRUE(list.check_invariants());
+  sched.run([&] {
+    rt::parallel_for(0, 200, [&](std::int64_t i) { list.insert(i); });
+  });
+  EXPECT_EQ(list.size_unsafe(), 200u);
+  EXPECT_TRUE(list.check_invariants());
+}
+
+}  // namespace
+}  // namespace batcher::ds

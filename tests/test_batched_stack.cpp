@@ -1,0 +1,171 @@
+// Tests for the amortized table-doubling LIFO stack (paper §3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ds/batched_stack.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace batcher::ds {
+namespace {
+
+TEST(BatchedStack, SequentialPushPopIsLifo) {
+  rt::Scheduler sched(2);
+  BatchedStack<int> stack(sched);
+  sched.run([&] {
+    for (int i = 0; i < 100; ++i) stack.push(i);
+    for (int i = 99; i >= 0; --i) {
+      auto v = stack.pop();
+      ASSERT_TRUE(v.has_value());
+      ASSERT_EQ(*v, i);
+    }
+    EXPECT_FALSE(stack.pop().has_value());
+  });
+  EXPECT_EQ(stack.size_unsafe(), 0u);
+}
+
+TEST(BatchedStack, UnderflowReturnsEmpty) {
+  rt::Scheduler sched(2);
+  BatchedStack<int> stack(sched);
+  sched.run([&] {
+    EXPECT_FALSE(stack.pop().has_value());
+    stack.push(7);
+    EXPECT_EQ(*stack.pop(), 7);
+    EXPECT_FALSE(stack.pop().has_value());
+  });
+}
+
+TEST(BatchedStack, TableDoublesAndShrinks) {
+  rt::Scheduler sched(1);
+  BatchedStack<int> stack(sched);
+  const std::size_t cap0 = stack.capacity_unsafe();
+  sched.run([&] {
+    for (int i = 0; i < 1000; ++i) stack.push(i);
+  });
+  EXPECT_GE(stack.capacity_unsafe(), 1000u);
+  EXPECT_GT(stack.capacity_unsafe(), cap0);
+  sched.run([&] {
+    for (int i = 0; i < 1000; ++i) stack.pop();
+  });
+  EXPECT_LT(stack.capacity_unsafe(), 1000u);  // shrank back down
+  EXPECT_EQ(stack.size_unsafe(), 0u);
+}
+
+TEST(BatchedStack, ParallelPushesAllSurvive) {
+  rt::Scheduler sched(4);
+  BatchedStack<std::int64_t> stack(sched);
+  constexpr std::int64_t kN = 5000;
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) { stack.push(i); });
+  });
+  EXPECT_EQ(stack.size_unsafe(), static_cast<std::size_t>(kN));
+  // Drain and verify the multiset of values.
+  std::set<std::int64_t> seen;
+  sched.run([&] {
+    for (std::int64_t i = 0; i < kN; ++i) {
+      auto v = stack.pop();
+      ASSERT_TRUE(v.has_value());
+      seen.insert(*v);
+    }
+  });
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), kN - 1);
+}
+
+TEST(BatchedStack, ParallelMixedPushPopConservesElements) {
+  rt::Scheduler sched(8);
+  BatchedStack<std::int64_t> stack(sched);
+  constexpr std::int64_t kN = 4000;  // pairs of push(i), pop()
+  std::vector<std::optional<std::int64_t>> popped(kN);
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) {
+      if (i % 2 == 0) {
+        stack.push(i);
+      } else {
+        popped[static_cast<std::size_t>(i)] = stack.pop();
+      }
+    });
+  });
+  // pushes - successful pops == final size.
+  std::int64_t ok_pops = 0;
+  std::set<std::int64_t> seen;
+  for (const auto& v : popped) {
+    if (v.has_value()) {
+      ++ok_pops;
+      EXPECT_TRUE(seen.insert(*v).second) << "value popped twice: " << *v;
+      EXPECT_EQ(*v % 2, 0) << "popped a value never pushed";
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(stack.size_unsafe()), kN / 2 - ok_pops);
+}
+
+TEST(BatchedStack, BatchSemanticsPushesBeforePops) {
+  // Drive BOP directly: a batch with pushes and pops applies the PUSH phase
+  // first (paper §3), so a pop in the same batch can see a same-batch push.
+  rt::Scheduler sched(4);
+  BatchedStack<int> stack(sched);
+  using Op = BatchedStack<int>::Op;
+  Op push_op;
+  push_op.kind = BatchedStack<int>::Kind::Push;
+  push_op.value = 42;
+  Op pop_op;
+  pop_op.kind = BatchedStack<int>::Kind::Pop;
+  OpRecordBase* ops[2] = {&pop_op, &push_op};  // pop listed first on purpose
+  stack.run_batch(ops, 2);
+  ASSERT_TRUE(pop_op.out.has_value());
+  EXPECT_EQ(*pop_op.out, 42);
+  EXPECT_EQ(stack.size_unsafe(), 0u);
+}
+
+TEST(BatchedStack, BatchPopsTakeDistinctTopElements) {
+  rt::Scheduler sched(4);
+  BatchedStack<int> stack(sched);
+  using Op = BatchedStack<int>::Op;
+  // Preload 1..5.
+  {
+    std::vector<Op> pushes(5);
+    std::vector<OpRecordBase*> ptrs;
+    for (int i = 0; i < 5; ++i) {
+      pushes[static_cast<std::size_t>(i)].kind = BatchedStack<int>::Kind::Push;
+      pushes[static_cast<std::size_t>(i)].value = i + 1;
+      ptrs.push_back(&pushes[static_cast<std::size_t>(i)]);
+    }
+    stack.run_batch(ptrs.data(), ptrs.size());
+  }
+  // One batch of 3 pops: they take 5, 4, 3 in working-set order.
+  std::vector<Op> pops(3);
+  std::vector<OpRecordBase*> ptrs;
+  for (auto& p : pops) {
+    p.kind = BatchedStack<int>::Kind::Pop;
+    ptrs.push_back(&p);
+  }
+  stack.run_batch(ptrs.data(), ptrs.size());
+  EXPECT_EQ(*pops[0].out, 5);
+  EXPECT_EQ(*pops[1].out, 4);
+  EXPECT_EQ(*pops[2].out, 3);
+  EXPECT_EQ(stack.size_unsafe(), 2u);
+}
+
+TEST(BatchedStack, MoveOnlyFriendlyValueType) {
+  // std::string exercises non-trivial copies/moves in the table rebuild.
+  rt::Scheduler sched(2);
+  BatchedStack<std::string> stack(sched);
+  sched.run([&] {
+    for (int i = 0; i < 200; ++i) stack.push("value-" + std::to_string(i));
+    for (int i = 199; i >= 0; --i) {
+      auto v = stack.pop();
+      ASSERT_TRUE(v.has_value());
+      ASSERT_EQ(*v, "value-" + std::to_string(i));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace batcher::ds

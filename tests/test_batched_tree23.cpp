@@ -1,0 +1,227 @@
+// Tests for the batched 2-3 search tree (paper §3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "ds/batched_tree23.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace batcher::ds {
+namespace {
+
+using Key = BatchedTree23::Key;
+
+TEST(BatchedTree23, EmptyTreeBasics) {
+  rt::Scheduler sched(1);
+  BatchedTree23 tree(sched);
+  EXPECT_EQ(tree.size_unsafe(), 0u);
+  EXPECT_EQ(tree.height_unsafe(), -1);
+  EXPECT_FALSE(tree.contains_unsafe(1));
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(BatchedTree23, SingleInsertMakesLeafRoot) {
+  rt::Scheduler sched(1);
+  BatchedTree23 tree(sched);
+  EXPECT_TRUE(tree.insert_unsafe(42));
+  EXPECT_EQ(tree.size_unsafe(), 1u);
+  EXPECT_EQ(tree.height_unsafe(), 0);
+  EXPECT_TRUE(tree.contains_unsafe(42));
+  EXPECT_FALSE(tree.insert_unsafe(42));
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST(BatchedTree23, SequentialInsertsStayBalanced) {
+  rt::Scheduler sched(1);
+  BatchedTree23 tree(sched);
+  for (Key k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(tree.insert_unsafe(k));
+    ASSERT_TRUE(tree.check_invariants()) << "after key " << k;
+  }
+  EXPECT_EQ(tree.size_unsafe(), 1000u);
+  // 2-3 tree height bounds: log3(n) <= h <= log2(n).
+  EXPECT_LE(tree.height_unsafe(), 11);  // ceil(log2(1000)) + 1
+  EXPECT_GE(tree.height_unsafe(), 6);   // floor(log3(1000))
+}
+
+TEST(BatchedTree23, BulkBuildFromSorted) {
+  rt::Scheduler sched(4);
+  BatchedTree23 tree(sched);
+  std::vector<Key> keys(10000);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<Key>(i * 2);
+  tree.bulk_build_unsafe(keys);
+  EXPECT_EQ(tree.size_unsafe(), keys.size());
+  EXPECT_TRUE(tree.check_invariants());
+  EXPECT_TRUE(tree.contains_unsafe(0));
+  EXPECT_TRUE(tree.contains_unsafe(19998));
+  EXPECT_FALSE(tree.contains_unsafe(3));
+}
+
+class Tree23Param : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Tree23Param, ParallelInsertsMatchReferenceSet) {
+  rt::Scheduler sched(GetParam());
+  BatchedTree23 tree(sched);
+  constexpr std::int64_t kN = 4000;
+  Xoshiro256 rng(31);
+  std::vector<Key> keys(kN);
+  for (auto& k : keys) k = static_cast<Key>(rng.next_below(kN));
+  std::set<Key> reference(keys.begin(), keys.end());
+
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) {
+      tree.insert(keys[static_cast<std::size_t>(i)]);
+    });
+  });
+  EXPECT_EQ(tree.size_unsafe(), reference.size());
+  EXPECT_TRUE(tree.check_invariants());
+  for (Key k : reference) ASSERT_TRUE(tree.contains_unsafe(k)) << k;
+}
+
+TEST_P(Tree23Param, IdenticalKeysInOneStorm) {
+  // The paper's motivating hard case: P identical keys inserted at once.
+  rt::Scheduler sched(GetParam());
+  BatchedTree23 tree(sched);
+  std::atomic<int> winners{0};
+  sched.run([&] {
+    rt::parallel_for(0, 64, [&](std::int64_t) {
+      if (tree.insert(7)) winners.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(winners.load(), 1);
+  EXPECT_EQ(tree.size_unsafe(), 1u);
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+TEST_P(Tree23Param, ErasesWithTombstonesAndRebuild) {
+  rt::Scheduler sched(GetParam());
+  BatchedTree23 tree(sched);
+  for (Key k = 0; k < 1000; ++k) tree.insert_unsafe(k);
+  std::atomic<std::int64_t> hits{0};
+  sched.run([&] {
+    rt::parallel_for(0, 1000, [&](std::int64_t i) {
+      if (i % 4 != 0) {
+        if (tree.erase(i)) hits.fetch_add(1);
+      }
+    });
+  });
+  EXPECT_EQ(hits.load(), 750);
+  EXPECT_EQ(tree.size_unsafe(), 250u);
+  EXPECT_TRUE(tree.check_invariants());
+  for (Key k = 0; k < 1000; ++k) {
+    ASSERT_EQ(tree.contains_unsafe(k), k % 4 == 0) << "key " << k;
+  }
+}
+
+TEST_P(Tree23Param, ResurrectionAfterErase) {
+  rt::Scheduler sched(GetParam());
+  BatchedTree23 tree(sched);
+  for (Key k = 0; k < 100; ++k) tree.insert_unsafe(k);
+  sched.run([&] {
+    rt::parallel_for(0, 100, [&](std::int64_t i) { tree.erase(i); });
+  });
+  EXPECT_EQ(tree.size_unsafe(), 0u);
+  sched.run([&] {
+    rt::parallel_for(0, 100, [&](std::int64_t i) {
+      EXPECT_TRUE(tree.insert(i));  // resurrect or fresh-insert, still "new"
+    });
+  });
+  EXPECT_EQ(tree.size_unsafe(), 100u);
+  EXPECT_TRUE(tree.check_invariants());
+  for (Key k = 0; k < 100; ++k) ASSERT_TRUE(tree.contains_unsafe(k));
+}
+
+TEST_P(Tree23Param, MixedWorkloadDisjointKeyRanges) {
+  rt::Scheduler sched(GetParam());
+  BatchedTree23 tree(sched);
+  for (Key k = 0; k < 600; ++k) tree.insert_unsafe(k);
+  std::atomic<std::int64_t> contains_hits{0}, erase_hits{0}, inserts{0};
+  sched.run([&] {
+    rt::parallel_for(0, 600, [&](std::int64_t i) {
+      switch (i % 3) {
+        case 0:
+          if (tree.contains(i)) contains_hits.fetch_add(1);
+          break;
+        case 1:
+          if (tree.erase(i)) erase_hits.fetch_add(1);
+          break;
+        default:
+          if (tree.insert(i + 10000)) inserts.fetch_add(1);
+          break;
+      }
+    });
+  });
+  EXPECT_EQ(contains_hits.load(), 200);
+  EXPECT_EQ(erase_hits.load(), 200);
+  EXPECT_EQ(inserts.load(), 200);
+  EXPECT_EQ(tree.size_unsafe(), 600u);
+  EXPECT_TRUE(tree.check_invariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, Tree23Param,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(BatchedTree23, BatchDuplicateInsertsFirstWins) {
+  rt::Scheduler sched(4);
+  BatchedTree23 tree(sched);
+  using Op = BatchedTree23::Op;
+  Op a, b;
+  a.kind = b.kind = BatchedTree23::Kind::Insert;
+  a.key = b.key = 5;
+  OpRecordBase* ops[2] = {&a, &b};
+  tree.run_batch(ops, 2);
+  EXPECT_TRUE(a.found);
+  EXPECT_FALSE(b.found);
+  EXPECT_EQ(tree.size_unsafe(), 1u);
+}
+
+TEST(BatchedTree23, LargeBatchIntoSmallTree) {
+  // Bulk insert far more keys than the tree holds: exercises multi-level
+  // splitting and root growth in a single batch.
+  rt::Scheduler sched(4);
+  BatchedTree23 tree(sched);
+  tree.insert_unsafe(500000);
+  std::vector<BatchedTree23::Op> ops(512);
+  std::vector<OpRecordBase*> ptrs;
+  Xoshiro256 rng(77);
+  std::set<Key> reference{500000};
+  for (auto& op : ops) {
+    op.kind = BatchedTree23::Kind::Insert;
+    op.key = static_cast<Key>(rng.next_below(1u << 30));
+    reference.insert(op.key);
+    ptrs.push_back(&op);
+  }
+  tree.run_batch(ptrs.data(), ptrs.size());
+  EXPECT_EQ(tree.size_unsafe(), reference.size());
+  EXPECT_TRUE(tree.check_invariants());
+  for (Key k : reference) ASSERT_TRUE(tree.contains_unsafe(k));
+}
+
+TEST(BatchedTree23, InterleavedBatchesKeepBalance) {
+  rt::Scheduler sched(2);
+  BatchedTree23 tree(sched);
+  Xoshiro256 rng(99);
+  std::set<Key> reference;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<BatchedTree23::Op> ops(64);
+    std::vector<OpRecordBase*> ptrs;
+    for (auto& op : ops) {
+      op.kind = BatchedTree23::Kind::Insert;
+      op.key = static_cast<Key>(rng.next_below(4096));
+      reference.insert(op.key);
+      ptrs.push_back(&op);
+    }
+    tree.run_batch(ptrs.data(), ptrs.size());
+    ASSERT_TRUE(tree.check_invariants()) << "round " << round;
+    ASSERT_EQ(tree.size_unsafe(), reference.size());
+  }
+}
+
+}  // namespace
+}  // namespace batcher::ds

@@ -1,0 +1,205 @@
+// Tests for the BATCHER scheduler extension itself, using an instrumented
+// probe structure that checks the paper's invariants from inside BOP.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "batcher/batcher.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace batcher {
+namespace {
+
+// A batched structure that records everything and asserts the invariants.
+class ProbeStructure final : public BatchedStructure {
+ public:
+  struct Op : OpRecordBase {
+    std::int64_t id = 0;
+    std::int64_t result = 0;
+  };
+
+  explicit ProbeStructure(unsigned P) : max_allowed_(P) {}
+
+  void run_batch(OpRecordBase* const* ops, std::size_t count) override {
+    // Invariant 1: at most one batch at a time.
+    const int active = active_.fetch_add(1);
+    EXPECT_EQ(active, 0) << "overlapping batches observed";
+    // Invariant 2: batches contain at most P operations.
+    EXPECT_LE(count, max_allowed_);
+
+    for (std::size_t i = 0; i < count; ++i) {
+      Op* op = static_cast<Op*>(ops[i]);
+      op->result = op->id * 2 + 1;
+    }
+    ops_seen_.fetch_add(static_cast<std::int64_t>(count));
+    batches_.fetch_add(1);
+    if (static_cast<std::int64_t>(count) > max_batch_.load()) {
+      max_batch_.store(static_cast<std::int64_t>(count));
+    }
+    active_.fetch_sub(1);
+  }
+
+  std::atomic<int> active_{0};
+  std::atomic<std::int64_t> ops_seen_{0};
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> max_batch_{0};
+  std::size_t max_allowed_;
+};
+
+class BatcherTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, Batcher::SetupPolicy>> {
+};
+
+TEST_P(BatcherTest, EveryOperationProcessedExactlyOnce) {
+  const unsigned P = std::get<0>(GetParam());
+  rt::Scheduler sched(P);
+  ProbeStructure probe(P);
+  Batcher batcher(sched, probe, std::get<1>(GetParam()));
+
+  constexpr std::int64_t kN = 2000;
+  std::vector<std::int64_t> results(kN, -1);
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) {
+      ProbeStructure::Op op;
+      op.id = i;
+      batcher.batchify(op);
+      results[static_cast<std::size_t>(i)] = op.result;
+    });
+  });
+
+  EXPECT_EQ(probe.ops_seen_.load(), kN);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], i * 2 + 1) << "op " << i;
+  }
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.ops_processed, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(stats.batches_launched,
+            static_cast<std::uint64_t>(probe.batches_.load()) +
+                stats.empty_batches);
+  EXPECT_LE(stats.max_batch_size, P);
+}
+
+TEST_P(BatcherTest, SequentialCallerMakesSingletonBatches) {
+  const unsigned P = std::get<0>(GetParam());
+  rt::Scheduler sched(P);
+  ProbeStructure probe(P);
+  Batcher batcher(sched, probe, std::get<1>(GetParam()));
+
+  sched.run([&] {
+    for (std::int64_t i = 0; i < 50; ++i) {
+      ProbeStructure::Op op;
+      op.id = i;
+      batcher.batchify(op);
+      EXPECT_EQ(op.result, i * 2 + 1);
+    }
+  });
+  // A strictly sequential caller can never have two ops pending at once.
+  EXPECT_EQ(batcher.stats().max_batch_size, 1u);
+  EXPECT_EQ(probe.ops_seen_.load(), 50);
+}
+
+TEST_P(BatcherTest, HistogramAccountsForAllBatches) {
+  const unsigned P = std::get<0>(GetParam());
+  rt::Scheduler sched(P);
+  ProbeStructure probe(P);
+  Batcher batcher(sched, probe, std::get<1>(GetParam()));
+
+  sched.run([&] {
+    rt::parallel_for(0, 500, [&](std::int64_t i) {
+      ProbeStructure::Op op;
+      op.id = i;
+      batcher.batchify(op);
+    });
+  });
+  const BatcherStats stats = batcher.stats();
+  std::uint64_t total_batches = 0;
+  std::uint64_t total_ops = 0;
+  for (std::size_t k = 0; k < stats.batch_size_histogram.size(); ++k) {
+    total_batches += stats.batch_size_histogram[k];
+    total_ops += stats.batch_size_histogram[k] * k;
+  }
+  EXPECT_EQ(total_batches, stats.batches_launched);
+  EXPECT_EQ(total_ops, stats.ops_processed);
+  EXPECT_EQ(total_ops, 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BatcherTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(Batcher::SetupPolicy::Sequential,
+                                         Batcher::SetupPolicy::Parallel)));
+
+TEST(Batcher, TwoIndependentDomains) {
+  // Two data structures batch independently; ops interleave freely.
+  rt::Scheduler sched(4);
+  ProbeStructure probe_a(4), probe_b(4);
+  Batcher batcher_a(sched, probe_a);
+  Batcher batcher_b(sched, probe_b);
+
+  constexpr std::int64_t kN = 400;
+  sched.run([&] {
+    rt::parallel_for(0, kN, [&](std::int64_t i) {
+      ProbeStructure::Op op;
+      op.id = i;
+      if (i % 2 == 0) {
+        batcher_a.batchify(op);
+      } else {
+        batcher_b.batchify(op);
+      }
+      EXPECT_EQ(op.result, i * 2 + 1);
+    });
+  });
+  EXPECT_EQ(probe_a.ops_seen_.load() + probe_b.ops_seen_.load(), kN);
+}
+
+TEST(Batcher, OpsFromNestedParallelism) {
+  rt::Scheduler sched(4);
+  ProbeStructure probe(4);
+  Batcher batcher(sched, probe);
+  std::atomic<std::int64_t> sum{0};
+  sched.run([&] {
+    rt::parallel_for(0, 64, [&](std::int64_t i) {
+      rt::parallel_invoke(
+          [&] {
+            ProbeStructure::Op op;
+            op.id = i;
+            batcher.batchify(op);
+            sum.fetch_add(op.result);
+          },
+          [&] {
+            ProbeStructure::Op op;
+            op.id = i + 1000;
+            batcher.batchify(op);
+            sum.fetch_add(op.result);
+          });
+    });
+  });
+  EXPECT_EQ(probe.ops_seen_.load(), 128);
+  // sum of (2i+1) for i in [0,64) plus (2(i+1000)+1).
+  std::int64_t expected = 0;
+  for (std::int64_t i = 0; i < 64; ++i) expected += (2 * i + 1) + (2 * (i + 1000) + 1);
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(Batcher, StatsResetClearsCounters) {
+  rt::Scheduler sched(2);
+  ProbeStructure probe(2);
+  Batcher batcher(sched, probe);
+  sched.run([&] {
+    ProbeStructure::Op op;
+    op.id = 1;
+    batcher.batchify(op);
+  });
+  EXPECT_GT(batcher.stats().batches_launched, 0u);
+  batcher.reset_stats();
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.batches_launched, 0u);
+  EXPECT_EQ(stats.ops_processed, 0u);
+  EXPECT_EQ(stats.max_batch_size, 0u);
+}
+
+}  // namespace
+}  // namespace batcher

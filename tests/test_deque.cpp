@@ -1,0 +1,139 @@
+// Unit and stress tests for the Chase–Lev work-stealing deque.
+//
+// The deque stores Task* opaquely, so tests use tagged fake pointers instead
+// of real task frames: conservation is checked by value.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/deque.hpp"
+
+namespace batcher::rt {
+namespace {
+
+Task* tag(std::uintptr_t v) { return reinterpret_cast<Task*>(v << 4); }
+std::uintptr_t untag(Task* t) { return reinterpret_cast<std::uintptr_t>(t) >> 4; }
+
+TEST(WorkDeque, StartsEmpty) {
+  WorkDeque d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_EQ(d.steal(), nullptr);
+  EXPECT_EQ(d.size_estimate(), 0);
+}
+
+TEST(WorkDeque, PopIsLifo) {
+  WorkDeque d;
+  for (std::uintptr_t i = 1; i <= 5; ++i) d.push(tag(i));
+  for (std::uintptr_t i = 5; i >= 1; --i) EXPECT_EQ(untag(d.pop()), i);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(WorkDeque, StealIsFifo) {
+  WorkDeque d;
+  for (std::uintptr_t i = 1; i <= 5; ++i) d.push(tag(i));
+  for (std::uintptr_t i = 1; i <= 5; ++i) EXPECT_EQ(untag(d.steal()), i);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(WorkDeque, MixedPopAndSteal) {
+  WorkDeque d;
+  for (std::uintptr_t i = 1; i <= 4; ++i) d.push(tag(i));
+  EXPECT_EQ(untag(d.steal()), 1u);  // top
+  EXPECT_EQ(untag(d.pop()), 4u);    // bottom
+  EXPECT_EQ(untag(d.steal()), 2u);
+  EXPECT_EQ(untag(d.pop()), 3u);
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(WorkDeque, GrowsPastInitialCapacity) {
+  WorkDeque d(4);
+  constexpr std::uintptr_t kCount = 1000;
+  for (std::uintptr_t i = 1; i <= kCount; ++i) d.push(tag(i));
+  EXPECT_EQ(d.size_estimate(), static_cast<std::int64_t>(kCount));
+  for (std::uintptr_t i = kCount; i >= 1; --i) {
+    ASSERT_EQ(untag(d.pop()), i);
+  }
+}
+
+TEST(WorkDeque, GrowPreservesOrderUnderPartialConsumption) {
+  WorkDeque d(4);
+  // Interleave pushes and steals so top advances before growth.
+  for (std::uintptr_t i = 1; i <= 3; ++i) d.push(tag(i));
+  EXPECT_EQ(untag(d.steal()), 1u);
+  for (std::uintptr_t i = 4; i <= 64; ++i) d.push(tag(i));  // forces growth
+  for (std::uintptr_t i = 2; i <= 64; ++i) ASSERT_EQ(untag(d.steal()), i);
+}
+
+TEST(WorkDeque, SingleElementRace) {
+  // Owner pop vs. thief steal of the final element: exactly one side wins.
+  for (int round = 0; round < 200; ++round) {
+    WorkDeque d;
+    d.push(tag(1));
+    std::atomic<int> wins{0};
+    std::thread thief([&] {
+      if (d.steal() != nullptr) wins.fetch_add(1);
+    });
+    if (d.pop() != nullptr) wins.fetch_add(1);
+    thief.join();
+    EXPECT_EQ(wins.load(), 1) << "round " << round;
+  }
+}
+
+// Owner pushes N values and pops some; thieves steal the rest.  Every value
+// must be consumed exactly once across all parties.
+TEST(WorkDequeStress, ConservationUnderConcurrentSteals) {
+  constexpr int kThieves = 3;
+  constexpr std::uintptr_t kCount = 20000;
+  WorkDeque d(8);
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> done{false};
+  std::vector<std::set<std::uintptr_t>> stolen(kThieves);
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) {}
+      while (!done.load(std::memory_order_acquire)) {
+        Task* task = d.steal();
+        if (task != nullptr) stolen[static_cast<std::size_t>(t)].insert(untag(task));
+      }
+      // Final drain.
+      Task* task;
+      while ((task = d.steal()) != nullptr) {
+        stolen[static_cast<std::size_t>(t)].insert(untag(task));
+      }
+    });
+  }
+
+  std::set<std::uintptr_t> popped;
+  start.store(true, std::memory_order_release);
+  for (std::uintptr_t i = 1; i <= kCount; ++i) {
+    d.push(tag(i));
+    if (i % 3 == 0) {
+      Task* task = d.pop();
+      if (task != nullptr) popped.insert(untag(task));
+    }
+  }
+  Task* task;
+  while ((task = d.pop()) != nullptr) popped.insert(untag(task));
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  std::set<std::uintptr_t> all(popped);
+  std::size_t total = popped.size();
+  for (const auto& s : stolen) {
+    total += s.size();
+    all.insert(s.begin(), s.end());
+  }
+  EXPECT_EQ(total, kCount) << "an element was consumed twice or lost";
+  EXPECT_EQ(all.size(), kCount);
+}
+
+}  // namespace
+}  // namespace batcher::rt

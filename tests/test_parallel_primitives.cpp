@@ -1,0 +1,203 @@
+// Tests for the parallel primitives: scan, reduce, sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "parallel/prefix_sum.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/sort.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace batcher {
+namespace {
+
+std::vector<std::int64_t> random_values(std::size_t n, std::uint64_t seed,
+                                        std::int64_t range = 1000000) {
+  Xoshiro256 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<std::int64_t>(rng.next_below(static_cast<std::uint64_t>(range))) -
+        range / 2;
+  }
+  return v;
+}
+
+// Affine-map composition: associative but NOT commutative, so it catches
+// scans that reorder the operator's arguments.
+struct Affine {
+  std::int64_t a = 1, b = 0;  // x -> a*x + b
+  bool operator==(const Affine& o) const { return a == o.a && b == o.b; }
+};
+Affine compose(const Affine& f, const Affine& g) {
+  // (g ∘ f): apply f first, then g — scan convention op(prefix, next).
+  return Affine{f.a * g.a, f.b * g.a + g.b};
+}
+
+class ScanTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanTest, BlockedMatchesSerial) {
+  const std::size_t n = GetParam();
+  rt::Scheduler sched(4);
+  auto data = random_values(n, 1);
+  auto expected = data;
+  std::partial_sum(expected.begin(), expected.end(), expected.begin());
+  sched.run([&] {
+    par::prefix_sums(data.data(), static_cast<std::int64_t>(n));
+  });
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(ScanTest, RecursiveMatchesSerial) {
+  const std::size_t n = GetParam();
+  rt::Scheduler sched(4);
+  auto data = random_values(n, 2);
+  auto expected = data;
+  std::partial_sum(expected.begin(), expected.end(), expected.begin());
+  sched.run([&] {
+    par::scan_inclusive_recursive(
+        data.data(), static_cast<std::int64_t>(n),
+        [](std::int64_t a, std::int64_t b) { return a + b; });
+  });
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(ScanTest, NonCommutativeOperator) {
+  const std::size_t n = GetParam();
+  if (n == 0) return;
+  rt::Scheduler sched(4);
+  Xoshiro256 rng(3);
+  std::vector<Affine> data(n);
+  for (auto& f : data) {
+    f.a = (rng.next() & 1) ? 1 : -1;  // keep magnitudes bounded
+    f.b = static_cast<std::int64_t>(rng.next_below(100));
+  }
+  std::vector<Affine> expected(data);
+  for (std::size_t i = 1; i < n; ++i) {
+    expected[i] = compose(expected[i - 1], expected[i]);
+  }
+  sched.run([&] {
+    par::scan_inclusive(data.data(), static_cast<std::int64_t>(n), compose);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(data[i], expected[i]) << "position " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 7u, 64u, 100u,
+                                           1000u, 4097u, 50000u));
+
+TEST(Scan, WorksOutsideScheduler) {
+  std::vector<std::int64_t> v{1, 2, 3, 4};
+  par::prefix_sums(v.data(), 4);
+  EXPECT_EQ(v, (std::vector<std::int64_t>{1, 3, 6, 10}));
+}
+
+TEST(Reduce, SumMatchesSerial) {
+  rt::Scheduler sched(4);
+  auto data = random_values(10000, 4);
+  const std::int64_t expected =
+      std::accumulate(data.begin(), data.end(), std::int64_t{0});
+  std::int64_t got = 0;
+  sched.run([&] {
+    got = par::parallel_sum<std::int64_t>(
+        0, static_cast<std::int64_t>(data.size()),
+        [&](std::int64_t i) { return data[static_cast<std::size_t>(i)]; });
+  });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Reduce, MaxWithIdentity) {
+  rt::Scheduler sched(2);
+  auto data = random_values(5000, 5);
+  const std::int64_t expected = *std::max_element(data.begin(), data.end());
+  std::int64_t got = 0;
+  sched.run([&] {
+    got = par::parallel_reduce<std::int64_t>(
+        0, static_cast<std::int64_t>(data.size()),
+        std::numeric_limits<std::int64_t>::min(),
+        [&](std::int64_t i) { return data[static_cast<std::size_t>(i)]; },
+        [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+  });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Reduce, EmptyRangeYieldsIdentity) {
+  EXPECT_EQ(par::parallel_sum<std::int64_t>(5, 5,
+                                            [](std::int64_t) { return 1; }),
+            0);
+}
+
+class SortTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortTest, MatchesStdSortOnRandomInput) {
+  const std::size_t n = GetParam();
+  rt::Scheduler sched(4);
+  auto data = random_values(n, 6, 100);  // narrow range -> many duplicates
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  sched.run([&] { par::parallel_sort(data); });
+  EXPECT_EQ(data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 100u, 511u, 512u,
+                                           513u, 5000u, 100000u));
+
+TEST(Sort, AlreadySortedAndReversed) {
+  rt::Scheduler sched(2);
+  std::vector<std::int64_t> asc(10000), desc(10000);
+  std::iota(asc.begin(), asc.end(), 0);
+  for (std::size_t i = 0; i < desc.size(); ++i) {
+    desc[i] = static_cast<std::int64_t>(desc.size() - i);
+  }
+  auto asc_copy = asc;
+  sched.run([&] {
+    par::parallel_sort(asc);
+    par::parallel_sort(desc);
+  });
+  EXPECT_EQ(asc, asc_copy);
+  EXPECT_TRUE(std::is_sorted(desc.begin(), desc.end()));
+}
+
+TEST(Sort, StableForEqualKeys) {
+  rt::Scheduler sched(4);
+  struct Item {
+    int key;
+    int seq;
+  };
+  Xoshiro256 rng(7);
+  std::vector<Item> data(20000);
+  for (int i = 0; i < static_cast<int>(data.size()); ++i) {
+    data[static_cast<std::size_t>(i)] = {static_cast<int>(rng.next_below(16)), i};
+  }
+  sched.run([&] {
+    par::parallel_sort(data.data(), static_cast<std::int64_t>(data.size()),
+                       [](const Item& a, const Item& b) { return a.key < b.key; });
+  });
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    ASSERT_LE(data[i - 1].key, data[i].key);
+    if (data[i - 1].key == data[i].key) {
+      ASSERT_LT(data[i - 1].seq, data[i].seq) << "instability at " << i;
+    }
+  }
+}
+
+TEST(Sort, CustomComparatorDescending) {
+  rt::Scheduler sched(2);
+  auto data = random_values(3000, 8);
+  sched.run([&] {
+    par::parallel_sort(data.data(), static_cast<std::int64_t>(data.size()),
+                       [](std::int64_t a, std::int64_t b) { return a > b; });
+  });
+  EXPECT_TRUE(std::is_sorted(data.rbegin(), data.rend()));
+}
+
+}  // namespace
+}  // namespace batcher

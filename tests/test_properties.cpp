@@ -1,0 +1,282 @@
+// Property-based tests: random operation sequences, random batch partitions,
+// checked against phase-aware reference models.  Driving run_batch directly
+// makes the checks deterministic — any batch partition the real scheduler
+// could produce is a partition these tests draw at random.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "ds/batched_counter.hpp"
+#include "ds/batched_hashmap.hpp"
+#include "ds/batched_pq.hpp"
+#include "ds/batched_skiplist.hpp"
+#include "ds/batched_stack.hpp"
+#include "ds/batched_tree23.hpp"
+#include "ds/batched_wbtree.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace batcher {
+namespace {
+
+class PropertySeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- Batched set structures (skip list and 2-3 tree) -----------------------
+//
+// Phase-aware reference: contains sees the pre-batch set, then erases apply
+// (first occurrence of each key wins), then inserts (first occurrence wins).
+
+template <typename Structure>
+void run_set_property(std::uint64_t seed) {
+  rt::Scheduler sched(4);
+  Structure s(sched);
+  using Op = typename Structure::Op;
+  using Kind = typename Structure::Kind;
+
+  std::set<std::int64_t> model;
+  Xoshiro256 rng(seed);
+  constexpr int kBatches = 120;
+  for (int b = 0; b < kBatches; ++b) {
+    const std::size_t batch_size = 1 + rng.next_below(16);
+    std::vector<Op> ops(batch_size);
+    std::vector<OpRecordBase*> ptrs;
+    for (auto& op : ops) {
+      const auto r = rng.next_below(10);
+      op.key = static_cast<std::int64_t>(rng.next_below(64));
+      op.kind = r < 4 ? Kind::Insert : (r < 7 ? Kind::Erase : Kind::Contains);
+      ptrs.push_back(&op);
+    }
+    s.run_batch(ptrs.data(), ptrs.size());
+
+    // Reference application in phases.
+    const std::set<std::int64_t> pre = model;
+    std::set<std::int64_t> erased_this_batch, inserted_this_batch;
+    std::vector<bool> expected(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      if (ops[i].kind == Kind::Contains) expected[i] = pre.count(ops[i].key) > 0;
+    }
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      if (ops[i].kind != Kind::Erase) continue;
+      const bool hit =
+          model.count(ops[i].key) > 0 && erased_this_batch.insert(ops[i].key).second;
+      if (hit) model.erase(ops[i].key);
+      expected[i] = hit;
+    }
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      if (ops[i].kind != Kind::Insert) continue;
+      const bool fresh =
+          model.count(ops[i].key) == 0 && inserted_this_batch.insert(ops[i].key).second;
+      if (fresh) model.insert(ops[i].key);
+      expected[i] = fresh;
+    }
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      ASSERT_EQ(ops[i].found, expected[i])
+          << "batch " << b << " op " << i << " kind "
+          << static_cast<int>(ops[i].kind) << " key " << ops[i].key;
+    }
+    ASSERT_EQ(s.size_unsafe(), model.size()) << "batch " << b;
+    ASSERT_TRUE(s.check_invariants()) << "batch " << b;
+  }
+  // Final membership must match exactly.
+  for (std::int64_t k = 0; k < 64; ++k) {
+    ASSERT_EQ(s.contains_unsafe(k), model.count(k) > 0) << "key " << k;
+  }
+}
+
+TEST_P(PropertySeed, SkipListMatchesPhaseAwareSetModel) {
+  run_set_property<ds::BatchedSkipList>(GetParam());
+}
+
+TEST_P(PropertySeed, Tree23MatchesPhaseAwareSetModel) {
+  run_set_property<ds::BatchedTree23>(GetParam());
+}
+
+TEST_P(PropertySeed, WBTreeMatchesPhaseAwareSetModel) {
+  run_set_property<ds::BatchedWBTree>(GetParam());
+}
+
+// --- Counter ---------------------------------------------------------------
+
+TEST_P(PropertySeed, CounterMatchesPrefixSumModel) {
+  rt::Scheduler sched(4);
+  ds::BatchedCounter counter(sched, /*initial=*/7);
+  std::int64_t model = 7;
+  Xoshiro256 rng(GetParam());
+  for (int b = 0; b < 200; ++b) {
+    const std::size_t batch_size = 1 + rng.next_below(4);  // <= P
+    std::vector<ds::BatchedCounter::Op> ops(batch_size);
+    std::vector<OpRecordBase*> ptrs;
+    for (auto& op : ops) {
+      op.delta = static_cast<std::int64_t>(rng.next_below(21)) - 10;
+      ptrs.push_back(&op);
+    }
+    counter.run_batch(ptrs.data(), ptrs.size());
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      model += ops[i].delta;
+      ASSERT_EQ(ops[i].result, model) << "batch " << b << " op " << i;
+    }
+  }
+  EXPECT_EQ(counter.value_unsafe(), model);
+}
+
+// --- Stack -----------------------------------------------------------------
+
+TEST_P(PropertySeed, StackMatchesPushThenPopModel) {
+  rt::Scheduler sched(4);
+  ds::BatchedStack<std::int64_t> stack(sched);
+  std::vector<std::int64_t> model;
+  Xoshiro256 rng(GetParam() + 1000);
+  for (int b = 0; b < 200; ++b) {
+    const std::size_t batch_size = 1 + rng.next_below(8);
+    std::vector<ds::BatchedStack<std::int64_t>::Op> ops(batch_size);
+    std::vector<OpRecordBase*> ptrs;
+    for (auto& op : ops) {
+      if (rng.next() & 1) {
+        op.kind = ds::BatchedStack<std::int64_t>::Kind::Push;
+        op.value = static_cast<std::int64_t>(rng.next_below(1000000));
+      } else {
+        op.kind = ds::BatchedStack<std::int64_t>::Kind::Pop;
+      }
+      ptrs.push_back(&op);
+    }
+    stack.run_batch(ptrs.data(), ptrs.size());
+
+    // Model: all pushes (working-set order), then pops.
+    for (const auto& op : ops) {
+      if (op.kind == ds::BatchedStack<std::int64_t>::Kind::Push) {
+        model.push_back(op.value);
+      }
+    }
+    for (auto& op : ops) {
+      if (op.kind != ds::BatchedStack<std::int64_t>::Kind::Pop) continue;
+      if (model.empty()) {
+        ASSERT_FALSE(op.out.has_value()) << "batch " << b;
+      } else {
+        ASSERT_TRUE(op.out.has_value());
+        ASSERT_EQ(*op.out, model.back()) << "batch " << b;
+        model.pop_back();
+      }
+    }
+    ASSERT_EQ(stack.size_unsafe(), model.size()) << "batch " << b;
+  }
+}
+
+// --- Priority queue ----------------------------------------------------------
+
+TEST_P(PropertySeed, PQMatchesMultisetModel) {
+  rt::Scheduler sched(4);
+  ds::BatchedPriorityQueue pq(sched);
+  std::multiset<std::int64_t> model;
+  Xoshiro256 rng(GetParam() + 2000);
+  for (int b = 0; b < 200; ++b) {
+    const std::size_t batch_size = 1 + rng.next_below(8);
+    std::vector<ds::BatchedPriorityQueue::Op> ops(batch_size);
+    std::vector<OpRecordBase*> ptrs;
+    for (auto& op : ops) {
+      if (rng.next_below(3) != 0) {
+        op.kind = ds::BatchedPriorityQueue::Kind::Insert;
+        op.key = static_cast<std::int64_t>(rng.next_below(1000));
+      } else {
+        op.kind = ds::BatchedPriorityQueue::Kind::ExtractMin;
+      }
+      ptrs.push_back(&op);
+    }
+    pq.run_batch(ptrs.data(), ptrs.size());
+
+    for (const auto& op : ops) {
+      if (op.kind == ds::BatchedPriorityQueue::Kind::Insert) model.insert(op.key);
+    }
+    for (auto& op : ops) {
+      if (op.kind != ds::BatchedPriorityQueue::Kind::ExtractMin) continue;
+      if (model.empty()) {
+        ASSERT_FALSE(op.out.has_value());
+      } else {
+        ASSERT_TRUE(op.out.has_value());
+        ASSERT_EQ(*op.out, *model.begin()) << "batch " << b;
+        model.erase(model.begin());
+      }
+    }
+    ASSERT_EQ(pq.size_unsafe(), model.size());
+    ASSERT_TRUE(pq.check_invariants()) << "batch " << b;
+  }
+}
+
+// --- Hash map ---------------------------------------------------------------
+
+TEST_P(PropertySeed, HashMapMatchesWorkingSetOrderModel) {
+  rt::Scheduler sched(4);
+  ds::BatchedHashMap map(sched);
+  std::map<std::int64_t, std::int64_t> model;
+  Xoshiro256 rng(GetParam() + 3000);
+  for (int b = 0; b < 150; ++b) {
+    const std::size_t batch_size = 1 + rng.next_below(12);
+    std::vector<ds::BatchedHashMap::Op> ops(batch_size);
+    std::vector<OpRecordBase*> ptrs;
+    for (auto& op : ops) {
+      op.key = static_cast<std::int64_t>(rng.next_below(48));
+      switch (rng.next_below(4)) {
+        case 0:
+          op.kind = ds::BatchedHashMap::Kind::Put;
+          op.value = static_cast<std::int64_t>(rng.next_below(1000));
+          break;
+        case 1:
+          op.kind = ds::BatchedHashMap::Kind::Get;
+          break;
+        case 2:
+          op.kind = ds::BatchedHashMap::Kind::Erase;
+          break;
+        default:
+          op.kind = ds::BatchedHashMap::Kind::Update;
+          op.value = static_cast<std::int64_t>(rng.next_below(10));
+          break;
+      }
+      ptrs.push_back(&op);
+    }
+    map.run_batch(ptrs.data(), ptrs.size());
+
+    // Reference: strict working-set order (the hash map's strongest-in-repo
+    // semantics).
+    for (auto& op : ops) {
+      auto it = model.find(op.key);
+      switch (op.kind) {
+        case ds::BatchedHashMap::Kind::Put:
+          model[op.key] = op.value;
+          break;
+        case ds::BatchedHashMap::Kind::Get:
+          if (it == model.end()) {
+            ASSERT_FALSE(op.out.has_value()) << "batch " << b;
+          } else {
+            ASSERT_TRUE(op.out.has_value());
+            ASSERT_EQ(*op.out, it->second) << "batch " << b;
+          }
+          break;
+        case ds::BatchedHashMap::Kind::Erase:
+          ASSERT_EQ(op.found, it != model.end()) << "batch " << b;
+          if (it != model.end()) model.erase(it);
+          break;
+        case ds::BatchedHashMap::Kind::Update: {
+          const std::int64_t next =
+              (it == model.end() ? 0 : it->second) + op.value;
+          model[op.key] = next;
+          ASSERT_TRUE(op.out.has_value());
+          ASSERT_EQ(*op.out, next) << "batch " << b;
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(map.size_unsafe(), model.size());
+    ASSERT_TRUE(map.check_invariants()) << "batch " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeed,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace batcher

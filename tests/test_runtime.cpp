@@ -1,0 +1,176 @@
+// Tests for the fork/join work-stealing runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace batcher::rt {
+namespace {
+
+std::int64_t fib_serial(int n) {
+  return n < 2 ? n : fib_serial(n - 1) + fib_serial(n - 2);
+}
+
+std::int64_t fib_parallel(int n) {
+  if (n < 2) return n;
+  if (n < 10) return fib_serial(n);
+  std::int64_t a = 0, b = 0;
+  parallel_invoke([&] { a = fib_parallel(n - 1); },
+                  [&] { b = fib_parallel(n - 2); });
+  return a + b;
+}
+
+class RuntimeTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RuntimeTest, RunExecutesRoot) {
+  Scheduler sched(GetParam());
+  bool ran = false;
+  sched.run([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST_P(RuntimeTest, SequentialRunsReuseWorkers) {
+  Scheduler sched(GetParam());
+  int count = 0;
+  for (int i = 0; i < 20; ++i) {
+    sched.run([&] { ++count; });
+  }
+  EXPECT_EQ(count, 20);
+}
+
+TEST_P(RuntimeTest, ParallelInvokeRunsBothArms) {
+  Scheduler sched(GetParam());
+  std::atomic<int> hits{0};
+  sched.run([&] {
+    parallel_invoke([&] { hits.fetch_add(1); }, [&] { hits.fetch_add(2); });
+  });
+  EXPECT_EQ(hits.load(), 3);
+}
+
+TEST_P(RuntimeTest, NestedForkJoinComputesFib) {
+  Scheduler sched(GetParam());
+  std::int64_t result = 0;
+  sched.run([&] { result = fib_parallel(22); });
+  EXPECT_EQ(result, fib_serial(22));
+}
+
+TEST_P(RuntimeTest, ParallelForCoversEveryIndexExactlyOnce) {
+  Scheduler sched(GetParam());
+  constexpr std::int64_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  sched.run([&] {
+    parallel_for(0, kN, [&](std::int64_t i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(RuntimeTest, ParallelForBlockedCoversRange) {
+  Scheduler sched(GetParam());
+  constexpr std::int64_t kN = 4097;
+  std::vector<std::atomic<int>> hits(kN);
+  sched.run([&] {
+    parallel_for_blocked(0, kN, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+  }
+}
+
+TEST_P(RuntimeTest, EmptyAndTinyRanges) {
+  Scheduler sched(GetParam());
+  std::atomic<int> hits{0};
+  sched.run([&] {
+    parallel_for(0, 0, [&](std::int64_t) { hits.fetch_add(1); });
+    parallel_for(5, 5, [&](std::int64_t) { hits.fetch_add(1); });
+    parallel_for(7, 4, [&](std::int64_t) { hits.fetch_add(1); });
+    parallel_for(0, 1, [&](std::int64_t) { hits.fetch_add(1); });
+  });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST_P(RuntimeTest, DeepRecursionDoesNotDeadlock) {
+  Scheduler sched(GetParam());
+  // A chain of nested single-sided forks exercises join-waiting with steals.
+  std::atomic<int> depth_reached{0};
+  sched.run([&] {
+    std::function<void(int)> go = [&](int d) {
+      if (d == 0) {
+        depth_reached.fetch_add(1);
+        return;
+      }
+      parallel_invoke([&] { go(d - 1); }, [&] {});
+    };
+    go(200);
+  });
+  EXPECT_EQ(depth_reached.load(), 1);
+}
+
+TEST_P(RuntimeTest, StatsCountTasks) {
+  Scheduler sched(GetParam());
+  sched.reset_stats();
+  sched.run([&] {
+    parallel_for(0, 1000, [](std::int64_t) {}, /*grain=*/1);
+  });
+  const StatsSnapshot s = sched.total_stats();
+  EXPECT_GT(s.tasks_executed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, RuntimeTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(RuntimeFallback, ApiWorksOutsideAnyScheduler) {
+  // Data-structure code must be testable standalone: outside a run the
+  // parallel constructs degrade to sequential execution.
+  int hits = 0;
+  parallel_invoke([&] { ++hits; }, [&] { ++hits; });
+  EXPECT_EQ(hits, 2);
+  std::int64_t sum = 0;
+  parallel_for(0, 10, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(RuntimeStats, AlternatingStealPolicyHitsBothKinds) {
+  // With more workers than work, idle workers must issue steal attempts at
+  // both deque kinds per the alternating policy.
+  Scheduler sched(4);
+  sched.reset_stats();
+  sched.run([&] {
+    volatile std::int64_t sink = 0;
+    for (int i = 0; i < 2000000; ++i) sink = sink + 1;
+  });
+  const StatsSnapshot s = sched.total_stats();
+  EXPECT_GT(s.core_steal_attempts, 0u);
+  EXPECT_GT(s.batch_steal_attempts, 0u);
+  // Alternating: the two counts should be within 2x of each other.
+  const double ratio = static_cast<double>(s.core_steal_attempts + 1) /
+                       static_cast<double>(s.batch_steal_attempts + 1);
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(RuntimeLifecycle, ManySchedulersComeAndGo) {
+  for (int i = 0; i < 10; ++i) {
+    Scheduler sched(2);
+    std::atomic<int> n{0};
+    sched.run([&] {
+      parallel_for(0, 100, [&](std::int64_t) { n.fetch_add(1); });
+    });
+    EXPECT_EQ(n.load(), 100);
+  }
+}
+
+}  // namespace
+}  // namespace batcher::rt

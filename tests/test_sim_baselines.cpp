@@ -1,0 +1,105 @@
+// Tests for the flat-combining and contended-concurrent simulators, plus the
+// cross-scheduler comparisons that underpin the paper's §7 claims.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/cost_model.hpp"
+#include "sim/dag.hpp"
+#include "sim/sim_batcher.hpp"
+#include "sim/sim_concurrent.hpp"
+#include "sim/sim_flatcomb.hpp"
+
+namespace batcher::sim {
+namespace {
+
+TEST(SimFlatComb, CompletesAndConservesOps) {
+  Dag core = build_parallel_loop_with_ds(128, 2, 1, 1);
+  SkipListCostModel model(1 << 10);
+  const SimResult res = simulate_flatcomb(core, model, 4, 1);
+  EXPECT_EQ(res.batch_ops, core.num_ds_nodes());
+  EXPECT_GT(res.batches, 0);
+  // Combined work is sequential: busy_batch = sum of per-op costs.
+  EXPECT_GT(res.busy_batch, 0);
+}
+
+TEST(SimFlatComb, Deterministic) {
+  Dag core = build_parallel_loop_with_ds(64, 1, 1, 1);
+  SkipListCostModel m1(1 << 10), m2(1 << 10);
+  const SimResult a = simulate_flatcomb(core, m1, 4, 5);
+  const SimResult b = simulate_flatcomb(core, m2, 4, 5);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(SimFlatComb, BatcherBeatsFlatCombiningWithManyWorkers) {
+  // §7: flat combining's sequential batches stop scaling; BATCHER's parallel
+  // batches keep winning as P grows — on a ds-dominated workload.
+  Dag core = build_parallel_loop_with_ds(1024, 1, 1, 1);
+  SkipListCostModel m_b(1 << 20), m_f(1 << 20);
+  BatcherSimConfig cfg;
+  cfg.workers = 16;
+  const SimResult batcher_res = simulate_batcher(core, m_b, cfg);
+  const SimResult fc_res = simulate_flatcomb(core, m_f, 16, 1);
+  EXPECT_LT(batcher_res.makespan, fc_res.makespan);
+}
+
+TEST(SimConcurrent, CompletesAllWork) {
+  Dag core = build_parallel_loop_with_ds(256, 2, 1, 1);
+  ConcurrentSimConfig cfg;
+  cfg.workers = 4;
+  const SimResult res = simulate_concurrent(core, cfg);
+  // Non-ds nodes execute exactly once each; ds accesses burn >= 1 step each.
+  EXPECT_EQ(res.busy_core, core.work() - core.num_ds_nodes());
+  EXPECT_GE(res.busy_batch, core.num_ds_nodes());
+}
+
+TEST(SimConcurrent, ContentionSerializesAccesses) {
+  // With contention_factor = 1, n simultaneous accesses cost Θ(n) each in
+  // the worst case: total ds time is superlinear vs. the uncontended run.
+  Dag core = build_parallel_loop_with_ds(512, 1, 1, 1);
+  ConcurrentSimConfig contended;
+  contended.workers = 8;
+  contended.contention_factor = 4;
+  ConcurrentSimConfig ideal = contended;
+  ideal.contention_factor = 0;
+  const SimResult r_cont = simulate_concurrent(core, contended);
+  const SimResult r_ideal = simulate_concurrent(core, ideal);
+  EXPECT_GT(r_cont.busy_batch, 2 * r_ideal.busy_batch);
+  EXPECT_GT(r_cont.makespan, r_ideal.makespan);
+}
+
+TEST(SimConcurrent, IdealConcurrentMatchesPlainWorkStealingShape) {
+  Dag core = build_parallel_loop_with_ds(512, 4, 2, 1);
+  ConcurrentSimConfig cfg;
+  cfg.workers = 8;
+  cfg.contention_factor = 0;
+  cfg.base_cost = 1;
+  const SimResult res = simulate_concurrent(core, cfg);
+  // With unit-cost uncontended accesses the whole dag behaves like a plain
+  // fork/join dag: near-linear speedup.
+  EXPECT_LE(res.makespan, core.work() / 8 + 8 * core.span());
+}
+
+TEST(SimComparison, BatcherBeatsContendedConcurrentAtScale) {
+  // The paper's headline: with contended concurrent access the program is
+  // Ω(n); with BATCHER it scales.  Compare 16-worker makespans on a
+  // ds-dominated loop.
+  const std::int64_t n = 2048;
+  Dag core = build_parallel_loop_with_ds(n, 1, 1, 1);
+
+  SkipListCostModel m_b(1 << 10);
+  BatcherSimConfig bcfg;
+  bcfg.workers = 16;
+  const SimResult r_batcher = simulate_batcher(core, m_b, bcfg);
+
+  ConcurrentSimConfig ccfg;
+  ccfg.workers = 16;
+  ccfg.base_cost = ilog2(1 << 10);  // same per-op cost, but serializing
+  ccfg.contention_factor = ilog2(1 << 10);
+  const SimResult r_conc = simulate_concurrent(core, ccfg);
+
+  EXPECT_LT(r_batcher.makespan, r_conc.makespan);
+}
+
+}  // namespace
+}  // namespace batcher::sim

@@ -1,0 +1,136 @@
+// Tests for the simulator's dag model and builders.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/cost_model.hpp"
+#include "sim/dag.hpp"
+
+namespace batcher::sim {
+namespace {
+
+TEST(Dag, ChainHasLinearSpan) {
+  Dag dag;
+  const Segment seg = build_chain(dag, 10);
+  dag.root = seg.first;
+  EXPECT_TRUE(dag.validate());
+  EXPECT_EQ(dag.work(), 10);
+  EXPECT_EQ(dag.span(), 10);
+}
+
+TEST(Dag, ForkJoinWorkAndSpan) {
+  // leaves * chain work plus 2(leaves-1) fork/join nodes; span = chain +
+  // 2*depth.
+  Dag dag = build_plain_fork_join(/*leaves=*/8, /*chain_len=*/5);
+  EXPECT_TRUE(dag.validate());
+  EXPECT_EQ(dag.work(), 8 * 5 + 2 * 7);
+  EXPECT_EQ(dag.span(), 5 + 2 * 3);  // lg 8 = 3 levels of fork + join
+}
+
+TEST(Dag, SingleLeafForkJoinIsChain) {
+  Dag dag = build_plain_fork_join(1, 7);
+  EXPECT_EQ(dag.work(), 7);
+  EXPECT_EQ(dag.span(), 7);
+}
+
+TEST(Dag, UnbalancedLeafCounts) {
+  for (std::int64_t leaves : {2, 3, 5, 6, 7, 9, 100}) {
+    Dag dag = build_plain_fork_join(leaves, 3);
+    EXPECT_TRUE(dag.validate()) << leaves;
+    EXPECT_EQ(dag.work(), leaves * 3 + 2 * (leaves - 1)) << leaves;
+  }
+}
+
+TEST(Dag, ParallelLoopWithDsCountsNodes) {
+  const std::int64_t n = 64;
+  Dag dag = build_parallel_loop_with_ds(n, /*pre=*/2, /*post=*/1,
+                                        /*ds_per_iter=*/1);
+  EXPECT_TRUE(dag.validate());
+  EXPECT_EQ(dag.num_ds_nodes(), n);
+  EXPECT_EQ(dag.max_ds_on_path(), 1);
+  // Work: n*(2+1+1 ds) + 2(n-1) fork/join.
+  EXPECT_EQ(dag.work(), n * 4 + 2 * (n - 1));
+  // Span: 2 lg n + leaf length.
+  EXPECT_EQ(dag.span(), 2 * 6 + 4);
+}
+
+TEST(Dag, ParallelLoopMultipleDsPerIteration) {
+  Dag dag = build_parallel_loop_with_ds(16, 1, 0, 3);
+  EXPECT_EQ(dag.num_ds_nodes(), 48);
+  EXPECT_EQ(dag.max_ds_on_path(), 3);
+}
+
+TEST(Dag, SequentialDsChainHasMEqualN) {
+  Dag dag = build_sequential_ds_chain(/*n=*/20, /*gap=*/2);
+  EXPECT_TRUE(dag.validate());
+  EXPECT_EQ(dag.num_ds_nodes(), 20);
+  EXPECT_EQ(dag.max_ds_on_path(), 20);
+  EXPECT_EQ(dag.work(), 1 + 20 * 3);
+  EXPECT_EQ(dag.span(), dag.work());  // a chain
+}
+
+TEST(Dag, BuildWithWorkSpanApproximatesRequest) {
+  for (std::int64_t work : {10, 100, 1000, 10000}) {
+    for (std::int64_t span : {5, 10, 50}) {
+      if (span > work) continue;
+      Dag dag;
+      const Segment seg = build_with_work_span(dag, work, span);
+      dag.root = seg.first;
+      EXPECT_TRUE(dag.validate());
+      // Within a factor of ~4 both ways (structural constants); the span
+      // additionally pays the unavoidable 2·lg(leaves) binary-forking tax.
+      std::int64_t lg_work = 0;
+      while ((std::int64_t{1} << lg_work) < work) ++lg_work;
+      EXPECT_GE(dag.work(), work / 4) << work << " " << span;
+      EXPECT_LE(dag.work(), 4 * work) << work << " " << span;
+      EXPECT_LE(dag.span(), 4 * span + 2 * lg_work + 4) << work << " " << span;
+    }
+  }
+}
+
+TEST(Dag, ValidateRejectsBrokenDags) {
+  Dag dag;
+  EXPECT_FALSE(dag.validate());  // no root
+  const NodeId a = dag.add_node();
+  const NodeId b = dag.add_node();
+  dag.add_edge(a, b);
+  dag.root = b;  // root with incoming edge
+  EXPECT_FALSE(dag.validate());
+  dag.root = a;
+  EXPECT_TRUE(dag.validate());
+}
+
+TEST(CostModel, ILog2) {
+  EXPECT_EQ(ilog2(1), 1);  // clamped to >= 1
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(4), 2);
+  EXPECT_EQ(ilog2(1023), 9);
+  EXPECT_EQ(ilog2(1024), 10);
+}
+
+TEST(CostModel, CounterLinearWorkLogSpan) {
+  CounterCostModel m(2);
+  const WorkSpan c = m.batch_cost(64);
+  EXPECT_EQ(c.work, 128);
+  EXPECT_EQ(c.span, 6 + 1);
+}
+
+TEST(CostModel, SkipListGrowsWithCommits) {
+  SkipListCostModel m(/*initial_size=*/1024);
+  const std::int64_t cost_before = m.batch_cost(8).work;
+  for (int i = 0; i < 1000; ++i) m.on_commit(1024);  // grow 1000x
+  const std::int64_t cost_after = m.batch_cost(8).work;
+  EXPECT_GT(cost_after, cost_before);
+  EXPECT_GT(m.sequential_op_cost(), 10);
+}
+
+TEST(CostModel, TreeCostsSuperlinearInBatch) {
+  SearchTreeCostModel m(1 << 20);
+  const WorkSpan small = m.batch_cost(2);
+  const WorkSpan big = m.batch_cost(64);
+  EXPECT_GT(big.work, 16 * small.work / 2);  // at least ~linear growth
+  EXPECT_GE(big.span, small.span);
+}
+
+}  // namespace
+}  // namespace batcher::sim

@@ -1,0 +1,78 @@
+// Tests for the plain work-stealing simulator: it must reproduce the
+// T_P = O(T1/P + T∞) behaviour that BATCHER generalizes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/dag.hpp"
+#include "sim/sim_ws.hpp"
+
+namespace batcher::sim {
+namespace {
+
+TEST(SimWS, SingleWorkerTakesExactlyT1Steps) {
+  Dag dag = build_plain_fork_join(16, 10);
+  const SimResult res = simulate_ws(dag, 1, /*seed=*/1);
+  EXPECT_EQ(res.makespan, dag.work());
+  EXPECT_EQ(res.busy_core, dag.work());
+  EXPECT_EQ(res.steals_succeeded, 0);
+}
+
+TEST(SimWS, ChainIsInherentlySequential) {
+  Dag dag;
+  const Segment seg = build_chain(dag, 100);
+  dag.root = seg.first;
+  for (unsigned p : {1u, 2u, 8u}) {
+    const SimResult res = simulate_ws(dag, p, 1);
+    EXPECT_EQ(res.makespan, 100) << "P=" << p;
+  }
+}
+
+TEST(SimWS, DeterministicGivenSeed) {
+  Dag dag = build_plain_fork_join(64, 8);
+  const SimResult a = simulate_ws(dag, 4, 42);
+  const SimResult b = simulate_ws(dag, 4, 42);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.steal_attempts, b.steal_attempts);
+  const SimResult c = simulate_ws(dag, 4, 43);
+  // Different seed may differ (not guaranteed, but steals differ).
+  EXPECT_EQ(c.busy_core, a.busy_core);  // work is invariant
+}
+
+class SimWSSpeedup : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SimWSSpeedup, MakespanWithinWorkStealingBound) {
+  const unsigned P = GetParam();
+  Dag dag = build_plain_fork_join(/*leaves=*/256, /*chain_len=*/16);
+  const std::int64_t t1 = dag.work();
+  const std::int64_t tinf = dag.span();
+  const SimResult res = simulate_ws(dag, P, 7);
+  // Lower bound: max(T1/P, T∞).
+  EXPECT_GE(res.makespan, t1 / P);
+  EXPECT_GE(res.makespan, tinf);
+  // Upper bound with a generous constant: T1/P + 8·T∞.
+  EXPECT_LE(res.makespan, t1 / P + 8 * tinf);
+}
+
+TEST_P(SimWSSpeedup, NearLinearSpeedupOnWideDags) {
+  const unsigned P = GetParam();
+  Dag dag = build_plain_fork_join(1024, 32);
+  const SimResult res1 = simulate_ws(dag, 1, 3);
+  const SimResult resP = simulate_ws(dag, P, 3);
+  const double speedup = static_cast<double>(res1.makespan) /
+                         static_cast<double>(resP.makespan);
+  // At least 60% parallel efficiency on an embarrassingly parallel dag.
+  EXPECT_GE(speedup, 0.6 * P) << "P=" << P;
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, SimWSSpeedup,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(SimWS, WorkConservation) {
+  Dag dag = build_plain_fork_join(100, 7);
+  const SimResult res = simulate_ws(dag, 4, 11);
+  EXPECT_EQ(res.busy_core, dag.work());
+}
+
+}  // namespace
+}  // namespace batcher::sim

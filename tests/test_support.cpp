@@ -1,0 +1,152 @@
+// Unit tests for the support layer: RNG, arena, padding, timing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "support/arena.hpp"
+#include "support/backoff.hpp"
+#include "support/config.hpp"
+#include "support/padded.hpp"
+#include "support/rng.hpp"
+#include "support/timing.hpp"
+
+namespace batcher {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(42), b(42), c(43);
+  const std::uint64_t a1 = a.next();
+  EXPECT_EQ(a1, b.next());
+  EXPECT_NE(a1, c.next());
+  // Successive outputs differ.
+  EXPECT_NE(a.next(), a.next());
+}
+
+TEST(Xoshiro256, DeterministicStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, SeedsDecorrelate) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Xoshiro256, NextBelowInRange) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1000000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversAllResidues) {
+  Xoshiro256 rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, NextBelowRoughlyUniform) {
+  Xoshiro256 rng(5);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.1) << "bucket " << b;
+  }
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Padded, OccupiesWholeCacheLines) {
+  EXPECT_EQ(sizeof(Padded<int>) % kCacheLineSize, 0u);
+  EXPECT_EQ(alignof(Padded<int>), kCacheLineSize);
+  Padded<int> array[4];
+  for (int i = 0; i < 4; ++i) *array[i] = i;
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(*array[i], i);
+}
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(1024);
+  std::vector<char*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    char* p = static_cast<char*>(arena.allocate(24));
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 16, 0u);
+    for (char* q : ptrs) {
+      // 24 rounds to 32; regions must not overlap.
+      EXPECT_TRUE(p + 32 <= q || q + 32 <= p);
+    }
+    ptrs.push_back(p);
+  }
+}
+
+TEST(Arena, HandlesOversizedAllocations) {
+  Arena arena(64);
+  void* big = arena.allocate(10000);
+  EXPECT_NE(big, nullptr);
+  void* small = arena.allocate(8);
+  EXPECT_NE(small, nullptr);
+}
+
+TEST(Arena, CreateConstructsObjects) {
+  struct Pod {
+    int a;
+    double b;
+  };
+  Arena arena;
+  Pod* p = arena.create<Pod>(3, 2.5);
+  EXPECT_EQ(p->a, 3);
+  EXPECT_DOUBLE_EQ(p->b, 2.5);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  Arena a;
+  int* p = a.create<int>(41);
+  Arena b = std::move(a);
+  EXPECT_EQ(*p, 41);  // still valid, owned by b now
+  Arena c;
+  c = std::move(b);
+  EXPECT_EQ(*p, 41);
+}
+
+TEST(Stopwatch, MonotonicNonNegative) {
+  Stopwatch sw;
+  const double t0 = sw.elapsed_seconds();
+  EXPECT_GE(t0, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(sw.elapsed_seconds(), t0);
+  sw.reset();
+  EXPECT_LT(sw.elapsed_seconds(), 1.0);
+}
+
+TEST(Backoff, PauseAndResetDoNotHang) {
+  Backoff b;
+  for (int i = 0; i < 20; ++i) b.pause();
+  b.reset();
+  b.pause();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace batcher
