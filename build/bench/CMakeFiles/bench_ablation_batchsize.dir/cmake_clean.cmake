@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_batchsize.dir/bench_ablation_batchsize.cpp.o"
+  "CMakeFiles/bench_ablation_batchsize.dir/bench_ablation_batchsize.cpp.o.d"
+  "bench_ablation_batchsize"
+  "bench_ablation_batchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_steal.dir/bench_ablation_steal.cpp.o"
+  "CMakeFiles/bench_ablation_steal.dir/bench_ablation_steal.cpp.o.d"
+  "bench_ablation_steal"
+  "bench_ablation_steal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_steal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counter.dir/bench_counter.cpp.o"
+  "CMakeFiles/bench_counter.dir/bench_counter.cpp.o.d"
+  "bench_counter"
+  "bench_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

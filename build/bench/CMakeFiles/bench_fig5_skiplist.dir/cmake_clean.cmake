@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_skiplist.dir/bench_fig5_skiplist.cpp.o"
+  "CMakeFiles/bench_fig5_skiplist.dir/bench_fig5_skiplist.cpp.o.d"
+  "bench_fig5_skiplist"
+  "bench_fig5_skiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

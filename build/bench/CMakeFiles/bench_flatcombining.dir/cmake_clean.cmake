@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flatcombining.dir/bench_flatcombining.cpp.o"
+  "CMakeFiles/bench_flatcombining.dir/bench_flatcombining.cpp.o.d"
+  "bench_flatcombining"
+  "bench_flatcombining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flatcombining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

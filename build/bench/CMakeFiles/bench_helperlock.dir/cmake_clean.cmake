@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_helperlock.dir/bench_helperlock.cpp.o"
+  "CMakeFiles/bench_helperlock.dir/bench_helperlock.cpp.o.d"
+  "bench_helperlock"
+  "bench_helperlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_helperlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_searchtree.dir/bench_searchtree.cpp.o"
+  "CMakeFiles/bench_searchtree.dir/bench_searchtree.cpp.o.d"
+  "bench_searchtree"
+  "bench_searchtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_searchtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

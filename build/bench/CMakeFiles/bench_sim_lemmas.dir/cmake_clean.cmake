@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_lemmas.dir/bench_sim_lemmas.cpp.o"
+  "CMakeFiles/bench_sim_lemmas.dir/bench_sim_lemmas.cpp.o.d"
+  "bench_sim_lemmas"
+  "bench_sim_lemmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_lemmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

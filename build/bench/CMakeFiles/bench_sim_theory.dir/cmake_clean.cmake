@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_theory.dir/bench_sim_theory.cpp.o"
+  "CMakeFiles/bench_sim_theory.dir/bench_sim_theory.cpp.o.d"
+  "bench_sim_theory"
+  "bench_sim_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stack.dir/bench_stack.cpp.o"
+  "CMakeFiles/bench_stack.dir/bench_stack.cpp.o.d"
+  "bench_stack"
+  "bench_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

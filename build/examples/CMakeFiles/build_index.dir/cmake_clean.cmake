@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_index.dir/build_index.cpp.o"
+  "CMakeFiles/build_index.dir/build_index.cpp.o.d"
+  "build_index"
+  "build_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_detector.dir/race_detector.cpp.o"
+  "CMakeFiles/race_detector.dir/race_detector.cpp.o.d"
+  "race_detector"
+  "race_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

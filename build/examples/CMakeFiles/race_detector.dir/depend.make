@@ -1,0 +1,2 @@
+# Empty dependencies file for race_detector.
+# This may be replaced when dependencies are built.

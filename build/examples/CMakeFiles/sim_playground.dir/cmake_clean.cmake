@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_playground.dir/sim_playground.cpp.o"
+  "CMakeFiles/sim_playground.dir/sim_playground.cpp.o.d"
+  "sim_playground"
+  "sim_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

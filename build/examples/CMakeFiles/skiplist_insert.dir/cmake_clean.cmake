@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skiplist_insert.dir/skiplist_insert.cpp.o"
+  "CMakeFiles/skiplist_insert.dir/skiplist_insert.cpp.o.d"
+  "skiplist_insert"
+  "skiplist_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skiplist_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

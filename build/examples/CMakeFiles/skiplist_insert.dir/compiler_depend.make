@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for skiplist_insert.
+# This may be replaced when dependencies are built.

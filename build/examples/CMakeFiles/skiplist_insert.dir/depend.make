@@ -1,0 +1,2 @@
+# Empty dependencies file for skiplist_insert.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sssp.dir/sssp.cpp.o"
+  "CMakeFiles/sssp.dir/sssp.cpp.o.d"
+  "sssp"
+  "sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batcher_concurrent.dir/concurrent/lazy_skiplist.cpp.o"
+  "CMakeFiles/batcher_concurrent.dir/concurrent/lazy_skiplist.cpp.o.d"
+  "libbatcher_concurrent.a"
+  "libbatcher_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batcher_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for batcher_concurrent.
+# This may be replaced when dependencies are built.

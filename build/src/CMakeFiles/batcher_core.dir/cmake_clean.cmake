@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batcher_core.dir/batcher/batcher.cpp.o"
+  "CMakeFiles/batcher_core.dir/batcher/batcher.cpp.o.d"
+  "libbatcher_core.a"
+  "libbatcher_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batcher_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ds/batched_hashmap.cpp" "src/CMakeFiles/batcher_ds.dir/ds/batched_hashmap.cpp.o" "gcc" "src/CMakeFiles/batcher_ds.dir/ds/batched_hashmap.cpp.o.d"
+  "/root/repo/src/ds/batched_om.cpp" "src/CMakeFiles/batcher_ds.dir/ds/batched_om.cpp.o" "gcc" "src/CMakeFiles/batcher_ds.dir/ds/batched_om.cpp.o.d"
+  "/root/repo/src/ds/batched_pq.cpp" "src/CMakeFiles/batcher_ds.dir/ds/batched_pq.cpp.o" "gcc" "src/CMakeFiles/batcher_ds.dir/ds/batched_pq.cpp.o.d"
+  "/root/repo/src/ds/batched_skiplist.cpp" "src/CMakeFiles/batcher_ds.dir/ds/batched_skiplist.cpp.o" "gcc" "src/CMakeFiles/batcher_ds.dir/ds/batched_skiplist.cpp.o.d"
+  "/root/repo/src/ds/batched_tree23.cpp" "src/CMakeFiles/batcher_ds.dir/ds/batched_tree23.cpp.o" "gcc" "src/CMakeFiles/batcher_ds.dir/ds/batched_tree23.cpp.o.d"
+  "/root/repo/src/ds/batched_wbtree.cpp" "src/CMakeFiles/batcher_ds.dir/ds/batched_wbtree.cpp.o" "gcc" "src/CMakeFiles/batcher_ds.dir/ds/batched_wbtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/batcher_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/batcher_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batcher_ds.dir/ds/batched_hashmap.cpp.o"
+  "CMakeFiles/batcher_ds.dir/ds/batched_hashmap.cpp.o.d"
+  "CMakeFiles/batcher_ds.dir/ds/batched_om.cpp.o"
+  "CMakeFiles/batcher_ds.dir/ds/batched_om.cpp.o.d"
+  "CMakeFiles/batcher_ds.dir/ds/batched_pq.cpp.o"
+  "CMakeFiles/batcher_ds.dir/ds/batched_pq.cpp.o.d"
+  "CMakeFiles/batcher_ds.dir/ds/batched_skiplist.cpp.o"
+  "CMakeFiles/batcher_ds.dir/ds/batched_skiplist.cpp.o.d"
+  "CMakeFiles/batcher_ds.dir/ds/batched_tree23.cpp.o"
+  "CMakeFiles/batcher_ds.dir/ds/batched_tree23.cpp.o.d"
+  "CMakeFiles/batcher_ds.dir/ds/batched_wbtree.cpp.o"
+  "CMakeFiles/batcher_ds.dir/ds/batched_wbtree.cpp.o.d"
+  "libbatcher_ds.a"
+  "libbatcher_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batcher_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for batcher_ds.
+# This may be replaced when dependencies are built.

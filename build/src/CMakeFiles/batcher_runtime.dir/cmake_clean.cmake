@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batcher_runtime.dir/runtime/scheduler.cpp.o"
+  "CMakeFiles/batcher_runtime.dir/runtime/scheduler.cpp.o.d"
+  "CMakeFiles/batcher_runtime.dir/runtime/worker.cpp.o"
+  "CMakeFiles/batcher_runtime.dir/runtime/worker.cpp.o.d"
+  "libbatcher_runtime.a"
+  "libbatcher_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batcher_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/batcher_sim.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/batcher_sim.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/dag.cpp" "src/CMakeFiles/batcher_sim.dir/sim/dag.cpp.o" "gcc" "src/CMakeFiles/batcher_sim.dir/sim/dag.cpp.o.d"
+  "/root/repo/src/sim/sim_batcher.cpp" "src/CMakeFiles/batcher_sim.dir/sim/sim_batcher.cpp.o" "gcc" "src/CMakeFiles/batcher_sim.dir/sim/sim_batcher.cpp.o.d"
+  "/root/repo/src/sim/sim_concurrent.cpp" "src/CMakeFiles/batcher_sim.dir/sim/sim_concurrent.cpp.o" "gcc" "src/CMakeFiles/batcher_sim.dir/sim/sim_concurrent.cpp.o.d"
+  "/root/repo/src/sim/sim_flatcomb.cpp" "src/CMakeFiles/batcher_sim.dir/sim/sim_flatcomb.cpp.o" "gcc" "src/CMakeFiles/batcher_sim.dir/sim/sim_flatcomb.cpp.o.d"
+  "/root/repo/src/sim/sim_ws.cpp" "src/CMakeFiles/batcher_sim.dir/sim/sim_ws.cpp.o" "gcc" "src/CMakeFiles/batcher_sim.dir/sim/sim_ws.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batcher_sim.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/batcher_sim.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/batcher_sim.dir/sim/dag.cpp.o"
+  "CMakeFiles/batcher_sim.dir/sim/dag.cpp.o.d"
+  "CMakeFiles/batcher_sim.dir/sim/sim_batcher.cpp.o"
+  "CMakeFiles/batcher_sim.dir/sim/sim_batcher.cpp.o.d"
+  "CMakeFiles/batcher_sim.dir/sim/sim_concurrent.cpp.o"
+  "CMakeFiles/batcher_sim.dir/sim/sim_concurrent.cpp.o.d"
+  "CMakeFiles/batcher_sim.dir/sim/sim_flatcomb.cpp.o"
+  "CMakeFiles/batcher_sim.dir/sim/sim_flatcomb.cpp.o.d"
+  "CMakeFiles/batcher_sim.dir/sim/sim_ws.cpp.o"
+  "CMakeFiles/batcher_sim.dir/sim/sim_ws.cpp.o.d"
+  "libbatcher_sim.a"
+  "libbatcher_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batcher_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbatcher_sim.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_counter.dir/test_batched_counter.cpp.o"
+  "CMakeFiles/test_batched_counter.dir/test_batched_counter.cpp.o.d"
+  "test_batched_counter"
+  "test_batched_counter.pdb"
+  "test_batched_counter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

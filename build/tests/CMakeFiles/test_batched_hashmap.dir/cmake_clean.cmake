@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_hashmap.dir/test_batched_hashmap.cpp.o"
+  "CMakeFiles/test_batched_hashmap.dir/test_batched_hashmap.cpp.o.d"
+  "test_batched_hashmap"
+  "test_batched_hashmap.pdb"
+  "test_batched_hashmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_hashmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_om.dir/test_batched_om.cpp.o"
+  "CMakeFiles/test_batched_om.dir/test_batched_om.cpp.o.d"
+  "test_batched_om"
+  "test_batched_om.pdb"
+  "test_batched_om[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_om.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_pq.dir/test_batched_pq.cpp.o"
+  "CMakeFiles/test_batched_pq.dir/test_batched_pq.cpp.o.d"
+  "test_batched_pq"
+  "test_batched_pq.pdb"
+  "test_batched_pq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_queue.dir/test_batched_queue.cpp.o"
+  "CMakeFiles/test_batched_queue.dir/test_batched_queue.cpp.o.d"
+  "test_batched_queue"
+  "test_batched_queue.pdb"
+  "test_batched_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

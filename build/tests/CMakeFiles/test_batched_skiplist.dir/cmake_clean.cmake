@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_skiplist.dir/test_batched_skiplist.cpp.o"
+  "CMakeFiles/test_batched_skiplist.dir/test_batched_skiplist.cpp.o.d"
+  "test_batched_skiplist"
+  "test_batched_skiplist.pdb"
+  "test_batched_skiplist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

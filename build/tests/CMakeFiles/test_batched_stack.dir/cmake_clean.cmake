@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_stack.dir/test_batched_stack.cpp.o"
+  "CMakeFiles/test_batched_stack.dir/test_batched_stack.cpp.o.d"
+  "test_batched_stack"
+  "test_batched_stack.pdb"
+  "test_batched_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

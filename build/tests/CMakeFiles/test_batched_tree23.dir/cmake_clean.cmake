@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_tree23.dir/test_batched_tree23.cpp.o"
+  "CMakeFiles/test_batched_tree23.dir/test_batched_tree23.cpp.o.d"
+  "test_batched_tree23"
+  "test_batched_tree23.pdb"
+  "test_batched_tree23[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_tree23.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

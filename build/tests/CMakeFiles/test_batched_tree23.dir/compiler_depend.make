@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_batched_tree23.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batched_wbtree.dir/test_batched_wbtree.cpp.o"
+  "CMakeFiles/test_batched_wbtree.dir/test_batched_wbtree.cpp.o.d"
+  "test_batched_wbtree"
+  "test_batched_wbtree.pdb"
+  "test_batched_wbtree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batched_wbtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

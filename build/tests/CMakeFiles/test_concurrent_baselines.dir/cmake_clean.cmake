@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrent_baselines.dir/test_concurrent_baselines.cpp.o"
+  "CMakeFiles/test_concurrent_baselines.dir/test_concurrent_baselines.cpp.o.d"
+  "test_concurrent_baselines"
+  "test_concurrent_baselines.pdb"
+  "test_concurrent_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrent_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deque.dir/test_deque.cpp.o"
+  "CMakeFiles/test_deque.dir/test_deque.cpp.o.d"
+  "test_deque"
+  "test_deque.pdb"
+  "test_deque[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deque.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

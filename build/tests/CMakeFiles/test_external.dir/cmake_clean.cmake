@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_external.dir/test_external.cpp.o"
+  "CMakeFiles/test_external.dir/test_external.cpp.o.d"
+  "test_external"
+  "test_external.pdb"
+  "test_external[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_external.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

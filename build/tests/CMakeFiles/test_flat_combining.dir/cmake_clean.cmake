@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flat_combining.dir/test_flat_combining.cpp.o"
+  "CMakeFiles/test_flat_combining.dir/test_flat_combining.cpp.o.d"
+  "test_flat_combining"
+  "test_flat_combining.pdb"
+  "test_flat_combining[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flat_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

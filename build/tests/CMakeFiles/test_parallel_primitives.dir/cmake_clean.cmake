@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_primitives.dir/test_parallel_primitives.cpp.o"
+  "CMakeFiles/test_parallel_primitives.dir/test_parallel_primitives.cpp.o.d"
+  "test_parallel_primitives"
+  "test_parallel_primitives.pdb"
+  "test_parallel_primitives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_stress.dir/test_runtime_stress.cpp.o"
+  "CMakeFiles/test_runtime_stress.dir/test_runtime_stress.cpp.o.d"
+  "test_runtime_stress"
+  "test_runtime_stress.pdb"
+  "test_runtime_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_baselines.dir/test_sim_baselines.cpp.o"
+  "CMakeFiles/test_sim_baselines.dir/test_sim_baselines.cpp.o.d"
+  "test_sim_baselines"
+  "test_sim_baselines.pdb"
+  "test_sim_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

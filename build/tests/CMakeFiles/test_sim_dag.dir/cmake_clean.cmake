@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_dag.dir/test_sim_dag.cpp.o"
+  "CMakeFiles/test_sim_dag.dir/test_sim_dag.cpp.o.d"
+  "test_sim_dag"
+  "test_sim_dag.pdb"
+  "test_sim_dag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

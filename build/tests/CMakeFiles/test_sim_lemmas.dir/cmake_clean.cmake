@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_lemmas.dir/test_sim_lemmas.cpp.o"
+  "CMakeFiles/test_sim_lemmas.dir/test_sim_lemmas.cpp.o.d"
+  "test_sim_lemmas"
+  "test_sim_lemmas.pdb"
+  "test_sim_lemmas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_lemmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

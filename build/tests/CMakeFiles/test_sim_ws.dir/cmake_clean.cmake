@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_ws.dir/test_sim_ws.cpp.o"
+  "CMakeFiles/test_sim_ws.dir/test_sim_ws.cpp.o.d"
+  "test_sim_ws"
+  "test_sim_ws.pdb"
+  "test_sim_ws[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_ws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_deque[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_primitives[1]_include.cmake")
+include("/root/repo/build/tests/test_batcher[1]_include.cmake")
+include("/root/repo/build/tests/test_external[1]_include.cmake")
+include("/root/repo/build/tests/test_batched_counter[1]_include.cmake")
+include("/root/repo/build/tests/test_batched_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_batched_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_batched_skiplist[1]_include.cmake")
+include("/root/repo/build/tests/test_batched_tree23[1]_include.cmake")
+include("/root/repo/build/tests/test_batched_wbtree[1]_include.cmake")
+include("/root/repo/build/tests/test_batched_om[1]_include.cmake")
+include("/root/repo/build/tests/test_batched_pq[1]_include.cmake")
+include("/root/repo/build/tests/test_batched_hashmap[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrent_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_flat_combining[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_dag[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_ws[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_batcher[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_lemmas[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
