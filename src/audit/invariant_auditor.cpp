@@ -1,0 +1,330 @@
+#include "audit/invariant_auditor.hpp"
+
+#include <sstream>
+
+namespace batcher::audit {
+
+namespace hooks = rt::hooks;
+using rt::TaskKind;
+
+namespace {
+
+const char* status_name(int s) {
+  switch (s) {
+    case 0: return "free";
+    case 1: return "pending";
+    case 2: return "executing";
+    case 3: return "done";
+    default: return "?";
+  }
+}
+
+const char* kind_name(TaskKind k) {
+  return k == TaskKind::Core ? "core" : "batch";
+}
+
+const char* point_name(hooks::HookPoint p) {
+  using P = hooks::HookPoint;
+  switch (p) {
+    case P::kWorkerLoop: return "worker-loop";
+    case P::kPush: return "push";
+    case P::kPop: return "pop";
+    case P::kStealAttempt: return "steal-attempt";
+    case P::kAlternatingSteal: return "alternating-steal";
+    case P::kTaskRun: return "task-run";
+    case P::kBatchifyEnter: return "batchify-enter";
+    case P::kBatchifyExit: return "batchify-exit";
+    case P::kFlagCasWon: return "flag-cas-won";
+    case P::kLaunchEnter: return "launch-enter";
+    case P::kBatchCollected: return "batch-collected";
+    case P::kLaunchExit: return "launch-exit";
+    case P::kStatusFreeToPending: return "status free->pending";
+    case P::kStatusPendingToExecuting: return "status pending->executing";
+    case P::kStatusExecutingToDone: return "status executing->done";
+    case P::kStatusDoneToFree: return "status done->free";
+  }
+  return "?";
+}
+
+}  // namespace
+
+InvariantAuditor::InvariantAuditor(unsigned num_workers)
+    : num_workers_(num_workers), workers_(num_workers) {}
+
+InvariantAuditor::DomainState& InvariantAuditor::domain_state(
+    const void* domain) {
+  auto [it, inserted] = domains_.try_emplace(domain);
+  if (inserted) {
+    it->second.flag_holder = hooks::kNoWorker;
+    it->second.status.assign(workers_.size(), Status::Free);
+  }
+  return it->second;
+}
+
+InvariantAuditor::WorkerState& InvariantAuditor::worker_state(unsigned worker) {
+  if (worker >= workers_.size()) {
+    // Unknown worker id: grow defensively so the model stays total.
+    workers_.resize(worker + 1);
+    for (auto& [ptr, dom] : domains_) {
+      (void)ptr;
+      dom.status.resize(workers_.size(), Status::Free);
+    }
+  }
+  return workers_[worker];
+}
+
+void InvariantAuditor::violate(const rt::hooks::HookEvent& event,
+                               std::string invariant, std::string detail) {
+  ++violation_count_;
+  if (violations_.size() < kMaxRecorded) {
+    std::ostringstream os;
+    os << detail << " [at " << point_name(event.point) << ", context "
+       << kind_name(event.context) << "]";
+    violations_.push_back(
+        Violation{std::move(invariant), event.worker, os.str()});
+  }
+}
+
+void InvariantAuditor::check_status_edge(const rt::hooks::HookEvent& event,
+                                         Status from, Status to) {
+  DomainState& dom = domain_state(event.domain);
+  worker_state(event.worker);  // ensure dom.status covers event.worker
+  Status& cur = dom.status[event.worker];
+  if (cur != from) {
+    std::ostringstream os;
+    os << "worker " << event.worker << " moved "
+       << status_name(static_cast<int>(cur)) << "->"
+       << status_name(static_cast<int>(to)) << " but the only legal source of "
+       << status_name(static_cast<int>(to)) << " is "
+       << status_name(static_cast<int>(from));
+    violate(event, "Fig. 3 (trapped-worker status machine)", os.str());
+  }
+  cur = to;
+  // The executing-side edges may only be flipped while the domain's (unique)
+  // launcher is inside LAUNCHBATCH.
+  if ((to == Status::Executing || to == Status::Done) &&
+      dom.active_launches <= 0) {
+    std::ostringstream os;
+    os << "worker " << event.worker << "'s status flipped to "
+       << status_name(static_cast<int>(to)) << " with no LAUNCHBATCH active";
+    violate(event, "Invariant 1 (one active batch)", os.str());
+  }
+}
+
+void InvariantAuditor::on_event(const rt::hooks::HookEvent& event) {
+  using P = hooks::HookPoint;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++events_;
+
+  switch (event.point) {
+    case P::kWorkerLoop:
+      break;
+
+    case P::kPush:
+      // Spawns inherit the spawner's dag: a task's kind must match the dag
+      // context it was pushed from (Invariant 3).
+      if (event.deque != event.context) {
+        std::ostringstream os;
+        os << "worker " << event.worker << " pushed a " << kind_name(event.deque)
+           << " task while in " << kind_name(event.context) << " context";
+        violate(event, "Invariant 3 (core/batch deque separation)", os.str());
+      }
+      break;
+
+    case P::kPop:
+    case P::kStealAttempt: {
+      WorkerState& ws = worker_state(event.worker);
+      if (event.deque == TaskKind::Core) {
+        if (ws.trapped) {
+          std::ostringstream os;
+          os << "worker " << event.worker
+             << " is trapped (suspended op in domain " << ws.trapped_domain
+             << ") but touched a core deque";
+          violate(event, "Fig. 3 (trapped workers execute only batch work)",
+                  os.str());
+        }
+        if (event.context == TaskKind::Batch) {
+          std::ostringstream os;
+          os << "worker " << event.worker
+             << " touched a core deque from batch context";
+          violate(event, "Invariant 3 (core/batch deque separation)",
+                  os.str());
+        }
+      }
+      break;
+    }
+
+    case P::kAlternatingSteal: {
+      WorkerState& ws = worker_state(event.worker);
+      const int kind = static_cast<int>(event.deque);
+      if (ws.last_alternating == kind) {
+        std::ostringstream os;
+        os << "worker " << event.worker
+           << " aimed two consecutive free-worker steals at "
+           << kind_name(event.deque) << " deques";
+        violate(event, "§4 (alternating-steal parity)", os.str());
+      }
+      ws.last_alternating = kind;
+      break;
+    }
+
+    case P::kTaskRun: {
+      WorkerState& ws = worker_state(event.worker);
+      if (ws.trapped && event.deque == TaskKind::Core) {
+        std::ostringstream os;
+        os << "worker " << event.worker << " ran a core task while trapped";
+        violate(event, "Fig. 3 (trapped workers execute only batch work)",
+                os.str());
+      }
+      break;
+    }
+
+    case P::kBatchifyEnter: {
+      WorkerState& ws = worker_state(event.worker);
+      if (ws.trapped) {
+        std::ostringstream os;
+        os << "worker " << event.worker
+           << " entered batchify while already trapped (domain "
+           << ws.trapped_domain << ") — more than one suspended op";
+        violate(event, "Fig. 3 (one suspended op per worker)", os.str());
+      }
+      ws.trapped = true;
+      ws.trapped_domain = event.domain;
+      break;
+    }
+
+    case P::kBatchifyExit: {
+      WorkerState& ws = worker_state(event.worker);
+      if (!ws.trapped) {
+        std::ostringstream os;
+        os << "worker " << event.worker
+           << " exited batchify without a matching enter";
+        violate(event, "Fig. 3 (one suspended op per worker)", os.str());
+      }
+      ws.trapped = false;
+      ws.trapped_domain = nullptr;
+      break;
+    }
+
+    case P::kFlagCasWon: {
+      DomainState& dom = domain_state(event.domain);
+      if (dom.flag_holder != hooks::kNoWorker) {
+        std::ostringstream os;
+        os << "worker " << event.worker
+           << " won the batch flag while worker " << dom.flag_holder
+           << " still holds it";
+        violate(event, "Invariant 1 (one active batch)", os.str());
+      }
+      dom.flag_holder = event.worker;
+      break;
+    }
+
+    case P::kLaunchEnter: {
+      DomainState& dom = domain_state(event.domain);
+      if (dom.flag_holder != event.worker) {
+        std::ostringstream os;
+        os << "worker " << event.worker
+           << " entered LAUNCHBATCH without holding the batch flag (holder: ";
+        if (dom.flag_holder == hooks::kNoWorker) {
+          os << "none — the batch-flag CAS was skipped";
+        } else {
+          os << "worker " << dom.flag_holder;
+        }
+        os << ")";
+        violate(event, "Invariant 1 (one active batch)", os.str());
+      }
+      ++dom.active_launches;
+      if (dom.active_launches > 1) {
+        std::ostringstream os;
+        os << "worker " << event.worker << " entered LAUNCHBATCH while "
+           << (dom.active_launches - 1) << " launch(es) already active";
+        violate(event, "Invariant 1 (one active batch)", os.str());
+      }
+      break;
+    }
+
+    case P::kBatchCollected: {
+      domain_state(event.domain);
+      if (event.value > num_workers_) {
+        std::ostringstream os;
+        os << "LAUNCHBATCH on worker " << event.worker << " collected "
+           << event.value << " ops but P = " << num_workers_;
+        violate(event, "Invariant 2 (batch size at most P)", os.str());
+      }
+      break;
+    }
+
+    case P::kLaunchExit: {
+      DomainState& dom = domain_state(event.domain);
+      if (dom.active_launches != 1) {
+        std::ostringstream os;
+        os << "worker " << event.worker << " exited LAUNCHBATCH with "
+           << dom.active_launches << " launches active (expected 1)";
+        violate(event, "Invariant 1 (one active batch)", os.str());
+      }
+      dom.active_launches = dom.active_launches > 0 ? dom.active_launches - 1 : 0;
+      dom.flag_holder = hooks::kNoWorker;
+      break;
+    }
+
+    case P::kStatusFreeToPending:
+      check_status_edge(event, Status::Free, Status::Pending);
+      break;
+    case P::kStatusPendingToExecuting:
+      check_status_edge(event, Status::Pending, Status::Executing);
+      break;
+    case P::kStatusExecutingToDone:
+      check_status_edge(event, Status::Executing, Status::Done);
+      break;
+    case P::kStatusDoneToFree:
+      check_status_edge(event, Status::Done, Status::Free);
+      break;
+  }
+}
+
+void InvariantAuditor::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_ = 0;
+  violation_count_ = 0;
+  violations_.clear();
+  domains_.clear();
+  workers_.assign(num_workers_, WorkerState{});
+}
+
+std::uint64_t InvariantAuditor::events_observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::uint64_t InvariantAuditor::violation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violation_count_;
+}
+
+std::vector<Violation> InvariantAuditor::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+std::string InvariantAuditor::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "InvariantAuditor: " << events_ << " events observed, "
+     << violation_count_ << " violation(s)";
+  if (violation_count_ > violations_.size()) {
+    os << " (first " << violations_.size() << " recorded)";
+  }
+  os << "\n";
+  for (const Violation& v : violations_) {
+    os << "  [" << v.invariant << "] worker ";
+    if (v.worker == hooks::kNoWorker) {
+      os << "<none>";
+    } else {
+      os << v.worker;
+    }
+    os << ": " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace batcher::audit

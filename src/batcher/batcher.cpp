@@ -2,9 +2,12 @@
 
 #include "parallel/prefix_sum.hpp"
 #include "runtime/api.hpp"
+#include "runtime/schedule_hooks.hpp"
 #include "support/backoff.hpp"
 
 namespace batcher {
+
+namespace hooks = rt::hooks;
 
 Batcher::Batcher(rt::Scheduler& sched, BatchedStructure& ds, SetupPolicy setup)
     : sched_(sched), ds_(ds), setup_(setup) {
@@ -25,7 +28,13 @@ void Batcher::batchify(OpRecordBase& op) {
   Slot& slot = slots_[w->id()];
   BATCHER_DASSERT(slot.status.load(std::memory_order_relaxed) == OpStatus::Free,
                   "a worker has at most one suspended data-structure node");
+  hooks::emit({hooks::HookPoint::kBatchifyEnter, w->id(), rt::TaskKind::Core,
+               w->current_kind(), this});
   slot.op = &op;
+  // Emitted before the release store: a launcher can only observe (and report
+  // on) this slot after the store, so the observer sees free->pending first.
+  hooks::emit({hooks::HookPoint::kStatusFreeToPending, w->id(),
+               rt::TaskKind::Core, w->current_kind(), this});
   // The release pairs with the launcher's acquire scan: a launcher that sees
   // `Pending` also sees the op pointer and the operation's arguments.
   slot.status.store(OpStatus::Pending, std::memory_order_release);
@@ -48,6 +57,14 @@ void Batcher::batchify(OpRecordBase& op) {
         batch_flag_.compare_exchange_strong(expected, 1,
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
+#if BATCHER_AUDIT
+      if (!hooks::test_faults().skip_batch_flag_cas.load(
+              std::memory_order_relaxed))
+#endif
+      {
+        hooks::emit({hooks::HookPoint::kFlagCasWon, w->id(),
+                     rt::TaskKind::Core, w->current_kind(), this});
+      }
       w->run_inline(rt::TaskKind::Batch, [this] { launch_batch(); });
       backoff.reset();
       continue;
@@ -63,11 +80,18 @@ void Batcher::batchify(OpRecordBase& op) {
   }
 
   // done -> free: only the owning worker makes this transition (§4).
+  hooks::emit({hooks::HookPoint::kStatusDoneToFree, w->id(),
+               rt::TaskKind::Core, w->current_kind(), this});
   slot.op = nullptr;
   slot.status.store(OpStatus::Free, std::memory_order_relaxed);
+  hooks::emit({hooks::HookPoint::kBatchifyExit, w->id(), rt::TaskKind::Core,
+               w->current_kind(), this});
 }
 
 void Batcher::launch_batch() {
+  const unsigned launcher = rt::Worker::current()->id();
+  hooks::emit({hooks::HookPoint::kLaunchEnter, launcher, rt::TaskKind::Batch,
+               rt::TaskKind::Batch, this});
   const std::int32_t already =
       batches_running_.fetch_add(1, std::memory_order_acq_rel);
   BATCHER_ASSERT(already == 0, "Invariant 1 violated: overlapping batches");
@@ -78,6 +102,8 @@ void Batcher::launch_batch() {
   } else {
     collect_parallel(&count);
   }
+  hooks::emit({hooks::HookPoint::kBatchCollected, launcher,
+               rt::TaskKind::Batch, rt::TaskKind::Batch, this, count});
   BATCHER_ASSERT(count <= sched_.num_workers(),
                  "Invariant 2 violated: batch larger than P");
 
@@ -103,6 +129,10 @@ void Batcher::launch_batch() {
   bump(stat_cells_.histogram[count]);
 
   batches_running_.fetch_sub(1, std::memory_order_acq_rel);
+  // Emitted before the flag reopens: the next launcher's kFlagCasWon cannot
+  // precede this event, so the observer's flag-holder model stays exact.
+  hooks::emit({hooks::HookPoint::kLaunchExit, launcher, rt::TaskKind::Batch,
+               rt::TaskKind::Batch, this, count});
   // Reopen the domain.  Release pairs with the next launcher's CAS acquire.
   batch_flag_.store(0, std::memory_order_release);
 }
@@ -112,6 +142,9 @@ void Batcher::collect_sequential(std::size_t* out_count) {
   std::size_t count = 0;
   for (std::size_t i = 0; i < P; ++i) {
     if (slots_[i].status.load(std::memory_order_acquire) == OpStatus::Pending) {
+      hooks::emit({hooks::HookPoint::kStatusPendingToExecuting,
+                   static_cast<unsigned>(i), rt::TaskKind::Batch,
+                   rt::TaskKind::Batch, this});
       slots_[i].status.store(OpStatus::Executing, std::memory_order_relaxed);
       working_[count++] = slots_[i].op;
     }
@@ -127,6 +160,9 @@ void Batcher::collect_parallel(std::size_t* out_count) {
       [this](std::int64_t i) {
         auto& s = slots_[static_cast<std::size_t>(i)];
         if (s.status.load(std::memory_order_acquire) == OpStatus::Pending) {
+          hooks::emit({hooks::HookPoint::kStatusPendingToExecuting,
+                       static_cast<unsigned>(i), rt::TaskKind::Batch,
+                       rt::TaskKind::Batch, this});
           s.status.store(OpStatus::Executing, std::memory_order_relaxed);
           marks_[static_cast<std::size_t>(i)] = 1;
         } else {
@@ -153,8 +189,12 @@ void Batcher::collect_parallel(std::size_t* out_count) {
 }
 
 void Batcher::complete_sequential() {
-  for (auto& s : slots_) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
     if (s.status.load(std::memory_order_relaxed) == OpStatus::Executing) {
+      hooks::emit({hooks::HookPoint::kStatusExecutingToDone,
+                   static_cast<unsigned>(i), rt::TaskKind::Batch,
+                   rt::TaskKind::Batch, this});
       // Release publishes the results BOP wrote into the op records.
       s.status.store(OpStatus::Done, std::memory_order_release);
     }
@@ -168,6 +208,9 @@ void Batcher::complete_parallel() {
       [this](std::int64_t i) {
         auto& s = slots_[static_cast<std::size_t>(i)];
         if (s.status.load(std::memory_order_relaxed) == OpStatus::Executing) {
+          hooks::emit({hooks::HookPoint::kStatusExecutingToDone,
+                       static_cast<unsigned>(i), rt::TaskKind::Batch,
+                       rt::TaskKind::Batch, this});
           s.status.store(OpStatus::Done, std::memory_order_release);
         }
       },

@@ -9,6 +9,12 @@
 // A program may create several Batcher domains (one per data structure); each
 // batches independently, which matches the paper's model of a program using
 // one ADT per domain.
+//
+// Under BATCHER_AUDIT the whole protocol — batchify entry/exit, every slot
+// status transition, the batch-flag CAS, and LAUNCHBATCH entry/exit — emits
+// schedule hooks (runtime/schedule_hooks.hpp) keyed on `this` as the domain
+// identity, which src/audit uses to check Invariants 1–3 and the Fig. 3
+// trapped-worker rules at runtime.
 #pragma once
 
 #include <atomic>

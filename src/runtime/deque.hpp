@@ -21,6 +21,17 @@ namespace batcher::rt {
 
 class Task;  // defined in task.hpp; the deque only moves pointers around
 
+// TSan does not model std::atomic_thread_fence, so the fence-based publication
+// below (relaxed slot store + release fence in push, fence + relaxed load in
+// steal) is invisible to it and every stolen task is reported as a race.
+// Under TSan the slot accesses are strengthened to release/acquire, which
+// routes the same happens-before edge through the slot atomic itself without
+// changing the algorithm; plain builds keep the cheap relaxed accesses.
+inline constexpr std::memory_order kDequeSlotStore =
+    BATCHER_TSAN_ACTIVE ? std::memory_order_release : std::memory_order_relaxed;
+inline constexpr std::memory_order kDequeSlotLoad =
+    BATCHER_TSAN_ACTIVE ? std::memory_order_acquire : std::memory_order_relaxed;
+
 class WorkDeque {
  public:
   explicit WorkDeque(std::int64_t initial_capacity = 64)
@@ -112,10 +123,10 @@ class WorkDeque {
     ~Buffer() { delete[] slots; }
 
     void put(std::int64_t i, Task* task) {
-      slots[i & mask].store(task, std::memory_order_relaxed);
+      slots[i & mask].store(task, kDequeSlotStore);
     }
     Task* get(std::int64_t i) const {
-      return slots[i & mask].load(std::memory_order_relaxed);
+      return slots[i & mask].load(kDequeSlotLoad);
     }
 
     const std::int64_t capacity;

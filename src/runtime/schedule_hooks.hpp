@@ -1,0 +1,115 @@
+// Schedule-observation seam for the runtime and the BATCHER extension.
+//
+// The worker loop, the steal paths, and the Batcher's LAUNCHBATCH protocol
+// emit fine-grained events through `hooks::emit`.  An installed
+// `ScheduleObserver` (src/audit) can audit the paper's invariants at every
+// event and/or perturb the schedule by pausing inside the callback.  With
+// BATCHER_AUDIT=0 (the Release default) `emit` is an empty inline function
+// and the whole seam compiles away; with BATCHER_AUDIT=1 an un-installed
+// observer costs one relaxed load and a predicted-not-taken branch per hook.
+//
+// Emission points are placed so that the real synchronization order implies
+// the observer callback order: an event that publishes state (e.g. a slot
+// status store with release semantics) is emitted *before* the store, so any
+// event caused by observing that state is emitted strictly later in wall
+// time.  This lets a mutex-serialized observer maintain an exact model of the
+// protocol state with no false races.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "runtime/task.hpp"
+#include "support/config.hpp"
+
+namespace batcher::rt::hooks {
+
+// Where in the scheduler an event fired.  The `worker` field of HookEvent is
+// the worker the event is *about* — for the per-slot status transitions that
+// is the slot's owner, which may differ from the thread emitting the event
+// (LAUNCHBATCH flips other workers' statuses).
+enum class HookPoint : std::uint8_t {
+  kWorkerLoop,        // top of a worker's main-loop iteration
+  kPush,              // owner-side deque push (deque = task kind)
+  kPop,               // owner-side deque pop (deque = kind, value = hit)
+  kStealAttempt,      // try_steal (deque = kind, value = success)
+  kAlternatingSteal,  // steal_alternating chose `deque` for this attempt
+  kTaskRun,           // a task frame is about to run (deque = task kind)
+  kBatchifyEnter,     // worker submitted an op record to `domain`
+  kBatchifyExit,      // worker resumed from batchify (op done, slot freed)
+  kFlagCasWon,        // worker won the domain's batch-flag CAS
+  kLaunchEnter,       // LAUNCHBATCH begins on this worker
+  kBatchCollected,    // working set compacted (value = ops in the batch)
+  kLaunchExit,        // LAUNCHBATCH finished; the flag is about to reopen
+  kStatusFreeToPending,
+  kStatusPendingToExecuting,
+  kStatusExecutingToDone,
+  kStatusDoneToFree,
+};
+
+inline constexpr unsigned kNoWorker = ~0u;
+
+struct HookEvent {
+  HookPoint point;
+  unsigned worker = kNoWorker;        // subject worker (see HookPoint)
+  TaskKind deque = TaskKind::Core;    // deque/task kind, where meaningful
+  TaskKind context = TaskKind::Core;  // subject worker's current dag kind
+  const void* domain = nullptr;       // Batcher identity for batching events
+  std::uint64_t value = 0;            // point-specific payload
+};
+
+// Observers are usable (and unit-testable, via synthetic event streams) in
+// every build; only the runtime's emission is gated on BATCHER_AUDIT.
+class ScheduleObserver {
+ public:
+  virtual ~ScheduleObserver() = default;
+  virtual void on_event(const HookEvent& event) = 0;
+};
+
+inline constexpr bool kEnabled = BATCHER_AUDIT != 0;
+
+#if BATCHER_AUDIT
+
+inline std::atomic<ScheduleObserver*>& observer_slot() {
+  static std::atomic<ScheduleObserver*> slot{nullptr};
+  return slot;
+}
+
+// Install / clear the process-wide observer.  Swapping observers while worker
+// threads are live is safe only in the install direction; clear (or destroy
+// the observer) strictly after every scheduler that could emit has been
+// destroyed or parked.
+inline void install_observer(ScheduleObserver* observer) {
+  observer_slot().store(observer, std::memory_order_release);
+}
+
+inline void emit(const HookEvent& event) {
+  ScheduleObserver* observer =
+      observer_slot().load(std::memory_order_acquire);
+  if (observer != nullptr) [[unlikely]] observer->on_event(event);
+}
+
+// Test-only fault switches, for proving the auditor catches broken builds.
+// `skip_batch_flag_cas` makes batchify behave, from the observer's point of
+// view, like a build that launches batches without taking the batch-flag CAS:
+// the kFlagCasWon event is suppressed, so the auditor sees a LAUNCHBATCH from
+// a worker that never acquired the flag and must flag Invariant 1.  (Actual
+// execution still takes the CAS — a genuinely skipped CAS would corrupt
+// memory long before any report could be printed.)
+struct TestFaults {
+  std::atomic<bool> skip_batch_flag_cas{false};
+};
+
+inline TestFaults& test_faults() {
+  static TestFaults faults;
+  return faults;
+}
+
+#else  // !BATCHER_AUDIT
+
+inline void install_observer(ScheduleObserver*) {}
+inline void emit(const HookEvent&) {}
+
+#endif  // BATCHER_AUDIT
+
+}  // namespace batcher::rt::hooks

@@ -12,6 +12,7 @@ thread_local Worker* t_current_worker = nullptr;
 Worker* Worker::current() { return t_current_worker; }
 
 void Worker::run_task(Task* task) {
+  hooks::emit({hooks::HookPoint::kTaskRun, id_, task->kind(), kind_});
   const TaskKind saved = kind_;
   kind_ = task->kind();
   task->run_and_release();
@@ -26,10 +27,14 @@ Task* Worker::try_steal(TaskKind kind) {
   } else {
     stats_.batch_steal_attempts.bump();
   }
-  if (P <= 1) return nullptr;
-  unsigned victim = static_cast<unsigned>(rng_.next_below(P - 1));
-  if (victim >= id_) ++victim;  // uniform over workers other than self
-  Task* task = sched_->worker(victim).deque(kind).steal();
+  Task* task = nullptr;
+  if (P > 1) {
+    unsigned victim = static_cast<unsigned>(rng_.next_below(P - 1));
+    if (victim >= id_) ++victim;  // uniform over workers other than self
+    task = sched_->worker(victim).deque(kind).steal();
+  }
+  hooks::emit({hooks::HookPoint::kStealAttempt, id_, kind, kind_, nullptr,
+               task != nullptr ? 1u : 0u});
   if (task != nullptr) stats_.steals_succeeded.bump();
   return task;
 }
@@ -39,6 +44,7 @@ Task* Worker::steal_alternating() {
   // even, batch deques when k is odd.
   const TaskKind kind =
       (steal_tick_++ % 2 == 0) ? TaskKind::Core : TaskKind::Batch;
+  hooks::emit({hooks::HookPoint::kAlternatingSteal, id_, kind, kind_});
   return try_steal(kind);
 }
 
@@ -89,6 +95,7 @@ void Worker::main_loop() {
       });
       continue;
     }
+    hooks::emit({hooks::HookPoint::kWorkerLoop, id_, TaskKind::Core, kind_});
     Task* task = sched_->take_root();
     if (task == nullptr) task = pop(TaskKind::Batch);
     if (task == nullptr) task = pop(TaskKind::Core);

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "runtime/deque.hpp"
+#include "runtime/schedule_hooks.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/task.hpp"
 #include "support/config.hpp"
@@ -36,8 +37,16 @@ class alignas(kCacheLineSize) Worker {
   TaskKind current_kind() const { return kind_; }
 
   // Owner-side deque operations.
-  void push(Task* task) { deques_[static_cast<int>(task->kind())].push(task); }
-  Task* pop(TaskKind kind) { return deques_[static_cast<int>(kind)].pop(); }
+  void push(Task* task) {
+    hooks::emit({hooks::HookPoint::kPush, id_, task->kind(), kind_});
+    deques_[static_cast<int>(task->kind())].push(task);
+  }
+  Task* pop(TaskKind kind) {
+    Task* task = deques_[static_cast<int>(kind)].pop();
+    hooks::emit({hooks::HookPoint::kPop, id_, kind, kind_, nullptr,
+                 task != nullptr ? 1u : 0u});
+    return task;
+  }
 
   WorkDeque& deque(TaskKind kind) { return deques_[static_cast<int>(kind)]; }
   const WorkDeque& deque(TaskKind kind) const {

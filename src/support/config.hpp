@@ -13,6 +13,25 @@ namespace batcher {
 // value (two lines on recent Intel prefetchers is overkill for our purposes).
 inline constexpr std::size_t kCacheLineSize = 64;
 
+// Schedule-observation hooks (src/runtime/schedule_hooks.hpp).  The BATCHER_AUDIT
+// CMake option defines this to 1; when 0 every hook compiles to nothing, so
+// release builds pay no cost for the audit subsystem.
+#ifndef BATCHER_AUDIT
+#define BATCHER_AUDIT 0
+#endif
+
+// True when compiling under ThreadSanitizer (either compiler's spelling).
+#if defined(__SANITIZE_THREAD__)
+#define BATCHER_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define BATCHER_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef BATCHER_TSAN_ACTIVE
+#define BATCHER_TSAN_ACTIVE 0
+#endif
+
 // BATCHER_ASSERT is active in all build types: scheduler invariants are cheap
 // relative to the work they guard and this is a research codebase where a
 // silent invariant violation is worse than a few percent of throughput.

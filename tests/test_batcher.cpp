@@ -184,6 +184,63 @@ TEST(Batcher, OpsFromNestedParallelism) {
   EXPECT_EQ(sum.load(), expected);
 }
 
+TEST(Batcher, StatsStayConsistentUnderBatchifyStorms) {
+  // Regression guard: histogram, max and mean must stay mutually consistent
+  // while P workers hammer batchify across many rounds.  Checked after every
+  // round (stats are exact whenever no batch is in flight).
+  constexpr unsigned P = 8;
+  rt::Scheduler sched(P);
+  ProbeStructure probe(P);
+  Batcher batcher(sched, probe);
+
+  constexpr int kRounds = 25;
+  constexpr std::int64_t kOpsPerRound = 400;
+  for (int round = 0; round < kRounds; ++round) {
+    sched.run([&] {
+      rt::parallel_for(0, kOpsPerRound, [&](std::int64_t i) {
+        ProbeStructure::Op op;
+        op.id = i;
+        batcher.batchify(op);
+      },
+                       /*grain=*/1);
+    });
+
+    const BatcherStats stats = batcher.stats();
+    ASSERT_EQ(stats.ops_processed,
+              static_cast<std::uint64_t>(kOpsPerRound) * (round + 1))
+        << "round " << round;
+    ASSERT_EQ(stats.batch_size_histogram.size(), static_cast<std::size_t>(P) + 1);
+
+    std::uint64_t hist_batches = 0, hist_ops = 0, hist_max = 0;
+    for (std::size_t k = 0; k < stats.batch_size_histogram.size(); ++k) {
+      const std::uint64_t n = stats.batch_size_histogram[k];
+      hist_batches += n;
+      hist_ops += n * k;
+      if (n > 0 && k > hist_max) hist_max = k;
+    }
+    // Every launched batch is in exactly one histogram bucket...
+    ASSERT_EQ(hist_batches, stats.batches_launched) << "round " << round;
+    // ...bucket 0 is exactly the empty launches...
+    ASSERT_EQ(stats.batch_size_histogram[0], stats.empty_batches)
+        << "round " << round;
+    // ...the weighted sum is the op count...
+    ASSERT_EQ(hist_ops, stats.ops_processed) << "round " << round;
+    // ...the max matches the highest populated bucket (Invariant 2 caps both)...
+    ASSERT_EQ(hist_max, stats.max_batch_size) << "round " << round;
+    ASSERT_LE(stats.max_batch_size, static_cast<std::uint64_t>(P));
+    // ...and the mean is ops over non-empty launches.
+    const std::uint64_t nonempty = stats.batches_launched - stats.empty_batches;
+    if (nonempty > 0) {
+      ASSERT_DOUBLE_EQ(stats.mean_batch_size(),
+                       static_cast<double>(stats.ops_processed) /
+                           static_cast<double>(nonempty));
+      ASSERT_LE(stats.mean_batch_size(), static_cast<double>(P));
+      ASSERT_GE(stats.mean_batch_size(), 1.0);
+    }
+  }
+  EXPECT_EQ(probe.ops_seen_.load(), kOpsPerRound * kRounds);
+}
+
 TEST(Batcher, StatsResetClearsCounters) {
   rt::Scheduler sched(2);
   ProbeStructure probe(2);

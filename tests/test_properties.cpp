@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
@@ -13,7 +14,9 @@
 
 #include "ds/batched_counter.hpp"
 #include "ds/batched_hashmap.hpp"
+#include "ds/batched_om.hpp"
 #include "ds/batched_pq.hpp"
+#include "ds/batched_queue.hpp"
 #include "ds/batched_skiplist.hpp"
 #include "ds/batched_stack.hpp"
 #include "ds/batched_tree23.hpp"
@@ -163,6 +166,144 @@ TEST_P(PropertySeed, StackMatchesPushThenPopModel) {
       }
     }
     ASSERT_EQ(stack.size_unsafe(), model.size()) << "batch " << b;
+  }
+}
+
+// --- FIFO queue --------------------------------------------------------------
+//
+// Phase-aware reference (mirrors the stack's): all ENQUEUEs of a batch append
+// in working-set order, then DEQUEUEs take from the front in working-set
+// order — so a dequeue observes a same-batch enqueue only once the pre-batch
+// queue has run dry.
+
+TEST_P(PropertySeed, QueueMatchesEnqueueThenDequeueModel) {
+  rt::Scheduler sched(4);
+  ds::BatchedQueue<std::int64_t> queue(sched);
+  std::deque<std::int64_t> model;
+  Xoshiro256 rng(GetParam() + 4000);
+  for (int b = 0; b < 200; ++b) {
+    const std::size_t batch_size = 1 + rng.next_below(10);
+    std::vector<ds::BatchedQueue<std::int64_t>::Op> ops(batch_size);
+    std::vector<OpRecordBase*> ptrs;
+    for (auto& op : ops) {
+      // Dequeue-heavy mix so underflow and the shrink rebuild both trigger.
+      if (rng.next_below(5) < 2) {
+        op.kind = ds::BatchedQueue<std::int64_t>::Kind::Enqueue;
+        op.value = static_cast<std::int64_t>(rng.next_below(1000000));
+      } else {
+        op.kind = ds::BatchedQueue<std::int64_t>::Kind::Dequeue;
+      }
+      ptrs.push_back(&op);
+    }
+    queue.run_batch(ptrs.data(), ptrs.size());
+
+    for (const auto& op : ops) {
+      if (op.kind == ds::BatchedQueue<std::int64_t>::Kind::Enqueue) {
+        model.push_back(op.value);
+      }
+    }
+    for (auto& op : ops) {
+      if (op.kind != ds::BatchedQueue<std::int64_t>::Kind::Dequeue) continue;
+      if (model.empty()) {
+        ASSERT_FALSE(op.out.has_value()) << "batch " << b;
+      } else {
+        ASSERT_TRUE(op.out.has_value()) << "batch " << b;
+        ASSERT_EQ(*op.out, model.front()) << "batch " << b;
+        model.pop_front();
+      }
+    }
+    ASSERT_EQ(queue.size_unsafe(), model.size()) << "batch " << b;
+    ASSERT_GE(queue.capacity_unsafe(), queue.size_unsafe()) << "batch " << b;
+  }
+  // Drain and confirm FIFO order end to end.
+  while (!model.empty()) {
+    std::vector<ds::BatchedQueue<std::int64_t>::Op> ops(1);
+    ops[0].kind = ds::BatchedQueue<std::int64_t>::Kind::Dequeue;
+    OpRecordBase* ptr = &ops[0];
+    queue.run_batch(&ptr, 1);
+    ASSERT_TRUE(ops[0].out.has_value());
+    ASSERT_EQ(*ops[0].out, model.front());
+    model.pop_front();
+  }
+  ASSERT_EQ(queue.size_unsafe(), 0u);
+}
+
+// --- Order-maintenance list --------------------------------------------------
+//
+// Phase-aware reference: PRECEDES queries observe the pre-batch order, then
+// inserts apply grouped by anchor — groups in ascending anchor-handle order
+// (the batch's sort key), each group's elements spliced right after the
+// anchor in working-set order, with handles assigned sequentially per splice.
+
+TEST_P(PropertySeed, OrderMaintenanceMatchesPhaseAwareListModel) {
+  using OM = ds::BatchedOrderMaintenance;
+  rt::Scheduler sched(4);
+  OM om(sched);
+
+  std::vector<OM::Handle> order{om.base()};  // reference list order
+  auto pos_of = [&](OM::Handle h) {
+    return static_cast<std::size_t>(
+        std::find(order.begin(), order.end(), h) - order.begin());
+  };
+
+  Xoshiro256 rng(GetParam() + 5000);
+  OM::Handle next_handle = 1;
+  for (int b = 0; b < 80; ++b) {
+    const std::size_t batch_size = 1 + rng.next_below(8);
+    std::vector<OM::Op> ops(batch_size);
+    std::vector<OpRecordBase*> ptrs;
+    for (auto& op : ops) {
+      const auto pick = [&] {
+        return order[rng.next_below(order.size())];
+      };
+      if (rng.next_below(3) == 0) {
+        op.kind = OM::Kind::Precedes;
+        op.a = pick();
+        op.b = pick();
+      } else {
+        op.kind = OM::Kind::InsertAfter;
+        op.a = pick();
+      }
+      ptrs.push_back(&op);
+    }
+    om.run_batch(ptrs.data(), ptrs.size());
+
+    // Phase 1: queries against the pre-batch order.
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      if (ops[i].kind != OM::Kind::Precedes) continue;
+      ASSERT_EQ(ops[i].before, pos_of(ops[i].a) < pos_of(ops[i].b))
+          << "batch " << b << " op " << i;
+    }
+
+    // Phase 2: gather insert ops in working-set order, group by anchor.
+    std::vector<OM::Op*> inserts;
+    for (auto& op : ops) {
+      if (op.kind == OM::Kind::InsertAfter) inserts.push_back(&op);
+    }
+    std::vector<OM::Handle> anchors;
+    for (const OM::Op* op : inserts) anchors.push_back(op->a);
+    std::sort(anchors.begin(), anchors.end());
+    anchors.erase(std::unique(anchors.begin(), anchors.end()), anchors.end());
+    for (OM::Handle anchor : anchors) {
+      std::vector<OM::Handle> fresh;
+      for (OM::Op* op : inserts) {
+        if (op->a != anchor) continue;
+        ASSERT_EQ(op->result, next_handle)
+            << "batch " << b << " anchor " << anchor;
+        fresh.push_back(next_handle++);
+      }
+      order.insert(order.begin() +
+                       static_cast<std::ptrdiff_t>(pos_of(anchor)) + 1,
+                   fresh.begin(), fresh.end());
+    }
+
+    ASSERT_EQ(om.size_unsafe(), order.size()) << "batch " << b;
+    ASSERT_TRUE(om.check_invariants()) << "batch " << b;
+    // The whole reference order must agree with the structure's labels.
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      ASSERT_TRUE(om.precedes_unsafe(order[i], order[i + 1]))
+          << "batch " << b << " position " << i;
+    }
   }
 }
 
