@@ -327,4 +327,33 @@ std::string InvariantAuditor::report() const {
   return os.str();
 }
 
+std::string InvariantAuditor::state_dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "protocol state model after " << events_ << " event(s):\n";
+  for (const auto& [domain, dom] : domains_) {
+    os << "  domain " << domain << ": flag holder=";
+    if (dom.flag_holder == hooks::kNoWorker) {
+      os << "<none>";
+    } else {
+      os << "worker " << dom.flag_holder;
+    }
+    os << ", active launches=" << dom.active_launches << ", slots=[";
+    for (std::size_t i = 0; i < dom.status.size(); ++i) {
+      if (i != 0) os << " ";
+      os << status_name(static_cast<int>(dom.status[i]));
+    }
+    os << "]\n";
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    os << "  worker " << i << ": "
+       << (workers_[i].trapped ? "trapped" : "free");
+    if (workers_[i].trapped) {
+      os << " (domain " << workers_[i].trapped_domain << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace batcher::audit

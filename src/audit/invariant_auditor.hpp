@@ -60,6 +60,12 @@ class InvariantAuditor final : public rt::hooks::ScheduleObserver {
   // and the offending transition.
   std::string report() const;
 
+  // Snapshot of the protocol state model — per-domain flag holder, launch
+  // nesting, and slot statuses; per-worker trapped state.  The StallWatchdog
+  // embeds this in its diagnostics so a flagged stall names exactly which
+  // domain is wedged and which workers are waiting on it.
+  std::string state_dump() const;
+
  private:
   // Mirror of batcher::OpStatus, tracked per (domain, worker).
   enum class Status : std::uint8_t { Free, Pending, Executing, Done };

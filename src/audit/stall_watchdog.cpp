@@ -1,0 +1,170 @@
+#include "audit/stall_watchdog.hpp"
+
+#include <sstream>
+
+namespace batcher::audit {
+
+namespace hooks = rt::hooks;
+
+StallWatchdog::StallWatchdog(unsigned num_workers)
+    : StallWatchdog(num_workers, Options{}) {}
+
+StallWatchdog::StallWatchdog(unsigned num_workers, Options options,
+                             const InvariantAuditor* model)
+    : options_(options), model_(model), traps_(num_workers) {}
+
+void StallWatchdog::flag(const void* domain, unsigned worker,
+                         std::uint64_t elapsed, std::string what) {
+  // mu_ is held by the caller.
+  stall_count_.fetch_add(1, std::memory_order_relaxed);
+  if (reports_.size() >= kMaxReports) return;
+  StallReport report;
+  report.domain = domain;
+  report.worker = worker;
+  report.events_elapsed = elapsed;
+  report.what = std::move(what);
+  if (model_ != nullptr) report.model_dump = model_->state_dump();
+  reports_.push_back(std::move(report));
+}
+
+void StallWatchdog::scan(std::uint64_t now_events,
+                         Clock::time_point now_clock) {
+  // mu_ is held by the caller.  Event numbers are taken from the atomic
+  // counter *before* the mutex, so a watch started by a concurrent thread
+  // can carry a number slightly ahead of this scan's — saturate instead of
+  // underflowing.
+  auto elapsed_since = [now_events](std::uint64_t since) {
+    return now_events > since ? now_events - since : 0;
+  };
+  const bool use_clock = options_.wall_budget_ms != 0;
+  const auto wall_budget = std::chrono::milliseconds(options_.wall_budget_ms);
+  for (auto& [domain, dw] : domains_) {
+    if (dw.holder == hooks::kNoWorker || dw.flagged) continue;
+    const std::uint64_t elapsed = elapsed_since(dw.acquired_at_event);
+    const bool over_events = elapsed >= options_.flag_hold_event_budget;
+    const bool over_clock =
+        use_clock && (now_clock - dw.acquired_at) >= wall_budget;
+    if (over_events || over_clock) {
+      dw.flagged = true;
+      std::ostringstream os;
+      os << "batch flag of domain " << domain << " held by worker "
+         << dw.holder << " for " << elapsed << " events"
+         << (over_clock ? " (wall budget also exceeded)" : "")
+         << " — LAUNCHBATCH appears stuck; trapped workers cannot resume";
+      flag(domain, dw.holder, elapsed, os.str());
+    }
+  }
+  for (std::size_t w = 0; w < traps_.size(); ++w) {
+    TrapWatch& tw = traps_[w];
+    if (!tw.trapped || tw.flagged) continue;
+    const std::uint64_t elapsed = elapsed_since(tw.since_event);
+    const bool over_events = elapsed >= options_.trap_event_budget;
+    const bool over_clock = use_clock && (now_clock - tw.since) >= wall_budget;
+    if (over_events || over_clock) {
+      tw.flagged = true;
+      std::ostringstream os;
+      os << "worker " << w << " trapped in domain " << tw.domain << " for "
+         << elapsed << " events"
+         << (over_clock ? " (wall budget also exceeded)" : "")
+         << " — its operation never completed";
+      flag(tw.domain, static_cast<unsigned>(w), elapsed, os.str());
+    }
+  }
+}
+
+void StallWatchdog::on_event(const rt::hooks::HookEvent& event) {
+  using P = hooks::HookPoint;
+  const std::uint64_t now =
+      events_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  const bool tracks_state =
+      event.point == P::kFlagCasWon || event.point == P::kLaunchExit ||
+      event.point == P::kBatchifyEnter || event.point == P::kBatchifyExit;
+  if (!tracks_state && now % kScanPeriod != 0) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const Clock::time_point now_clock =
+      options_.wall_budget_ms != 0 ? Clock::now() : Clock::time_point{};
+  switch (event.point) {
+    case P::kFlagCasWon: {
+      DomainWatch& dw = domains_[event.domain];
+      dw.holder = event.worker;
+      dw.acquired_at_event = now;
+      dw.acquired_at = now_clock;
+      dw.flagged = false;
+      break;
+    }
+    case P::kLaunchExit: {
+      DomainWatch& dw = domains_[event.domain];
+      dw.holder = hooks::kNoWorker;
+      dw.flagged = false;
+      break;
+    }
+    case P::kBatchifyEnter: {
+      if (event.worker >= traps_.size()) traps_.resize(event.worker + 1);
+      TrapWatch& tw = traps_[event.worker];
+      tw.trapped = true;
+      tw.domain = event.domain;
+      tw.since_event = now;
+      tw.since = now_clock;
+      tw.flagged = false;
+      break;
+    }
+    case P::kBatchifyExit: {
+      if (event.worker < traps_.size()) {
+        traps_[event.worker].trapped = false;
+        traps_[event.worker].flagged = false;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  scan(now, now_clock);
+}
+
+void StallWatchdog::check_now() {
+  std::lock_guard<std::mutex> lock(mu_);
+  scan(events_.load(std::memory_order_relaxed), Clock::now());
+}
+
+void StallWatchdog::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.store(0, std::memory_order_relaxed);
+  stall_count_.store(0, std::memory_order_relaxed);
+  domains_.clear();
+  for (auto& tw : traps_) tw = TrapWatch{};
+  reports_.clear();
+}
+
+bool StallWatchdog::stalled() const {
+  return stall_count_.load(std::memory_order_relaxed) != 0;
+}
+
+std::uint64_t StallWatchdog::stall_count() const {
+  return stall_count_.load(std::memory_order_relaxed);
+}
+
+std::vector<StallReport> StallWatchdog::reports() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_;
+}
+
+std::string StallWatchdog::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "StallWatchdog: " << events_.load(std::memory_order_relaxed)
+     << " events observed, " << stall_count_.load(std::memory_order_relaxed)
+     << " stall(s) flagged\n";
+  for (const StallReport& r : reports_) {
+    os << "  [stall] " << r.what << "\n";
+    if (!r.model_dump.empty()) {
+      std::istringstream lines(r.model_dump);
+      std::string line;
+      while (std::getline(lines, line)) os << "    " << line << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace batcher::audit

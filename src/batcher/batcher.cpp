@@ -1,5 +1,7 @@
 #include "batcher/batcher.hpp"
 
+#include <stdexcept>
+
 #include "parallel/prefix_sum.hpp"
 #include "runtime/api.hpp"
 #include "runtime/schedule_hooks.hpp"
@@ -8,6 +10,27 @@
 namespace batcher {
 
 namespace hooks = rt::hooks;
+
+namespace {
+
+constexpr hooks::HookPoint edge_hook(OpStatus from) {
+  return from == OpStatus::Pending ? hooks::HookPoint::kStatusPendingToExecuting
+                                   : hooks::HookPoint::kStatusExecutingToDone;
+}
+
+// Fault-injection point for the collect paths (compiles to nothing without
+// BATCHER_AUDIT).  Fires *before* the slot flips, so a partially collected
+// batch leaves earlier slots Executing (recovered by the BatchGuard) and the
+// faulted slot Pending (picked up by the next batch).
+inline void maybe_inject_collect_fault() {
+#if BATCHER_AUDIT
+  if (hooks::fire(hooks::test_faults().throw_in_collect)) {
+    throw hooks::InjectedFault("injected fault: collect threw");
+  }
+#endif
+}
+
+}  // namespace
 
 Batcher::Batcher(rt::Scheduler& sched, BatchedStructure& ds, SetupPolicy setup)
     : sched_(sched), ds_(ds), setup_(setup) {
@@ -28,6 +51,7 @@ void Batcher::batchify(OpRecordBase& op) {
   Slot& slot = slots_[w->id()];
   BATCHER_DASSERT(slot.status.load(std::memory_order_relaxed) == OpStatus::Free,
                   "a worker has at most one suspended data-structure node");
+  op.clear_error();  // records may be reused across operations
   hooks::emit({hooks::HookPoint::kBatchifyEnter, w->id(), rt::TaskKind::Core,
                w->current_kind(), this});
   slot.op = &op;
@@ -86,90 +110,161 @@ void Batcher::batchify(OpRecordBase& op) {
   slot.status.store(OpStatus::Free, std::memory_order_relaxed);
   hooks::emit({hooks::HookPoint::kBatchifyExit, w->id(), rt::TaskKind::Core,
                w->current_kind(), this});
+  // The slot is released either way; a failed op surfaces at its caller.
+  op.rethrow_if_failed();
+}
+
+Batcher::BatchGuard::BatchGuard(Batcher& batcher, unsigned launcher)
+    : b_(batcher), launcher_(launcher) {
+  hooks::emit({hooks::HookPoint::kLaunchEnter, launcher_, rt::TaskKind::Batch,
+               rt::TaskKind::Batch, &b_});
+  const std::int32_t already =
+      b_.batches_running_.fetch_add(1, std::memory_order_acq_rel);
+  BATCHER_ASSERT(already == 0, "Invariant 1 violated: overlapping batches");
+}
+
+Batcher::BatchGuard::~BatchGuard() {
+  std::size_t failed_ops = 0;
+  std::size_t done = count_;
+  if (!clean_) {
+    // Recovery: every slot the batch collected but never completed is failed
+    // with the launch error, so its trapped owner resumes (and rethrows).
+    // Always sequential — we may be on the unwind path of a parallel phase.
+    std::exception_ptr error =
+        error_ != nullptr
+            ? error_
+            : std::make_exception_ptr(
+                  std::runtime_error("batcher: batch launch aborted"));
+    failed_ops = b_.complete(/*parallel=*/false, error);
+    if (!have_count_) done = failed_ops;  // collect died before counting
+  }
+
+  // Stats (we are the unique launcher; plain relaxed updates suffice).
+  // Bumped here so no exit path — including a throwing BOP — skips them.
+  auto bump = [](std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
+    c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  };
+  StatsCells& st = b_.stat_cells_;
+  bump(st.batches_launched);
+  if (done == 0) bump(st.empty_batches);
+  if (!clean_) bump(st.failed_batches);
+  bump(st.ops_processed, done);
+  bump(st.ops_failed, failed_ops);
+  if (done > st.max_batch_size.load(std::memory_order_relaxed)) {
+    st.max_batch_size.store(done, std::memory_order_relaxed);
+  }
+  if (done < st.histogram.size()) bump(st.histogram[done]);
+
+  b_.batches_running_.fetch_sub(1, std::memory_order_acq_rel);
+  // Emitted before the flag reopens: the next launcher's kFlagCasWon cannot
+  // precede this event, so the observer's flag-holder model stays exact.
+  hooks::emit({hooks::HookPoint::kLaunchExit, launcher_, rt::TaskKind::Batch,
+               rt::TaskKind::Batch, &b_, done});
+  // Reopen the domain.  Release pairs with the next launcher's CAS acquire.
+  b_.batch_flag_.store(0, std::memory_order_release);
 }
 
 void Batcher::launch_batch() {
   const unsigned launcher = rt::Worker::current()->id();
-  hooks::emit({hooks::HookPoint::kLaunchEnter, launcher, rt::TaskKind::Batch,
-               rt::TaskKind::Batch, this});
-  const std::int32_t already =
-      batches_running_.fetch_add(1, std::memory_order_acq_rel);
-  BATCHER_ASSERT(already == 0, "Invariant 1 violated: overlapping batches");
-
-  std::size_t count = 0;
-  if (setup_ == SetupPolicy::Sequential) {
-    collect_sequential(&count);
-  } else {
-    collect_parallel(&count);
-  }
-  hooks::emit({hooks::HookPoint::kBatchCollected, launcher,
-               rt::TaskKind::Batch, rt::TaskKind::Batch, this, count});
-  BATCHER_ASSERT(count <= sched_.num_workers(),
-                 "Invariant 2 violated: batch larger than P");
-
-  if (count > 0) {
-    ds_.run_batch(working_.data(), count);
-    if (setup_ == SetupPolicy::Sequential) {
-      complete_sequential();
-    } else {
-      complete_parallel();
+  const bool parallel = setup_ == SetupPolicy::Parallel;
+  BatchGuard guard(*this, launcher);
+  try {
+    const std::size_t count = collect(parallel);
+    guard.collected(count);
+    hooks::emit({hooks::HookPoint::kBatchCollected, launcher,
+                 rt::TaskKind::Batch, rt::TaskKind::Batch, this, count});
+    BATCHER_ASSERT(count <= sched_.num_workers(),
+                   "Invariant 2 violated: batch larger than P");
+#if BATCHER_AUDIT
+    // Slow-launcher fault: stretch the window in which the batch flag is
+    // held, for StallWatchdog tests.
+    for (std::uint32_t i = hooks::test_faults().slow_launcher_spins.load(
+             std::memory_order_relaxed);
+         i > 0; --i) {
+      cpu_relax();
     }
+#endif
+    if (count > 0) {
+#if BATCHER_AUDIT
+      if (hooks::fire(hooks::test_faults().throw_in_bop)) {
+        throw hooks::InjectedFault("injected fault: BOP threw");
+      }
+#endif
+      ds_.run_batch(working_.data(), count);
+      complete(parallel, /*error=*/nullptr);
+    }
+    guard.completed_cleanly();
+  } catch (...) {
+    // First (and only) launch error wins; the guard fails the remaining
+    // collected slots and reopens the domain on destruction.
+    guard.fail(std::current_exception());
   }
+}
 
-  // Stats (we are the unique launcher; plain relaxed updates suffice).
-  auto bump = [](std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
-    c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+template <OpStatus From, OpStatus To, typename PerSlot, typename PerMiss>
+void Batcher::transition_slots(bool parallel, PerSlot&& per_slot,
+                               PerMiss&& per_miss) {
+  static_assert((From == OpStatus::Pending && To == OpStatus::Executing) ||
+                    (From == OpStatus::Executing && To == OpStatus::Done),
+                "only the launcher-owned Fig. 3 edges go through here");
+  // Pending is read with acquire (pairs with batchify's publish of the op);
+  // Done is stored with release (publishes BOP results and recorded errors).
+  constexpr std::memory_order kLoad = From == OpStatus::Pending
+                                          ? std::memory_order_acquire
+                                          : std::memory_order_relaxed;
+  constexpr std::memory_order kStore = To == OpStatus::Done
+                                           ? std::memory_order_release
+                                           : std::memory_order_relaxed;
+  auto step = [&](std::size_t i) {
+    Slot& s = slots_[i];
+    if (s.status.load(kLoad) != From) {
+      per_miss(i);
+      return;
+    }
+    // per_slot runs before the hook + store so that (a) a throw leaves the
+    // slot at `From` with the model and the real state agreeing, and (b) for
+    // the Done edge the error write precedes the release store.
+    per_slot(i, s);
+    hooks::emit({edge_hook(From), static_cast<unsigned>(i),
+                 rt::TaskKind::Batch, rt::TaskKind::Batch, this});
+    s.status.store(To, kStore);
   };
-  bump(stat_cells_.batches_launched);
-  if (count == 0) bump(stat_cells_.empty_batches);
-  bump(stat_cells_.ops_processed, count);
-  if (count > stat_cells_.max_batch_size.load(std::memory_order_relaxed)) {
-    stat_cells_.max_batch_size.store(count, std::memory_order_relaxed);
-  }
-  bump(stat_cells_.histogram[count]);
-
-  batches_running_.fetch_sub(1, std::memory_order_acq_rel);
-  // Emitted before the flag reopens: the next launcher's kFlagCasWon cannot
-  // precede this event, so the observer's flag-holder model stays exact.
-  hooks::emit({hooks::HookPoint::kLaunchExit, launcher, rt::TaskKind::Batch,
-               rt::TaskKind::Batch, this, count});
-  // Reopen the domain.  Release pairs with the next launcher's CAS acquire.
-  batch_flag_.store(0, std::memory_order_release);
-}
-
-void Batcher::collect_sequential(std::size_t* out_count) {
   const std::size_t P = slots_.size();
-  std::size_t count = 0;
-  for (std::size_t i = 0; i < P; ++i) {
-    if (slots_[i].status.load(std::memory_order_acquire) == OpStatus::Pending) {
-      hooks::emit({hooks::HookPoint::kStatusPendingToExecuting,
-                   static_cast<unsigned>(i), rt::TaskKind::Batch,
-                   rt::TaskKind::Batch, this});
-      slots_[i].status.store(OpStatus::Executing, std::memory_order_relaxed);
-      working_[count++] = slots_[i].op;
-    }
+  if (parallel) {
+    rt::parallel_for(
+        0, static_cast<std::int64_t>(P),
+        [&](std::int64_t i) { step(static_cast<std::size_t>(i)); },
+        /*grain=*/1);
+  } else {
+    for (std::size_t i = 0; i < P; ++i) step(i);
   }
-  *out_count = count;
 }
 
-void Batcher::collect_parallel(std::size_t* out_count) {
+template <OpStatus From, OpStatus To, typename PerSlot>
+void Batcher::transition_slots(bool parallel, PerSlot&& per_slot) {
+  transition_slots<From, To>(parallel, static_cast<PerSlot&&>(per_slot),
+                             [](std::size_t) {});
+}
+
+std::size_t Batcher::collect(bool parallel) {
+  if (!parallel) {
+    std::size_t count = 0;
+    transition_slots<OpStatus::Pending, OpStatus::Executing>(
+        /*parallel=*/false, [&](std::size_t, Slot& s) {
+          maybe_inject_collect_fault();
+          working_[count++] = s.op;
+        });
+    return count;
+  }
   // Fig. 4 steps 1-2: parallel status flip, then prefix-sum compaction.
   const std::int64_t P = static_cast<std::int64_t>(slots_.size());
-  rt::parallel_for(
-      0, P,
-      [this](std::int64_t i) {
-        auto& s = slots_[static_cast<std::size_t>(i)];
-        if (s.status.load(std::memory_order_acquire) == OpStatus::Pending) {
-          hooks::emit({hooks::HookPoint::kStatusPendingToExecuting,
-                       static_cast<unsigned>(i), rt::TaskKind::Batch,
-                       rt::TaskKind::Batch, this});
-          s.status.store(OpStatus::Executing, std::memory_order_relaxed);
-          marks_[static_cast<std::size_t>(i)] = 1;
-        } else {
-          marks_[static_cast<std::size_t>(i)] = 0;
-        }
+  transition_slots<OpStatus::Pending, OpStatus::Executing>(
+      /*parallel=*/true,
+      [&](std::size_t i, Slot&) {
+        maybe_inject_collect_fault();
+        marks_[i] = 1;
       },
-      /*grain=*/1);
+      [&](std::size_t i) { marks_[i] = 0; });
   par::scan_inclusive(marks_.data(), P,
                       [](std::uint32_t a, std::uint32_t b) { return a + b; });
   const std::size_t count = marks_[static_cast<std::size_t>(P - 1)];
@@ -178,43 +273,25 @@ void Batcher::collect_parallel(std::size_t* out_count) {
       [this](std::int64_t i) {
         auto& s = slots_[static_cast<std::size_t>(i)];
         // Executing status marks exactly the records this batch collected:
-        // the previous batch moved all of its records to Done before the
-        // batch flag reopened.
+        // the previous batch moved all of its records to Done — via its
+        // complete pass or its BatchGuard's recovery — before the batch flag
+        // reopened.
         if (s.status.load(std::memory_order_relaxed) == OpStatus::Executing) {
           working_[marks_[static_cast<std::size_t>(i)] - 1] = s.op;
         }
       },
       /*grain=*/1);
-  *out_count = count;
+  return count;
 }
 
-void Batcher::complete_sequential() {
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    Slot& s = slots_[i];
-    if (s.status.load(std::memory_order_relaxed) == OpStatus::Executing) {
-      hooks::emit({hooks::HookPoint::kStatusExecutingToDone,
-                   static_cast<unsigned>(i), rt::TaskKind::Batch,
-                   rt::TaskKind::Batch, this});
-      // Release publishes the results BOP wrote into the op records.
-      s.status.store(OpStatus::Done, std::memory_order_release);
-    }
-  }
-}
-
-void Batcher::complete_parallel() {
-  const std::int64_t P = static_cast<std::int64_t>(slots_.size());
-  rt::parallel_for(
-      0, P,
-      [this](std::int64_t i) {
-        auto& s = slots_[static_cast<std::size_t>(i)];
-        if (s.status.load(std::memory_order_relaxed) == OpStatus::Executing) {
-          hooks::emit({hooks::HookPoint::kStatusExecutingToDone,
-                       static_cast<unsigned>(i), rt::TaskKind::Batch,
-                       rt::TaskKind::Batch, this});
-          s.status.store(OpStatus::Done, std::memory_order_release);
-        }
-      },
-      /*grain=*/1);
+std::size_t Batcher::complete(bool parallel, const std::exception_ptr& error) {
+  std::atomic<std::size_t> flipped{0};  // parallel flips bump concurrently
+  transition_slots<OpStatus::Executing, OpStatus::Done>(
+      parallel, [&](std::size_t, Slot& s) {
+        if (error != nullptr) s.op->set_error(error);
+        flipped.fetch_add(1, std::memory_order_relaxed);
+      });
+  return flipped.load(std::memory_order_relaxed);
 }
 
 BatcherStats Batcher::stats() const {
@@ -222,7 +299,10 @@ BatcherStats Batcher::stats() const {
   out.batches_launched =
       stat_cells_.batches_launched.load(std::memory_order_relaxed);
   out.empty_batches = stat_cells_.empty_batches.load(std::memory_order_relaxed);
+  out.failed_batches =
+      stat_cells_.failed_batches.load(std::memory_order_relaxed);
   out.ops_processed = stat_cells_.ops_processed.load(std::memory_order_relaxed);
+  out.ops_failed = stat_cells_.ops_failed.load(std::memory_order_relaxed);
   out.max_batch_size =
       stat_cells_.max_batch_size.load(std::memory_order_relaxed);
   out.batch_size_histogram.reserve(stat_cells_.histogram.size());
@@ -235,7 +315,9 @@ BatcherStats Batcher::stats() const {
 void Batcher::reset_stats() {
   stat_cells_.batches_launched.store(0, std::memory_order_relaxed);
   stat_cells_.empty_batches.store(0, std::memory_order_relaxed);
+  stat_cells_.failed_batches.store(0, std::memory_order_relaxed);
   stat_cells_.ops_processed.store(0, std::memory_order_relaxed);
+  stat_cells_.ops_failed.store(0, std::memory_order_relaxed);
   stat_cells_.max_batch_size.store(0, std::memory_order_relaxed);
   for (auto& h : stat_cells_.histogram) h.store(0, std::memory_order_relaxed);
 }

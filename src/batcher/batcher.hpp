@@ -10,6 +10,14 @@
 // batches independently, which matches the paper's model of a program using
 // one ADT per domain.
 //
+// Failure semantics (DESIGN.md §8): LAUNCHBATCH runs under an RAII
+// BatchGuard, so on *any* exit — including a throwing BOP or a throw inside
+// the parallel collect/complete paths — every slot the batch collected is
+// flipped to done (with the error recorded in its op record), the launch
+// stats are bumped, and the batch flag reopens.  Trapped workers therefore
+// always resume: successful ops return normally, failed ops rethrow from
+// batchify, and the next batch launches as if nothing happened.
+//
 // Under BATCHER_AUDIT the whole protocol — batchify entry/exit, every slot
 // status transition, the batch-flag CAS, and LAUNCHBATCH entry/exit — emits
 // schedule hooks (runtime/schedule_hooks.hpp) keyed on `this` as the domain
@@ -19,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <vector>
 
 #include "batcher/op_record.hpp"
@@ -36,10 +45,17 @@ enum class OpStatus : std::uint8_t { Free = 0, Pending, Executing, Done };
 
 // Counters describing one Batcher domain's activity.  Written only by the
 // (unique) active batch launcher, so single-writer relaxed atomics suffice.
+//
+// `ops_processed` counts every operation a batch carried to done, successful
+// or failed; `ops_failed` is the subset that completed with an error
+// recorded.  The histogram therefore always satisfies
+// sum(hist) == batches_launched and sum(k * hist[k]) == ops_processed.
 struct BatcherStats {
-  std::uint64_t batches_launched = 0;  // includes empty launches
+  std::uint64_t batches_launched = 0;  // includes empty and failed launches
   std::uint64_t empty_batches = 0;
-  std::uint64_t ops_processed = 0;
+  std::uint64_t failed_batches = 0;    // launches that recorded an error
+  std::uint64_t ops_processed = 0;     // ops carried to done (incl. failed)
+  std::uint64_t ops_failed = 0;        // ops that completed with an error
   std::uint64_t max_batch_size = 0;
   std::vector<std::uint64_t> batch_size_histogram;  // index = ops in batch
 
@@ -71,6 +87,11 @@ class Batcher {
   // The calling worker is *trapped* until its operation completes: it only
   // executes batch work, launches a batch when none is active, or steals
   // from batch deques (Fig. 3).
+  //
+  // If the batch that carried `op` failed (the BOP threw, or the launch
+  // protocol itself threw), the recorded exception rethrows here after the
+  // slot has been released — the op record's error field stays set for
+  // callers that prefer inspecting it.
   void batchify(OpRecordBase& op);
 
   rt::Scheduler& scheduler() const { return sched_; }
@@ -86,14 +107,57 @@ class Batcher {
     OpRecordBase* op = nullptr;
   };
 
+  // RAII completion of one LAUNCHBATCH (DESIGN.md §8): the constructor
+  // claims the launch (batches_running_, Invariant 1 check); the destructor
+  // — on every exit path, normal or unwinding — fails any slot still
+  // `Executing` (records the launch error, flips it to done), bumps the
+  // launch stats exactly once, decrements batches_running_, emits
+  // kLaunchExit, and reopens the batch flag.
+  class BatchGuard {
+   public:
+    BatchGuard(Batcher& batcher, unsigned launcher);
+    ~BatchGuard();
+    BatchGuard(const BatchGuard&) = delete;
+    BatchGuard& operator=(const BatchGuard&) = delete;
+
+    void collected(std::size_t count) {
+      count_ = count;
+      have_count_ = true;
+    }
+    void completed_cleanly() { clean_ = true; }
+    void fail(std::exception_ptr error) { error_ = std::move(error); }
+
+   private:
+    Batcher& b_;
+    const unsigned launcher_;
+    std::size_t count_ = 0;
+    bool have_count_ = false;
+    bool clean_ = false;
+    std::exception_ptr error_;
+  };
+
   // The paper's LAUNCHBATCH (Fig. 4).  Runs in batch context on the worker
-  // that won the batch-flag CAS.
+  // that won the batch-flag CAS.  Never lets an exception escape: failures
+  // are recorded in the collected op records by the BatchGuard.
   void launch_batch();
 
-  void collect_sequential(std::size_t* out_count);
-  void collect_parallel(std::size_t* out_count);
-  void complete_sequential();
-  void complete_parallel();
+  // Scans all P slots; for every slot whose status is `From`, runs
+  // `per_slot(i, slot)` (which may throw — the slot is then left at `From`),
+  // emits the matching status hook, and stores `To`.  `per_miss(i)` runs for
+  // non-matching slots (the parallel collect uses it to zero its marks).
+  // Memory orders follow the protocol: Pending is read with acquire (pairs
+  // with batchify's publish), Done is stored with release (publishes BOP
+  // results and recorded errors to the trapped owner).
+  template <OpStatus From, OpStatus To, typename PerSlot, typename PerMiss>
+  void transition_slots(bool parallel, PerSlot&& per_slot, PerMiss&& per_miss);
+  template <OpStatus From, OpStatus To, typename PerSlot>
+  void transition_slots(bool parallel, PerSlot&& per_slot);
+
+  // Fig. 4 steps 1-2: flip Pending -> Executing and compact the working set.
+  std::size_t collect(bool parallel);
+  // Flips every still-Executing slot to Done, recording `error` (may be
+  // null) in its op record first.  Returns the number of slots flipped.
+  std::size_t complete(bool parallel, const std::exception_ptr& error);
 
   rt::Scheduler& sched_;
   BatchedStructure& ds_;
@@ -110,7 +174,9 @@ class Batcher {
   struct StatsCells {
     std::atomic<std::uint64_t> batches_launched{0};
     std::atomic<std::uint64_t> empty_batches{0};
+    std::atomic<std::uint64_t> failed_batches{0};
     std::atomic<std::uint64_t> ops_processed{0};
+    std::atomic<std::uint64_t> ops_failed{0};
     std::atomic<std::uint64_t> max_batch_size{0};
     std::vector<std::atomic<std::uint64_t>> histogram;
   };

@@ -10,10 +10,18 @@
 // itself is accelerated by work stealing even though the callers are plain
 // threads.  One pump per domain preserves Invariant 1; the cap preserves the
 // spirit of Invariant 2.
+//
+// Failure semantics (DESIGN.md §8): a BOP that throws fails exactly the ops
+// of that batch (the error is recorded per record and rethrown from the
+// blocked submit call); the pump keeps serving.  shutdown() bounds every
+// wait: a submit that cannot be served anymore revokes its record and throws
+// DomainClosed instead of spinning forever, and the pump's exit path drains
+// any still-published record the same way.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "batcher/op_record.hpp"
@@ -24,6 +32,12 @@
 #include "support/padded.hpp"
 
 namespace batcher {
+
+// Thrown by ExternalDomain::submit when the domain has been shut down before
+// the operation could be applied.  The operation had no effect.
+struct DomainClosed : std::runtime_error {
+  DomainClosed() : std::runtime_error("batcher: ExternalDomain is shut down") {}
+};
 
 class ExternalDomain {
  public:
@@ -44,26 +58,51 @@ class ExternalDomain {
 
   // Called by external thread `tid`: publishes `op` and blocks until a batch
   // has applied it.  The analogue of BATCHIFY for non-worker threads.
+  //
+  // Error paths: throws std::out_of_range for a bad `tid` (always checked —
+  // a silent out-of-bounds write from an external thread must never depend
+  // on build type); throws DomainClosed if the domain is (or becomes) shut
+  // down before the op is picked up; rethrows the batch's error if the BOP
+  // failed while applying it.  After any throw the slot is free again and
+  // the domain — if still open — accepts new submissions.
   void submit(std::size_t tid, OpRecordBase& op) {
     BATCHER_ASSERT(rt::Worker::current() == nullptr,
                    "workers must use Batcher::batchify, not ExternalDomain");
-    BATCHER_ASSERT(tid < slots_.size(), "external thread id out of range");
+    if (tid >= slots_.size()) {
+      throw std::out_of_range("batcher: external thread id out of range");
+    }
+    if (closed()) throw DomainClosed();
     Slot& slot = *slots_[tid];
     BATCHER_DASSERT(slot.status.load(std::memory_order_relaxed) == kFree,
                     "one in-flight op per external thread");
+    op.clear_error();
     slot.op = &op;
     slot.status.store(kPending, std::memory_order_release);
     Backoff backoff;
     while (slot.status.load(std::memory_order_acquire) != kDone) {
+      // Shutdown bounds the wait: revoke the record if the pump has not
+      // claimed it.  The CAS races the pump's own pending->executing CAS
+      // (and the drain's pending->failed CAS), so exactly one side wins; if
+      // the pump won, the op is in a batch and Done is coming.
+      if (stop_.load(std::memory_order_acquire)) {
+        std::uint8_t expected = kPending;
+        if (slot.status.compare_exchange_strong(expected, kFree,
+                                                std::memory_order_acq_rel)) {
+          slot.op = nullptr;
+          throw DomainClosed();
+        }
+      }
       backoff.pause();
     }
     slot.op = nullptr;
     slot.status.store(kFree, std::memory_order_relaxed);
+    op.rethrow_if_failed();
   }
 
   // The pump: run this inside Scheduler::run (typically as the root task, or
   // spawned beside other work).  Serves batches until `shutdown` is called
-  // and every published record has been applied.
+  // and every published record has been applied (or failed with
+  // DomainClosed by the exit drain).
   void serve() {
     rt::Worker* w = rt::Worker::current();
     BATCHER_ASSERT(w != nullptr, "serve() must run on a worker");
@@ -74,18 +113,30 @@ class ExternalDomain {
       for (std::size_t i = 0;
            i < slots_.size() && working_.size() < batch_cap_; ++i) {
         Slot& slot = *slots_[i];
-        if (slot.status.load(std::memory_order_acquire) == kPending) {
-          slot.status.store(kExecuting, std::memory_order_relaxed);
+        std::uint8_t expected = kPending;
+        // CAS, not a plain store: a submitter observing shutdown may revoke
+        // its record concurrently.
+        if (slot.status.load(std::memory_order_acquire) == kPending &&
+            slot.status.compare_exchange_strong(expected, kExecuting,
+                                                std::memory_order_acq_rel)) {
           working_.push_back(slot.op);
           collected_.push_back(&slot);
         }
       }
       if (!working_.empty()) {
         // Execute the BOP as a batch dag so idle workers help via their
-        // batch deques — the whole point of the bridge.
-        w->run_inline(rt::TaskKind::Batch, [&] {
-          ds_.run_batch(working_.data(), working_.size());
-        });
+        // batch deques — the whole point of the bridge.  A throwing BOP
+        // fails exactly this batch's ops; the pump keeps serving.
+        try {
+          w->run_inline(rt::TaskKind::Batch, [&] {
+            ds_.run_batch(working_.data(), working_.size());
+          });
+        } catch (...) {
+          const std::exception_ptr error = std::current_exception();
+          for (Slot* slot : collected_) slot->op->set_error(error);
+          failed_batches_.fetch_add(1, std::memory_order_relaxed);
+          failed_ops_.fetch_add(working_.size(), std::memory_order_relaxed);
+        }
         for (Slot* slot : collected_) {
           slot->status.store(kDone, std::memory_order_release);
         }
@@ -94,19 +145,41 @@ class ExternalDomain {
         backoff.reset();
         continue;
       }
-      if (stop_.load(std::memory_order_acquire)) return;
+      if (stop_.load(std::memory_order_acquire)) break;
       backoff.pause();
+    }
+    // Exit drain: fail any record published between the last scan and the
+    // submitters noticing the shutdown flag, so no submit can spin on a
+    // pump that has already left.
+    for (auto& padded : slots_) {
+      Slot& slot = *padded;
+      std::uint8_t expected = kPending;
+      if (slot.status.compare_exchange_strong(expected, kExecuting,
+                                              std::memory_order_acq_rel)) {
+        slot.op->set_error(std::make_exception_ptr(DomainClosed()));
+        slot.status.store(kDone, std::memory_order_release);
+      }
     }
   }
 
-  // Ask the pump to exit once the slot array drains.  Safe from any thread.
+  // Ask the pump to exit once the slot array drains, and bound every
+  // submit(): after this, an unserved submit fails with DomainClosed rather
+  // than blocking forever.  Safe from any thread; idempotent.
   void shutdown() { stop_.store(true, std::memory_order_release); }
+
+  bool closed() const { return stop_.load(std::memory_order_acquire); }
 
   std::uint64_t batches_served() const {
     return batches_.load(std::memory_order_relaxed);
   }
   std::uint64_t ops_served() const {
     return ops_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t batches_failed() const {
+    return failed_batches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ops_failed() const {
+    return failed_ops_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -129,6 +202,8 @@ class ExternalDomain {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> failed_batches_{0};
+  std::atomic<std::uint64_t> failed_ops_{0};
 };
 
 }  // namespace batcher

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <exception>
 
 namespace batcher {
 
@@ -17,10 +18,31 @@ namespace batcher {
 // paper's `struct OpRecord { int value; int result; }` (Fig. 2).  Records
 // live on the stack of the blocked caller; they stay valid for the whole
 // batch because the caller is trapped until its status turns done.
+//
+// Failure plumbing (DESIGN.md §8): when a batch fails — the BOP throws, or
+// the launch protocol itself throws — the launcher records the exception in
+// every record the batch had collected before flipping it to done, so the
+// trapped caller resumes and `batchify` rethrows the error to it.  The error
+// fields are written only by the (unique) launcher before the done-release
+// store and read by the owner after its done-acquire load, so they need no
+// synchronization of their own.
 struct OpRecordBase {
+  bool failed() const noexcept { return error_ != nullptr; }
+  const std::exception_ptr& error() const noexcept { return error_; }
+  void set_error(std::exception_ptr error) noexcept {
+    error_ = std::move(error);
+  }
+  void clear_error() noexcept { error_ = nullptr; }
+  void rethrow_if_failed() const {
+    if (error_ != nullptr) std::rethrow_exception(error_);
+  }
+
  protected:
   OpRecordBase() = default;
   ~OpRecordBase() = default;  // never deleted through the base
+
+ private:
+  std::exception_ptr error_;
 };
 
 // A batched implementation of an abstract data type.  `run_batch` is the BOP
@@ -31,6 +53,13 @@ struct OpRecordBase {
 //   Invariant 1 — at most one run_batch is executing at any time, so no
 //                 locks or atomics are needed inside;
 //   Invariant 2 — count <= P (the number of workers).
+//
+// A BOP may throw (including out of its own parallel_for joins).  The
+// scheduler then records the exception in every collected record, completes
+// the batch protocol, reopens the domain, and rethrows the error from each
+// blocked operation call — the domain stays usable and the next batch
+// launches normally.  A BOP that throws should leave the structure in a
+// consistent state (strong guarantee per batch is the structure's job).
 class BatchedStructure {
  public:
   virtual ~BatchedStructure() = default;

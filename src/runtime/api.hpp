@@ -21,6 +21,11 @@ inline Worker* current_worker() { return Worker::current(); }
 
 // Fork/join over two arms.  `f0` runs inline on the calling worker; `f1` is
 // spawned and may be stolen.  Returns after both complete.
+//
+// If either arm throws, the join still waits for the other arm to finish
+// (the spawned child may reference this stack frame), then the first
+// exception rethrows here — so a throw in stolen work surfaces at the
+// spawner, never in a random worker's scheduling loop.
 template <typename F0, typename F1>
 void parallel_invoke(F0&& f0, F1&& f1) {
   Worker* w = current_worker();
@@ -32,8 +37,13 @@ void parallel_invoke(F0&& f0, F1&& f1) {
   JoinCounter join(1);
   Task* child = make_task(std::forward<F1>(f1), &join, w->current_kind());
   w->push(child);
-  f0();
+  try {
+    f0();
+  } catch (...) {
+    join.capture(std::current_exception());
+  }
   w->wait(join);
+  join.rethrow_if_failed();
 }
 
 namespace detail {

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
 
 #include "runtime/task.hpp"
 #include "support/config.hpp"
@@ -68,6 +69,12 @@ class ScheduleObserver {
 
 inline constexpr bool kEnabled = BATCHER_AUDIT != 0;
 
+// The exception type every injected fault throws.  Defined in all builds so
+// tests can name it; only audit builds ever throw it.
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 #if BATCHER_AUDIT
 
 inline std::atomic<ScheduleObserver*>& observer_slot() {
@@ -89,20 +96,52 @@ inline void emit(const HookEvent& event) {
   if (observer != nullptr) [[unlikely]] observer->on_event(event);
 }
 
-// Test-only fault switches, for proving the auditor catches broken builds.
+// Test-only fault switches, for proving the auditor catches broken builds
+// and that the failure-recovery paths (DESIGN.md §8) actually recover.
+//
 // `skip_batch_flag_cas` makes batchify behave, from the observer's point of
 // view, like a build that launches batches without taking the batch-flag CAS:
 // the kFlagCasWon event is suppressed, so the auditor sees a LAUNCHBATCH from
 // a worker that never acquired the flag and must flag Invariant 1.  (Actual
 // execution still takes the CAS — a genuinely skipped CAS would corrupt
 // memory long before any report could be printed.)
+//
+// The throw_* members are one-shot countdowns: arming one with N > 0 makes
+// the Nth opportunity throw an InjectedFault (fire() decrements; the fault
+// fires on the 1 -> 0 edge).  0 means disarmed.  `slow_launcher_spins`
+// busy-spins inside LAUNCHBATCH between collect and the BOP, stretching the
+// window in which the batch flag is held — the stall the watchdog detects.
 struct TestFaults {
   std::atomic<bool> skip_batch_flag_cas{false};
+  std::atomic<std::int64_t> throw_in_bop{0};        // before ds.run_batch
+  std::atomic<std::int64_t> throw_in_core_task{0};  // joined core task frames
+  std::atomic<std::int64_t> throw_in_collect{0};    // per collected slot
+  std::atomic<std::uint32_t> slow_launcher_spins{0};
+
+  void reset() {
+    skip_batch_flag_cas.store(false, std::memory_order_relaxed);
+    throw_in_bop.store(0, std::memory_order_relaxed);
+    throw_in_core_task.store(0, std::memory_order_relaxed);
+    throw_in_collect.store(0, std::memory_order_relaxed);
+    slow_launcher_spins.store(0, std::memory_order_relaxed);
+  }
 };
 
 inline TestFaults& test_faults() {
   static TestFaults faults;
   return faults;
+}
+
+// Decrements an armed countdown; returns true exactly once, when it crosses
+// 1 -> 0.  Safe to race from multiple threads.
+inline bool fire(std::atomic<std::int64_t>& countdown) {
+  std::int64_t v = countdown.load(std::memory_order_relaxed);
+  while (v > 0) {
+    if (countdown.compare_exchange_weak(v, v - 1, std::memory_order_relaxed)) {
+      return v == 1;
+    }
+  }
+  return false;
 }
 
 #else  // !BATCHER_AUDIT

@@ -1,5 +1,7 @@
 #include "runtime/scheduler.hpp"
 
+#include <utility>
+
 #include "support/config.hpp"
 
 namespace batcher::rt {
@@ -44,9 +46,17 @@ void Scheduler::run(std::function<void()> root) {
                  "Scheduler::run calls cannot overlap");
 
   root_done_.store(false, std::memory_order_release);
+  root_error_ = nullptr;
   Task* root_task = make_task(
       [this, fn = std::move(root)]() mutable {
-        fn();
+        // Structured constructs join before propagating, so by the time an
+        // exception reaches this frame every descendant has completed; the
+        // handshake below publishes the error to the run() caller.
+        try {
+          fn();
+        } catch (...) {
+          root_error_ = std::current_exception();
+        }
         note_root_done();
       },
       /*join=*/nullptr, TaskKind::Core);
@@ -64,6 +74,10 @@ void Scheduler::run(std::function<void()> root) {
                     [this] { return root_done_.load(std::memory_order_acquire); });
     // All structured work has completed (the root returned); park workers.
     run_active_.store(false, std::memory_order_release);
+  }
+  if (root_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(root_error_, nullptr);
+    std::rethrow_exception(error);
   }
 }
 

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -42,6 +43,8 @@ class Scheduler {
   // Executes `root` as a core task on the worker pool; blocks until it (and
   // all structured descendants) finish.  Must be called from a non-worker
   // thread; calls cannot be nested (use parallel_invoke inside a run).
+  // If the root (or anything it joined on) threw, the exception rethrows
+  // here, after every worker has quiesced; the scheduler stays usable.
   void run(std::function<void()> root);
 
   Worker& worker(unsigned i) { return *workers_[i]; }
@@ -73,6 +76,7 @@ class Scheduler {
   std::atomic<bool> stop_{false};
   std::atomic<bool> run_active_{false};
   std::atomic<bool> root_done_{false};
+  std::exception_ptr root_error_;  // published via the root_done_ handshake
 
   std::mutex mutex_;
   std::condition_variable workers_cv_;  // wakes parked workers for a new run

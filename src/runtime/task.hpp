@@ -5,10 +5,17 @@
 // parent continues inline and later blocks (helping) at a join.  This is the
 // portable-C++ stand-in for Cilk-5's continuation stealing; DESIGN.md §5
 // explains why it preserves the BATCHER invariants.
+//
+// Exceptions: a closure that throws never unwinds a worker's scheduling loop.
+// The frame catches the exception and records it in the join (first exception
+// wins; sibling tasks drain normally so no child ever outlives the spawner's
+// stack frame), and the *spawner* rethrows at the join point.  DESIGN.md §8
+// has the full propagation rules.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <utility>
 
 #include "support/config.hpp"
@@ -37,31 +44,78 @@ class JoinCounter {
 
   bool done() const { return count_.load(std::memory_order_acquire) <= 0; }
 
+  // Records the first exception thrown by any arm of this join.  Later
+  // captures are dropped: siblings keep running (nothing cancels them) and
+  // the spawner rethrows the winner at the join point.  The winner's write of
+  // `error_` is published to the spawner by its subsequent finish()/the
+  // spawner's own program order, so no extra fence is needed here.
+  void capture(std::exception_ptr error) noexcept {
+    bool expected = false;
+    if (error_claimed_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acq_rel)) {
+      error_ = std::move(error);
+    }
+  }
+
+  bool failed() const noexcept {
+    return error_claimed_.load(std::memory_order_acquire);
+  }
+
+  // Rethrows the captured exception, if any.  Call only after done().
+  void rethrow_if_failed() {
+    if (failed()) std::rethrow_exception(error_);
+  }
+
  private:
   std::atomic<std::int64_t> count_;
+  std::atomic<bool> error_claimed_{false};
+  std::exception_ptr error_;
 };
 
-// Type-erased task frame.  Uses a function-pointer vtable-of-one instead of a
+// Type-erased task frame.  Uses a function-pointer vtable-of-two instead of a
 // virtual so the whole frame stays one allocation with no RTTI.
 class Task {
  public:
   using InvokeFn = void (*)(Task*);
+  using DestroyFn = void (*)(Task*);
 
-  Task(InvokeFn invoke, JoinCounter* join, TaskKind kind)
-      : invoke_(invoke), join_(join), kind_(kind) {}
+  Task(InvokeFn invoke, DestroyFn destroy, JoinCounter* join, TaskKind kind)
+      : invoke_(invoke), destroy_(destroy), join_(join), kind_(kind) {}
 
   // Runs the closure, destroys the frame, then releases the join.  The caller
-  // must not touch `this` afterwards.
+  // must not touch `this` afterwards.  A throwing closure is captured into
+  // the join (rethrown by the spawner); only a join-less frame — the
+  // scheduler root, whose wrapper catches everything itself — lets the
+  // exception continue unwinding.
   void run_and_release() {
     JoinCounter* join = join_;
-    invoke_(this);  // executes and deletes the frame
+    try {
+      invoke_(this);  // executes and deletes the frame
+    } catch (...) {
+      if (join == nullptr) throw;
+      join->capture(std::current_exception());
+    }
     if (join != nullptr) join->finish();
   }
 
+  // Destroys the frame *without* running the closure and releases the join
+  // with `error` recorded, exactly as if the closure had thrown immediately.
+  // Used by fault injection to model a task that dies before any effect.
+  void fail_and_release(std::exception_ptr error) {
+    JoinCounter* join = join_;
+    destroy_(this);
+    if (join != nullptr) {
+      join->capture(std::move(error));
+      join->finish();
+    }
+  }
+
   TaskKind kind() const { return kind_; }
+  bool has_join() const { return join_ != nullptr; }
 
  private:
   const InvokeFn invoke_;
+  const DestroyFn destroy_;
   JoinCounter* const join_;
   const TaskKind kind_;
 };
@@ -70,7 +124,8 @@ template <typename F>
 class ClosureTask final : public Task {
  public:
   ClosureTask(F&& fn, JoinCounter* join, TaskKind kind)
-      : Task(&ClosureTask::invoke, join, kind), fn_(std::move(fn)) {}
+      : Task(&ClosureTask::invoke, &ClosureTask::destroy, join, kind),
+        fn_(std::move(fn)) {}
 
  private:
   static void invoke(Task* base) {
@@ -79,6 +134,8 @@ class ClosureTask final : public Task {
     delete self;  // free the frame before running: the closure may run long
     fn();
   }
+
+  static void destroy(Task* base) { delete static_cast<ClosureTask*>(base); }
 
   F fn_;
 };

@@ -13,10 +13,19 @@ Worker* Worker::current() { return t_current_worker; }
 
 void Worker::run_task(Task* task) {
   hooks::emit({hooks::HookPoint::kTaskRun, id_, task->kind(), kind_});
-  const TaskKind saved = kind_;
-  kind_ = task->kind();
+#if BATCHER_AUDIT
+  // Fault injection: kill a joined core task before it runs, as if its
+  // closure threw immediately.  Join-less frames (the scheduler root) are
+  // exempt — their error path is Scheduler::run's own wrapper.
+  if (task->kind() == TaskKind::Core && task->has_join() &&
+      hooks::fire(hooks::test_faults().throw_in_core_task)) {
+    task->fail_and_release(std::make_exception_ptr(
+        hooks::InjectedFault("injected fault: core task failed before running")));
+    return;
+  }
+#endif
+  KindScope scope(*this, task->kind());
   task->run_and_release();
-  kind_ = saved;
   stats_.tasks_executed.bump();
 }
 

@@ -76,12 +76,11 @@ class alignas(kCacheLineSize) Worker {
   // Runs `fn` inline with the worker temporarily switched to `kind`, so that
   // everything `fn` spawns lands on the corresponding deque.  Used by the
   // BATCHER extension to execute LAUNCHBATCH as a batch-dag root (§4).
+  // Exception-safe: the previous kind is restored even if `fn` throws.
   template <typename F>
   void run_inline(TaskKind kind, F&& fn) {
-    const TaskKind saved = kind_;
-    kind_ = kind;
+    KindScope scope(*this, kind);
     fn();
-    kind_ = saved;
   }
 
   // Top-level loop for scheduler-owned threads.
@@ -95,6 +94,18 @@ class alignas(kCacheLineSize) Worker {
 
  private:
   friend class Scheduler;
+
+  // Restores the worker's dag kind on scope exit, including unwinding.
+  struct KindScope {
+    KindScope(Worker& w, TaskKind kind) : w_(w), saved_(w.kind_) {
+      w_.kind_ = kind;
+    }
+    ~KindScope() { w_.kind_ = saved_; }
+    KindScope(const KindScope&) = delete;
+    KindScope& operator=(const KindScope&) = delete;
+    Worker& w_;
+    const TaskKind saved_;
+  };
 
   Scheduler* const sched_;
   const unsigned id_;
