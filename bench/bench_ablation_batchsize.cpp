@@ -28,6 +28,8 @@ int main() {
                 "accrue-k (simulated), and sequential vs parallel batch "
                 "setup (real)");
 
+  bench::Report report("ablation_batchsize");
+  bench::TraceScope trace(report);
   bench::note("simulated, P=8, skip-list cost model, 4096 ops");
   bench::row("%-12s %-10s %12s %12s %10s", "min batch", "max wait", "makespan",
              "batches", "mean size");
@@ -46,6 +48,9 @@ int main() {
                  static_cast<long long>(max_wait),
                  static_cast<long long>(res.makespan),
                  static_cast<long long>(res.batches), res.mean_batch_size());
+      report.metric("sim_makespan/min_batch=" + std::to_string(min_batch) +
+                        "/max_wait=" + std::to_string(max_wait),
+                    static_cast<double>(res.makespan), "steps");
     }
   }
   bench::note("launch-immediately is competitive and never deadlocks; "
@@ -54,7 +59,8 @@ int main() {
 
   bench::note("real runtime, P=4: LAUNCHBATCH setup policy (Fig. 4)");
   bench::row("%-12s %12s", "setup", "Mincs/s");
-  constexpr std::int64_t kN = 100000;
+  const std::int64_t kN = bench::scaled(100000, 10000);
+  report.config("n", static_cast<std::uint64_t>(kN));
   for (auto setup : {batcher::Batcher::SetupPolicy::Sequential,
                      batcher::Batcher::SetupPolicy::Parallel}) {
     batcher::rt::Scheduler sched(4);
@@ -66,13 +72,18 @@ int main() {
                                 /*grain=*/64);
     });
     const double secs = sw.elapsed_seconds();
-    bench::row("%-12s %12.3f",
-               setup == batcher::Batcher::SetupPolicy::Sequential ? "SEQUENTIAL"
-                                                                  : "PARALLEL",
-               bench::mops(kN, secs));
+    const char* label =
+        setup == batcher::Batcher::SetupPolicy::Sequential ? "SEQUENTIAL"
+                                                           : "PARALLEL";
+    bench::row("%-12s %12.3f", label, bench::mops(kN, secs));
+    report.metric(std::string("mincs_per_s/setup=") + label,
+                  bench::mops(kN, secs) * 1e6, "1/s");
+    report.batcher_stats(std::string("setup=") + label,
+                         counter.batcher().stats());
   }
   bench::note("paper's prototype used the sequential path for 8 cores (§7); "
               "the parallel path matches Fig. 4 and wins for large P");
+  report.write();
   std::printf("\n");
   return 0;
 }

@@ -26,7 +26,7 @@ const char* policy_name(StealPolicy p) {
 }
 
 void sweep(const char* label, const Dag& core, std::int64_t structure_size,
-           unsigned workers) {
+           unsigned workers, bench::Report& report) {
   bench::note("%s (P=%u)", label, workers);
   for (StealPolicy policy :
        {StealPolicy::Alternating, StealPolicy::CoreOnly, StealPolicy::BatchOnly,
@@ -41,6 +41,9 @@ void sweep(const char* label, const Dag& core, std::int64_t structure_size,
                static_cast<long long>(res.makespan),
                static_cast<long long>(res.steal_attempts),
                static_cast<long long>(res.trapped_steps));
+    report.metric(std::string("sim_makespan/") + label + "/" +
+                      policy_name(policy),
+                  static_cast<double>(res.makespan), "steps");
   }
 }
 
@@ -50,24 +53,26 @@ int main() {
   bench::header("ABL-steal",
                 "steal-policy ablation: the paper's alternating policy vs "
                 "single-sided and random policies (simulated)");
+  bench::Report report("ablation_steal");
   bench::row("%-13s %12s %14s %12s", "policy", "makespan", "steal att.",
              "trapped");
 
   // DS-heavy: almost all work is inside batches.
   Dag ds_heavy = build_parallel_loop_with_ds(4096, 1, 1, 1);
-  sweep("ds-heavy workload, big structure", ds_heavy, 1 << 22, 8);
+  sweep("ds-heavy", ds_heavy, 1 << 22, 8, report);
 
   // Core-heavy: long per-iteration chains dwarf the ds work.
   Dag core_heavy = build_parallel_loop_with_ds(512, 64, 64, 1);
-  sweep("core-heavy workload, small structure", core_heavy, 1 << 6, 8);
+  sweep("core-heavy", core_heavy, 1 << 6, 8, report);
 
   // Mixed at higher P.
   Dag mixed = build_parallel_loop_with_ds(2048, 8, 8, 1);
-  sweep("mixed workload", mixed, 1 << 14, 16);
+  sweep("mixed", mixed, 1 << 14, 16, report);
 
   bench::note("expected: single-sided policies win their home turf but lose "
               "badly on the other; alternating stays near the best of both "
               "(this is why Lemmas 9/10 need it)");
+  report.write();
   std::printf("\n");
   return 0;
 }

@@ -22,9 +22,9 @@ namespace {
 namespace bench = batcher::bench;
 using batcher::Stopwatch;
 
-constexpr std::int64_t kN = 200000;
+const std::int64_t kN = bench::scaled(200000, 20000);
 
-double run_batched(unsigned workers) {
+double run_batched(unsigned workers, bench::Report& report) {
   batcher::rt::Scheduler sched(workers);
   batcher::ds::BatchedCounter counter(sched);
   Stopwatch sw;
@@ -34,6 +34,10 @@ double run_batched(unsigned workers) {
   });
   const double secs = sw.elapsed_seconds();
   if (counter.value_unsafe() != kN) std::printf("  !! counter mismatch\n");
+  report.batcher_stats("BATCHED/P=" + std::to_string(workers),
+                       counter.batcher().stats());
+  report.scheduler_stats("BATCHED/P=" + std::to_string(workers),
+                         sched.total_stats());
   return secs;
 }
 
@@ -57,13 +61,23 @@ int main() {
   bench::header("T1-counter",
                 "n parallel increments: batched vs atomic vs mutex counters "
                 "(paper §3 example)");
+  bench::Report report("counter");
+  report.config("n", static_cast<std::uint64_t>(kN));
+  bench::TraceScope trace(report);
   bench::row("%-6s %-14s %12s", "P", "variant", "Mincs/s");
   for (unsigned p : {1u, 2u, 4u, 8u}) {
-    bench::row("%-6u %-14s %12.3f", p, "BATCHED", bench::mops(kN, run_batched(p)));
-    bench::row("%-6u %-14s %12.3f", p, "ATOMIC",
-               bench::mops(kN, run_threaded<batcher::conc::AtomicCounter>(p)));
-    bench::row("%-6u %-14s %12.3f", p, "MUTEX",
-               bench::mops(kN, run_threaded<batcher::conc::MutexCounter>(p)));
+    const double batched = bench::mops(kN, run_batched(p, report));
+    const double atomic =
+        bench::mops(kN, run_threaded<batcher::conc::AtomicCounter>(p));
+    const double mutex =
+        bench::mops(kN, run_threaded<batcher::conc::MutexCounter>(p));
+    bench::row("%-6u %-14s %12.3f", p, "BATCHED", batched);
+    bench::row("%-6u %-14s %12.3f", p, "ATOMIC", atomic);
+    bench::row("%-6u %-14s %12.3f", p, "MUTEX", mutex);
+    const std::string suffix = "/P=" + std::to_string(p);
+    report.metric("mincs_per_s/BATCHED" + suffix, batched * 1e6, "1/s");
+    report.metric("mincs_per_s/ATOMIC" + suffix, atomic * 1e6, "1/s");
+    report.metric("mincs_per_s/MUTEX" + suffix, mutex * 1e6, "1/s");
   }
 
   bench::note("simulated processors: BATCHER vs serializing concurrent "
@@ -94,6 +108,11 @@ int main() {
     bench::row("%-6u %-14s %12lld %10.2f", workers, "CONTENDED-FAA",
                static_cast<long long>(rc.makespan),
                static_cast<double>(base_c) / static_cast<double>(rc.makespan));
+    const std::string suffix = "/P=" + std::to_string(workers);
+    report.metric("sim_makespan/BATCHED" + suffix,
+                  static_cast<double>(rb.makespan), "steps");
+    report.metric("sim_makespan/CONTENDED-FAA" + suffix,
+                  static_cast<double>(rc.makespan), "steps");
   }
   bench::note("paper: the serializing counter flatlines at its Omega(n) "
               "floor (makespan ~ n) while the batched counter keeps "
@@ -101,6 +120,7 @@ int main() {
               "needs large P — which is exactly the paper's conclusion that "
               "implicit batching pays off once per-op work amortizes the "
               "batching overhead (cf. the skip-list/tree benches)");
+  report.write();
   std::printf("\n");
   return 0;
 }

@@ -26,7 +26,8 @@ using batcher::Stopwatch;
 using batcher::ds::BatchedSkipList;
 namespace bench = batcher::bench;
 
-constexpr std::int64_t kInserts = 100000;   // paper: 100,000
+const std::int64_t kInserts =
+    bench::scaled(100000, 10000);           // paper: 100,000
 constexpr std::int64_t kPerRecord = 100;    // paper: 100 records per BATCHIFY
 
 double run_sequential(std::int64_t initial, std::uint64_t seed) {
@@ -47,7 +48,7 @@ struct BatResult {
 };
 
 BatResult run_batcher(std::int64_t initial, unsigned workers,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, bench::Report& report) {
   batcher::rt::Scheduler sched(workers);
   BatchedSkipList list(sched, seed);
   const auto init_keys =
@@ -68,7 +69,12 @@ BatResult run_batcher(std::int64_t initial, unsigned workers,
         /*grain=*/1);
   });
   const double secs = sw.elapsed_seconds();
-  return BatResult{secs, list.batcher().stats().mean_batch_size()};
+  const batcher::BatcherStats stats = list.batcher().stats();
+  const std::string label = "BAT/initial=" + std::to_string(initial) +
+                            "/P=" + std::to_string(workers);
+  report.batcher_stats(label, stats);
+  report.scheduler_stats(label, sched.total_stats());
+  return BatResult{secs, stats.mean_batch_size()};
 }
 
 }  // namespace
@@ -83,22 +89,35 @@ int main() {
   bench::note("host has %u hardware thread(s): multi-worker rows show "
               "overhead under time-slicing; see FIG5-sim for scaling shape",
               std::thread::hardware_concurrency());
+  bench::Report report("fig5_skiplist");
+  report.config("inserts", static_cast<std::uint64_t>(kInserts));
+  report.config("per_record", static_cast<std::uint64_t>(kPerRecord));
+  bench::TraceScope trace(report);
   bench::row("%-10s %-8s %-8s %12s %12s", "initial", "variant", "workers",
              "Minserts/s", "mean batch");
 
-  const std::int64_t initial_sizes[] = {20000, 100000, 1000000};
-  for (std::int64_t initial : initial_sizes) {
+  const std::int64_t full_sizes[] = {20000, 100000, 1000000};
+  const std::int64_t smoke_sizes[] = {2000, 10000, 10000};
+  for (int s = 0; s < 3; ++s) {
+    const std::int64_t initial =
+        bench::smoke() ? smoke_sizes[s] : full_sizes[s];
     const double seq_secs = run_sequential(initial, 42);
     bench::row("%-10lld %-8s %-8d %12.3f %12s",
                static_cast<long long>(initial), "SEQ", 1,
                bench::mops(kInserts, seq_secs), "-");
+    report.metric("minserts_per_s/SEQ/initial=" + std::to_string(initial),
+                  bench::mops(kInserts, seq_secs) * 1e6, "1/s");
     for (unsigned workers : {1u, 2u, 4u, 8u}) {
-      const BatResult r = run_batcher(initial, workers, 42);
+      const BatResult r = run_batcher(initial, workers, 42, report);
       bench::row("%-10lld %-8s %-8u %12.3f %12.2f",
                  static_cast<long long>(initial), "BAT", workers,
                  bench::mops(kInserts, r.seconds), r.mean_batch);
+      report.metric("minserts_per_s/BAT/initial=" + std::to_string(initial) +
+                        "/P=" + std::to_string(workers),
+                    bench::mops(kInserts, r.seconds) * 1e6, "1/s");
     }
   }
+  report.write();
   std::printf("\n");
   return 0;
 }

@@ -23,8 +23,8 @@ namespace {
 namespace bench = batcher::bench;
 using batcher::Stopwatch;
 
-constexpr std::int64_t kInitial = 100000;
-constexpr std::int64_t kInserts = 50000;
+const std::int64_t kInitial = bench::scaled(100000, 10000);
+const std::int64_t kInserts = bench::scaled(50000, 5000);
 
 struct FcOp {
   std::int64_t key;
@@ -55,7 +55,8 @@ double run_flat_combining(unsigned threads, std::uint64_t seed) {
   return sw.elapsed_seconds();
 }
 
-double run_batcher_real(unsigned workers, std::uint64_t seed) {
+double run_batcher_real(unsigned workers, std::uint64_t seed,
+                        bench::Report& report) {
   batcher::rt::Scheduler sched(workers);
   batcher::ds::BatchedSkipList list(sched, seed);
   for (auto k : bench::random_keys(kInitial, seed + 1)) list.insert_unsafe(k);
@@ -67,7 +68,10 @@ double run_batcher_real(unsigned workers, std::uint64_t seed) {
         [&](std::int64_t i) { list.insert(keys[static_cast<std::size_t>(i)]); },
         /*grain=*/16);
   });
-  return sw.elapsed_seconds();
+  const double secs = sw.elapsed_seconds();
+  report.batcher_stats("BATCHER/P=" + std::to_string(workers),
+                       list.batcher().stats());
+  return secs;
 }
 
 }  // namespace
@@ -76,16 +80,25 @@ int main() {
   bench::header("FC-comp",
                 "BATCHER vs flat combining on skip-list inserts (paper §7)");
 
+  bench::Report report("flatcombining");
+  report.config("initial", static_cast<std::uint64_t>(kInitial));
+  report.config("inserts", static_cast<std::uint64_t>(kInserts));
+  bench::TraceScope trace(report);
+
   bench::note("real threads (single-core host: absolute numbers show "
               "overhead only; the simulated table below shows scaling)");
   bench::row("%-6s %-14s %12s", "P", "variant", "Minserts/s");
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
     const double fc_secs = run_flat_combining(threads, 11);
-    const double bat_secs = run_batcher_real(threads, 11);
+    const double bat_secs = run_batcher_real(threads, 11, report);
     bench::row("%-6u %-14s %12.3f", threads, "FLATCOMB",
                bench::mops(kInserts, fc_secs));
     bench::row("%-6u %-14s %12.3f", threads, "BATCHER",
                bench::mops(kInserts, bat_secs));
+    report.metric("minserts_per_s/FLATCOMB/P=" + std::to_string(threads),
+                  bench::mops(kInserts, fc_secs) * 1e6, "1/s");
+    report.metric("minserts_per_s/BATCHER/P=" + std::to_string(threads),
+                  bench::mops(kInserts, bat_secs) * 1e6, "1/s");
   }
 
   bench::note("simulated processors, per-op cost ~ lg(1M)");
@@ -109,9 +122,14 @@ int main() {
     bench::row("%-6u %-14s %12lld %10.2f", workers, "BATCHER",
                static_cast<long long>(rb.makespan),
                static_cast<double>(base_b) / static_cast<double>(rb.makespan));
+    report.metric("sim_makespan/FLATCOMB/P=" + std::to_string(workers),
+                  static_cast<double>(rf.makespan), "steps");
+    report.metric("sim_makespan/BATCHER/P=" + std::to_string(workers),
+                  static_cast<double>(rb.makespan), "steps");
   }
   bench::note("paper: similar at P=1; flat combining flattens/degrades with "
               "more cores, BATCHER keeps scaling");
+  report.write();
   std::printf("\n");
   return 0;
 }

@@ -24,6 +24,7 @@ int main() {
                 "BATCHER vs helper-lock execution of the same workload "
                 "(simulated; paper §6 comparison)");
   bench::note("4096 ds ops in a parallel loop; skip-list cost, size 1M");
+  bench::Report report("helperlock");
   bench::row("%-6s %-12s %12s %10s %12s %8s", "P", "variant", "makespan",
              "speedup", "mean batch", "Lem2");
 
@@ -54,11 +55,17 @@ int main() {
                static_cast<double>(base_h) / static_cast<double>(rh.makespan),
                rh.mean_batch_size(),
                static_cast<long long>(rh.max_batches_waited));
+    const std::string suffix = "/P=" + std::to_string(workers);
+    report.metric("sim_makespan/BATCHER" + suffix,
+                  static_cast<double>(rb.makespan), "steps");
+    report.metric("sim_makespan/HELPERLOCK" + suffix,
+                  static_cast<double>(rh.makespan), "steps");
   }
   bench::note("helper locks pay one full critical-section span per op (no "
               "amortization across ops) and lose the Lemma 2 guarantee: the "
               "Lem2 column is the max number of critical sections a blocked "
               "op waited for (BATCHER: provably <= 2)");
+  report.write();
   std::printf("\n");
   return 0;
 }

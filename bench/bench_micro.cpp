@@ -1,11 +1,17 @@
 // MICRO — google-benchmark microbenchmarks for the substrate pieces the
 // paper's constants hide: deque operations, prefix sums, parallel sort,
 // batchify round-trips, and skip-list primitives.
+//
+// Provides its own main (instead of BENCHMARK_MAIN) so that (a) smoke mode
+// caps run time for CI, and (b) every run's per-iteration real time lands in
+// BENCH_micro.json via the bench reporter, optionally with a trace.
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "concurrent/seq_skiplist.hpp"
 #include "ds/batched_counter.hpp"
 #include "ds/batched_skiplist.hpp"
@@ -153,6 +159,62 @@ void BM_BatchedSkipListBop(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedSkipListBop)->Arg(1024)->Arg(262144);
 
+// Console output as usual, plus one Report metric per finished run.
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(batcher::bench::Report& report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      report_.metric(run.benchmark_name() + "/real_time",
+                     run.GetAdjustedRealTime(), time_unit(run.time_unit));
+      report_.metric(run.benchmark_name() + "/iterations",
+                     static_cast<double>(run.iterations), "1");
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        report_.metric(run.benchmark_name() + "/items_per_second",
+                       items->second.value, "1/s");
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  static const char* time_unit(benchmark::TimeUnit u) {
+    switch (u) {
+      case benchmark::kNanosecond: return "ns";
+      case benchmark::kMicrosecond: return "us";
+      case benchmark::kMillisecond: return "ms";
+      case benchmark::kSecond: return "s";
+    }
+    return "ns";
+  }
+
+  batcher::bench::Report& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  namespace bench = batcher::bench;
+
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (bench::smoke()) args.push_back(min_time.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+
+  bench::Report report("micro");
+  report.config("harness", "google-benchmark");
+  report.config("smoke_min_time_s", 0.01);
+  bench::TraceScope trace(report);
+
+  RecordingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  return report.write() ? 0 : 1;
+}

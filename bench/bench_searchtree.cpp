@@ -18,9 +18,10 @@ namespace {
 namespace bench = batcher::bench;
 using batcher::Stopwatch;
 
-constexpr std::int64_t kN = 100000;
+const std::int64_t kN = bench::scaled(100000, 10000);
 
-double run_batched_tree(unsigned workers, double* mean_batch) {
+double run_batched_tree(unsigned workers, double* mean_batch,
+                        bench::Report& report) {
   batcher::rt::Scheduler sched(workers);
   batcher::ds::BatchedTree23 tree(sched);
   const auto keys = bench::random_keys(kN, 5);
@@ -32,11 +33,14 @@ double run_batched_tree(unsigned workers, double* mean_batch) {
         /*grain=*/16);
   });
   const double secs = sw.elapsed_seconds();
-  *mean_batch = tree.batcher().stats().mean_batch_size();
+  const batcher::BatcherStats stats = tree.batcher().stats();
+  report.batcher_stats("BATCHED-2-3/P=" + std::to_string(workers), stats);
+  *mean_batch = stats.mean_batch_size();
   return secs;
 }
 
-double run_batched_wbtree(unsigned workers, double* mean_batch) {
+double run_batched_wbtree(unsigned workers, double* mean_batch,
+                          bench::Report& report) {
   batcher::rt::Scheduler sched(workers);
   batcher::ds::BatchedWBTree tree(sched);
   const auto keys = bench::random_keys(kN, 5);
@@ -48,7 +52,9 @@ double run_batched_wbtree(unsigned workers, double* mean_batch) {
         /*grain=*/16);
   });
   const double secs = sw.elapsed_seconds();
-  *mean_batch = tree.batcher().stats().mean_batch_size();
+  const batcher::BatcherStats stats = tree.batcher().stats();
+  report.batcher_stats("BATCHED-WB/P=" + std::to_string(workers), stats);
+  *mean_batch = stats.mean_batch_size();
   return secs;
 }
 
@@ -68,21 +74,29 @@ int main() {
                 "search-tree example)");
   bench::note("%lld random keys; sequential std::set shown for scale",
               static_cast<long long>(kN));
+  bench::Report report("searchtree");
+  report.config("n", static_cast<std::uint64_t>(kN));
+  bench::TraceScope trace(report);
   bench::row("%-6s %-14s %12s %12s", "P", "variant", "Mins/s", "mean batch");
   {
     const double secs = run_std_set();
     bench::row("%-6d %-14s %12.3f %12s", 1, "STD::SET", bench::mops(kN, secs),
                "-");
+    report.metric("mins_per_s/STD::SET", bench::mops(kN, secs) * 1e6, "1/s");
   }
   for (unsigned p : {1u, 2u, 4u, 8u}) {
     double mean_batch = 0;
-    const double secs = run_batched_tree(p, &mean_batch);
+    const double secs = run_batched_tree(p, &mean_batch, report);
     bench::row("%-6u %-14s %12.3f %12.2f", p, "BATCHED-2-3",
                bench::mops(kN, secs), mean_batch);
     double wb_mean_batch = 0;
-    const double wb_secs = run_batched_wbtree(p, &wb_mean_batch);
+    const double wb_secs = run_batched_wbtree(p, &wb_mean_batch, report);
     bench::row("%-6u %-14s %12.3f %12.2f", p, "BATCHED-WB",
                bench::mops(kN, wb_secs), wb_mean_batch);
+    report.metric("mins_per_s/BATCHED-2-3/P=" + std::to_string(p),
+                  bench::mops(kN, secs) * 1e6, "1/s");
+    report.metric("mins_per_s/BATCHED-WB/P=" + std::to_string(p),
+                  bench::mops(kN, wb_secs) * 1e6, "1/s");
   }
 
   bench::note("simulated processors: makespan vs the Theta(n lg n / P) "
@@ -102,9 +116,12 @@ int main() {
     bench::row("%-6u %12lld %16.0f %8.2f", workers,
                static_cast<long long>(res.makespan), opt,
                static_cast<double>(res.makespan) / opt);
+    report.metric("sim_makespan_over_opt/P=" + std::to_string(workers),
+                  static_cast<double>(res.makespan) / opt, "ratio");
   }
   bench::note("paper: O((T1 + n lg n)/P + m lg n + T-inf) == asymptotically "
               "optimal in the comparison model, linear speedup");
+  report.write();
   std::printf("\n");
   return 0;
 }

@@ -27,6 +27,8 @@ int main() {
   bench::note("%lld implicit-batched inserts in a parallel loop; "
               "per-op cost ~ lg(initial size)",
               static_cast<long long>(kOps));
+  bench::Report report("sim_fig5");
+  report.config("ops", static_cast<std::uint64_t>(kOps));
   bench::row("%-12s %-8s %12s %10s %12s", "initial", "workers",
              "makespan", "speedup", "mean batch");
 
@@ -47,10 +49,16 @@ int main() {
                  static_cast<long long>(res.makespan),
                  static_cast<double>(base) / static_cast<double>(res.makespan),
                  res.mean_batch_size());
+      report.metric("speedup/initial=" + std::to_string(size) +
+                        "/P=" + std::to_string(workers),
+                    static_cast<double>(base) /
+                        static_cast<double>(res.makespan),
+                    "ratio");
     }
   }
   bench::note("paper: BAT speedup grows with skip-list size; ~3.3x at 8 "
               "workers for the 100M list");
+  report.write();
   std::printf("\n");
   return 0;
 }

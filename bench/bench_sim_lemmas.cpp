@@ -6,6 +6,8 @@
 // setup}; this harness shows where the steps actually go, per workload.
 #include <cstdio>
 
+#include <string>
+
 #include "bench/common.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/dag.hpp"
@@ -15,8 +17,9 @@ namespace {
 namespace bench = batcher::bench;
 using namespace batcher::sim;
 
-void report(const char* name, const Dag& core, std::int64_t structure_size,
-            unsigned P) {
+void lemma_rows(const char* name, const Dag& core,
+                std::int64_t structure_size, unsigned P,
+                bench::Report& report) {
   SkipListCostModel model(structure_size);
   BatcherSimConfig cfg;
   cfg.workers = P;
@@ -48,6 +51,20 @@ void report(const char* name, const Dag& core, std::int64_t structure_size,
              static_cast<long long>(res.big_batches),
              static_cast<long long>(res.trimmed_span),
              static_cast<long long>(res.tau));
+  const std::string suffix =
+      std::string("/") + name + "/P=" + std::to_string(P);
+  report.metric("big_batch_steals_over_L9" + suffix,
+                lemma9 == 0 ? 0.0
+                            : static_cast<double>(res.big_batch_steals) /
+                                  static_cast<double>(lemma9),
+                "ratio");
+  report.metric("free_steals_over_L10_11" + suffix,
+                lemma10_11 == 0 ? 0.0
+                               : static_cast<double>(res.free_steals) /
+                                     static_cast<double>(lemma10_11),
+                "ratio");
+  report.metric("max_batches_waited" + suffix,
+                static_cast<double>(res.max_batches_waited), "batches");
 }
 
 }  // namespace
@@ -55,26 +72,27 @@ void report(const char* name, const Dag& core, std::int64_t structure_size,
 int main() {
   bench::header("LEMMAS-sim",
                 "§5 analysis quantities, measured vs lemma envelopes");
+  bench::Report report("sim_lemmas");
   bench::row("%-14s %4s %10s %10s %10s %10s %10s %6s", "workload", "P",
              "bigSteal", "L9 env", "freeSteal", "L10+11", "trapSteal",
              "Lem2");
 
   {
     Dag core = build_parallel_loop_with_ds(2048, 1, 1, 1);
-    report("ds-heavy", core, 1 << 20, 8);
-    report("ds-heavy", core, 1 << 20, 16);
+    lemma_rows("ds-heavy", core, 1 << 20, 8, report);
+    lemma_rows("ds-heavy", core, 1 << 20, 16, report);
   }
   {
     Dag core = build_parallel_loop_with_ds(256, 48, 48, 1);
-    report("core-heavy", core, 1 << 10, 8);
+    lemma_rows("core-heavy", core, 1 << 10, 8, report);
   }
   {
     Dag core = build_parallel_loop_with_ds(128, 2, 1, 16);  // m = 16
-    report("deep-m16", core, 1 << 16, 8);
+    lemma_rows("deep-m16", core, 1 << 16, 8, report);
   }
   {
     Dag core = build_sequential_ds_chain(256, 4);  // m = n
-    report("serial-chain", core, 1 << 16, 8);
+    lemma_rows("serial-chain", core, 1 << 16, 8, report);
   }
   bench::note("Lem2 column is the measured max batches any trapped worker "
               "waited — the paper's Lemma 2 proves it is at most 2");
@@ -82,6 +100,7 @@ int main() {
               "modest constant; big-batch steals dominate ds-heavy runs, "
               "free steals dominate core-heavy runs, matching the proof's "
               "case split");
+  report.write();
   std::printf("\n");
   return 0;
 }

@@ -50,6 +50,7 @@ int main() {
   bench::header("THM1-sim",
                 "measured makespan vs the Theorem 1 bound "
                 "(ratio must stay below a fixed constant)");
+  bench::Report report("sim_theory");
   bench::row("%-10s %-7s %-7s %-4s %12s %12s %8s", "model", "n", "m", "P",
              "makespan", "bound", "ratio");
 
@@ -76,6 +77,11 @@ int main() {
           const double ratio = static_cast<double>(res.makespan) /
                                static_cast<double>(bound);
           if (ratio > max_ratio) max_ratio = ratio;
+          report.metric(std::string("ratio/") + model_name +
+                            "/n=" + std::to_string(n) +
+                            "/m=" + std::to_string(core.max_ds_on_path()) +
+                            "/P=" + std::to_string(P),
+                        ratio, "ratio");
           bench::row("%-10s %-7lld %-7lld %-4u %12lld %12lld %8.2f",
                      model_name, static_cast<long long>(n),
                      static_cast<long long>(core.max_ds_on_path()), P,
@@ -89,6 +95,8 @@ int main() {
               "constant; the absolute value depends on structural constants "
               "in the simulator's batch dags)",
               max_ratio);
+  report.metric("max_ratio", max_ratio, "ratio");
+  report.write();
   std::printf("\n");
   return 0;
 }

@@ -16,9 +16,10 @@ namespace {
 namespace bench = batcher::bench;
 using batcher::Stopwatch;
 
-constexpr std::int64_t kOps = 200000;
+const std::int64_t kOps = bench::scaled(200000, 20000);
 
-double run_batched(unsigned workers, std::uint64_t seed) {
+double run_batched(unsigned workers, std::uint64_t seed,
+                   bench::Report& report) {
   batcher::rt::Scheduler sched(workers);
   batcher::ds::BatchedStack<std::int64_t> stack(sched);
   const auto coins = bench::random_keys(kOps, seed, 4);
@@ -36,7 +37,10 @@ double run_batched(unsigned workers, std::uint64_t seed) {
         },
         /*grain=*/64);
   });
-  return sw.elapsed_seconds();
+  const double secs = sw.elapsed_seconds();
+  report.batcher_stats("BATCHED/P=" + std::to_string(workers),
+                       stack.batcher().stats());
+  return secs;
 }
 
 double run_mutex_stack(unsigned threads, std::uint64_t seed) {
@@ -68,19 +72,29 @@ int main() {
   bench::header("T1-stack",
                 "amortized batched LIFO stack vs mutex stack (paper §3 "
                 "example), 3:1 push:pop mix");
+  bench::Report report("stack");
+  report.config("ops", static_cast<std::uint64_t>(kOps));
+  bench::TraceScope trace(report);
   bench::row("%-6s %-14s %12s", "P", "variant", "Mops/s");
   for (unsigned p : {1u, 2u, 4u, 8u}) {
-    bench::row("%-6u %-14s %12.3f", p, "BATCHED",
-               bench::mops(kOps, run_batched(p, 9)));
-    bench::row("%-6u %-14s %12.3f", p, "MUTEX",
-               bench::mops(kOps, run_mutex_stack(p, 9)));
+    const double batched = bench::mops(kOps, run_batched(p, 9, report));
+    const double mutex = bench::mops(kOps, run_mutex_stack(p, 9));
+    bench::row("%-6u %-14s %12.3f", p, "BATCHED", batched);
+    bench::row("%-6u %-14s %12.3f", p, "MUTEX", mutex);
+    report.metric("mops_per_s/BATCHED/P=" + std::to_string(p), batched * 1e6,
+                  "1/s");
+    report.metric("mops_per_s/MUTEX/P=" + std::to_string(p), mutex * 1e6,
+                  "1/s");
   }
 
   // Doubling-storm microcheck: pushing n elements into an empty stack causes
   // lg n doublings; total time must stay ~linear in n (amortized O(1)/op).
   bench::note("amortization check: pure pushes from empty (doubling storms)");
   bench::row("%-10s %12s %14s", "n", "seconds", "ns/op");
-  for (std::int64_t n : {20000, 80000, 320000}) {
+  const std::int64_t storm_full[] = {20000, 80000, 320000};
+  const std::int64_t storm_smoke[] = {2000, 8000, 32000};
+  for (int s = 0; s < 3; ++s) {
+    const std::int64_t n = bench::smoke() ? storm_smoke[s] : storm_full[s];
     batcher::rt::Scheduler sched(4);
     batcher::ds::BatchedStack<std::int64_t> stack(sched);
     Stopwatch sw;
@@ -91,8 +105,13 @@ int main() {
     const double secs = sw.elapsed_seconds();
     bench::row("%-10lld %12.4f %14.1f", static_cast<long long>(n), secs,
                secs * 1e9 / static_cast<double>(n));
+    report.batcher_stats("storm/n=" + std::to_string(n),
+                         stack.batcher().stats());
+    report.metric("storm_ns_per_op/n=" + std::to_string(n),
+                  secs * 1e9 / static_cast<double>(n), "ns");
   }
   bench::note("ns/op flat across n => table doubling amortizes as analyzed");
+  report.write();
   std::printf("\n");
   return 0;
 }

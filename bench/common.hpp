@@ -1,19 +1,46 @@
 // Shared helpers for the benchmark harnesses: row printing in a uniform
-// format and workload generation.
+// format, workload generation, and the machine-readable reporter.
 //
 // Every figure/table harness prints (1) a header naming the paper artifact it
 // regenerates and (2) aligned rows, so `for b in build/bench/*; do $b; done`
 // yields a readable experiment log (captured into bench_output.txt).
+//
+// In addition every harness builds a `Report` and calls `write()` before
+// exiting, producing `BENCH_<name>.json` (in $BATCHER_BENCH_OUT, default the
+// working directory) that carries the same numbers in a schema-validated
+// form (bench/bench_report.schema.json):
+//
+//   * config key/values and metric rows,
+//   * BatcherStats / scheduler StatsSnapshot records (with the op-count
+//     identities intact, so downstream tooling can reconcile),
+//   * when $BATCHER_TRACE is set, the drained trace's MetricsReport plus a
+//     Chrome trace file `trace_<name>.json` next to the report.
+//
+// Environment knobs:
+//   BATCHER_BENCH_OUT    output directory for BENCH_*.json / trace_*.json
+//   BATCHER_BENCH_SMOKE  non-empty & != "0": shrink workloads (CI smoke mode)
+//   BATCHER_TRACE        non-empty & != "0": record a TraceSession around the
+//                        bench and export trace + metrics
+//   BATCHER_TRACE_RING   per-thread ring capacity in records (default 2^20)
 #pragma once
 
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "batcher/batcher.hpp"
+#include "runtime/stats.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/timing.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace batcher::bench {
 
@@ -52,6 +79,270 @@ inline std::vector<std::int64_t> random_keys(std::size_t n, std::uint64_t seed,
 // Million operations per second.
 inline double mops(std::int64_t ops, double seconds) {
   return seconds <= 0 ? 0.0 : static_cast<double>(ops) / seconds / 1e6;
+}
+
+// --- environment knobs ------------------------------------------------------
+
+inline bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
+
+// CI smoke mode: run every harness end to end but with shrunken workloads.
+inline bool smoke() { return env_flag("BATCHER_BENCH_SMOKE"); }
+
+// Pick `full` normally, `small` under smoke mode.
+inline std::int64_t scaled(std::int64_t full, std::int64_t small) {
+  return smoke() ? small : full;
+}
+
+inline std::string out_dir() {
+  const char* v = std::getenv("BATCHER_BENCH_OUT");
+  return (v != nullptr && *v != '\0') ? std::string(v) : std::string(".");
+}
+
+inline std::size_t trace_ring_capacity() {
+  const char* v = std::getenv("BATCHER_TRACE_RING");
+  if (v == nullptr || *v == '\0') return std::size_t{1} << 20;
+  const long long n = std::atoll(v);
+  return n > 0 ? static_cast<std::size_t>(n) : std::size_t{1} << 20;
+}
+
+inline bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const bool ok = written == body.size() && std::fclose(f) == 0;
+  if (!ok) std::remove(path.c_str());
+  return ok;
+}
+
+// --- the machine-readable reporter ------------------------------------------
+
+class TraceScope;
+
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  void config(std::string key, std::string value) {
+    config_.push_back({std::move(key), Value::str(std::move(value))});
+  }
+  void config(std::string key, const char* value) {
+    config(std::move(key), std::string(value));
+  }
+  void config(std::string key, std::uint64_t value) {
+    config_.push_back({std::move(key), Value::num(value)});
+  }
+  void config(std::string key, std::int64_t value) {
+    config(std::move(key), static_cast<double>(value));
+  }
+  void config(std::string key, int value) {
+    config(std::move(key),
+           static_cast<std::uint64_t>(value < 0 ? 0 : value));
+  }
+  void config(std::string key, unsigned value) {
+    config(std::move(key), static_cast<std::uint64_t>(value));
+  }
+  void config(std::string key, double value) {
+    config_.push_back({std::move(key), Value::real(value)});
+  }
+  void config(std::string key, bool value) {
+    config_.push_back({std::move(key), Value::boolean(value)});
+  }
+
+  // One numeric result row.  Encode parameters in the name
+  // ("mops/P=4/BATCHED") — the schema keeps metrics deliberately flat.
+  void metric(std::string name, double value, std::string unit = "") {
+    metrics_.push_back({std::move(name), value, std::move(unit)});
+  }
+
+  // Record a domain's stats snapshot; `ops_processed_total` accumulates
+  // across calls and is what the trace metrics reconcile against.
+  void batcher_stats(std::string label, const BatcherStats& st) {
+    ops_processed_total_ += st.ops_processed;
+    batcher_stats_.push_back({std::move(label), st});
+  }
+
+  void scheduler_stats(std::string label, const rt::StatsSnapshot& st) {
+    scheduler_stats_.push_back({std::move(label), st});
+  }
+
+  std::uint64_t ops_processed_total() const { return ops_processed_total_; }
+
+  // Serializes and writes BENCH_<name>.json (finishing the attached
+  // TraceScope first, if any).  Returns false on I/O failure.
+  bool write();
+
+ private:
+  friend class TraceScope;
+
+  struct Value {
+    enum class Kind { kString, kUint, kDouble, kBool } kind;
+    std::string s;
+    std::uint64_t u = 0;
+    double d = 0.0;
+    bool b = false;
+
+    static Value str(std::string v) {
+      return {Kind::kString, std::move(v), 0, 0.0, false};
+    }
+    static Value num(std::uint64_t v) { return {Kind::kUint, {}, v, 0.0, false}; }
+    static Value real(double v) { return {Kind::kDouble, {}, 0, v, false}; }
+    static Value boolean(bool v) { return {Kind::kBool, {}, 0, 0.0, v}; }
+
+    void emit(json::Writer& w) const {
+      switch (kind) {
+        case Kind::kString: w.value(std::string_view(s)); break;
+        case Kind::kUint: w.value(u); break;
+        case Kind::kDouble: w.value(d); break;
+        case Kind::kBool: w.value(b); break;
+      }
+    }
+  };
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  std::string name_;
+  std::vector<std::pair<std::string, Value>> config_;
+  std::vector<Metric> metrics_;
+  std::vector<std::pair<std::string, BatcherStats>> batcher_stats_;
+  std::vector<std::pair<std::string, rt::StatsSnapshot>> scheduler_stats_;
+  std::uint64_t ops_processed_total_ = 0;
+
+  TraceScope* trace_scope_ = nullptr;
+  bool traced_ = false;
+  std::string trace_file_;
+  trace::MetricsReport trace_metrics_;
+};
+
+// Records a TraceSession spanning the bench when $BATCHER_TRACE is set; a
+// no-op otherwise.  On finish (explicit, or implicit via Report::write or
+// destruction) the Chrome trace is written to trace_<name>.json and the
+// MetricsReport is folded into the Report.
+class TraceScope {
+ public:
+  explicit TraceScope(Report& report) : report_(report) {
+    if (env_flag("BATCHER_TRACE")) {
+      trace::TraceSession::Options opt;
+      opt.ring_capacity = trace_ring_capacity();
+      session_ = new trace::TraceSession(opt);
+      report_.trace_scope_ = this;
+    }
+  }
+  ~TraceScope() {
+    finish();
+    delete session_;
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  bool active() const { return session_ != nullptr && !finished_; }
+
+  void finish() {
+    if (session_ == nullptr || finished_) return;
+    finished_ = true;
+    report_.trace_scope_ = nullptr;
+    const trace::Trace& tr = session_->stop();
+    report_.traced_ = true;
+    report_.trace_metrics_ = trace::build_metrics(tr);
+    report_.trace_file_ = "trace_" + report_.name_ + ".json";
+    const std::string path = out_dir() + "/" + report_.trace_file_;
+    if (trace::write_chrome_trace(tr, path)) {
+      note("chrome trace: %s", path.c_str());
+    } else {
+      note("chrome trace: FAILED to write %s", path.c_str());
+      report_.trace_file_.clear();
+    }
+  }
+
+ private:
+  Report& report_;
+  trace::TraceSession* session_ = nullptr;  // heap: optional without <optional>
+  bool finished_ = false;
+};
+
+inline bool Report::write() {
+  if (trace_scope_ != nullptr) trace_scope_->finish();
+
+  json::Writer w;
+  w.begin_object();
+  w.kv("schema_version", std::uint64_t{1});
+  w.kv("name", std::string_view(name_));
+  w.kv("smoke", smoke());
+
+  w.key("config").begin_object();
+  for (const auto& [k, v] : config_) {
+    w.key(k);
+    v.emit(w);
+  }
+  w.end_object();
+
+  w.key("metrics").begin_array();
+  for (const Metric& m : metrics_) {
+    w.begin_object();
+    w.kv("name", std::string_view(m.name));
+    w.kv("value", m.value);
+    if (!m.unit.empty()) w.kv("unit", std::string_view(m.unit));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("batcher_stats").begin_array();
+  for (const auto& [label, st] : batcher_stats_) {
+    w.begin_object();
+    w.kv("label", std::string_view(label));
+    w.kv("batches_launched", st.batches_launched);
+    w.kv("empty_batches", st.empty_batches);
+    w.kv("failed_batches", st.failed_batches);
+    w.kv("clean_nonempty_batches", st.clean_nonempty_batches);
+    w.kv("ops_processed", st.ops_processed);
+    w.kv("ops_failed", st.ops_failed);
+    w.kv("ops_succeeded", st.ops_succeeded);
+    w.kv("max_batch_size", st.max_batch_size);
+    w.kv("mean_batch_size", st.mean_batch_size());
+    w.key("batch_size_histogram").begin_array();
+    for (std::uint64_t n : st.batch_size_histogram) w.value(n);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("scheduler_stats").begin_array();
+  for (const auto& [label, st] : scheduler_stats_) {
+    w.begin_object();
+    w.kv("label", std::string_view(label));
+    w.kv("tasks_executed", st.tasks_executed);
+    w.kv("core_steal_attempts", st.core_steal_attempts);
+    w.kv("batch_steal_attempts", st.batch_steal_attempts);
+    w.kv("steals_succeeded", st.steals_succeeded);
+    w.kv("join_help_runs", st.join_help_runs);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.kv("ops_processed_total", ops_processed_total_);
+
+  if (traced_) {
+    w.key("trace").begin_object();
+    w.kv("file", std::string_view(trace_file_));
+    w.key("metrics");
+    trace_metrics_.to_json(w);
+    w.end_object();
+  }
+  w.end_object();
+
+  const std::string path = out_dir() + "/BENCH_" + name_ + ".json";
+  const bool ok = write_file(path, w.str());
+  if (ok) {
+    note("report: %s", path.c_str());
+  } else {
+    note("report: FAILED to write %s", path.c_str());
+  }
+  return ok;
 }
 
 }  // namespace batcher::bench

@@ -6,6 +6,7 @@
 #include "runtime/api.hpp"
 #include "runtime/schedule_hooks.hpp"
 #include "support/backoff.hpp"
+#include "trace/trace.hpp"
 
 namespace batcher {
 
@@ -33,13 +34,18 @@ inline void maybe_inject_collect_fault() {
 }  // namespace
 
 Batcher::Batcher(rt::Scheduler& sched, BatchedStructure& ds, SetupPolicy setup)
-    : sched_(sched), ds_(ds), setup_(setup) {
+    : sched_(sched),
+      ds_(ds),
+      setup_(setup),
+      trace_id_(trace::register_domain(this)) {
   const std::size_t P = sched_.num_workers();
   slots_ = std::vector<Slot>(P);
   working_.resize(P, nullptr);
   marks_.resize(P, 0);
   stat_cells_.histogram = std::vector<std::atomic<std::uint64_t>>(P + 1);
 }
+
+Batcher::~Batcher() { trace::unregister_domain(this); }
 
 void Batcher::batchify(OpRecordBase& op) {
   rt::Worker* w = rt::Worker::current();
@@ -54,6 +60,9 @@ void Batcher::batchify(OpRecordBase& op) {
   op.clear_error();  // records may be reused across operations
   hooks::emit({hooks::HookPoint::kBatchifyEnter, w->id(), rt::TaskKind::Core,
                w->current_kind(), this});
+  if (trace::enabled()) [[unlikely]] {
+    trace::emit(w->id(), trace::EventId::kOpSubmit, trace_id_);
+  }
   slot.op = &op;
   // Emitted before the release store: a launcher can only observe (and report
   // on) this slot after the store, so the observer sees free->pending first.
@@ -89,6 +98,12 @@ void Batcher::batchify(OpRecordBase& op) {
         hooks::emit({hooks::HookPoint::kFlagCasWon, w->id(),
                      rt::TaskKind::Core, w->current_kind(), this});
       }
+      // Unlike the audit hook above, the trace record is not suppressed by
+      // the skip_batch_flag_cas fault: the trace reports what the schedule
+      // actually did, not what the auditor is being shown.
+      if (trace::enabled()) [[unlikely]] {
+        trace::emit(w->id(), trace::EventId::kFlagWon, trace_id_);
+      }
       w->run_inline(rt::TaskKind::Batch, [this] { launch_batch(); });
       backoff.reset();
       continue;
@@ -110,6 +125,9 @@ void Batcher::batchify(OpRecordBase& op) {
   slot.status.store(OpStatus::Free, std::memory_order_relaxed);
   hooks::emit({hooks::HookPoint::kBatchifyExit, w->id(), rt::TaskKind::Core,
                w->current_kind(), this});
+  if (trace::enabled()) [[unlikely]] {
+    trace::emit(w->id(), trace::EventId::kOpResume, trace_id_);
+  }
   // The slot is released either way; a failed op surfaces at its caller.
   op.rethrow_if_failed();
 }
@@ -118,6 +136,9 @@ Batcher::BatchGuard::BatchGuard(Batcher& batcher, unsigned launcher)
     : b_(batcher), launcher_(launcher) {
   hooks::emit({hooks::HookPoint::kLaunchEnter, launcher_, rt::TaskKind::Batch,
                rt::TaskKind::Batch, &b_});
+  if (trace::enabled()) [[unlikely]] {
+    trace::emit(launcher_, trace::EventId::kLaunchEnter, b_.trace_id_);
+  }
   const std::int32_t already =
       b_.batches_running_.fetch_add(1, std::memory_order_acq_rel);
   BATCHER_ASSERT(already == 0, "Invariant 1 violated: overlapping batches");
@@ -148,8 +169,10 @@ Batcher::BatchGuard::~BatchGuard() {
   bump(st.batches_launched);
   if (done == 0) bump(st.empty_batches);
   if (!clean_) bump(st.failed_batches);
+  if (clean_ && done > 0) bump(st.clean_nonempty_batches);
   bump(st.ops_processed, done);
   bump(st.ops_failed, failed_ops);
+  bump(st.ops_succeeded, done - failed_ops);
   if (done > st.max_batch_size.load(std::memory_order_relaxed)) {
     st.max_batch_size.store(done, std::memory_order_relaxed);
   }
@@ -160,6 +183,10 @@ Batcher::BatchGuard::~BatchGuard() {
   // precede this event, so the observer's flag-holder model stays exact.
   hooks::emit({hooks::HookPoint::kLaunchExit, launcher_, rt::TaskKind::Batch,
                rt::TaskKind::Batch, &b_, done});
+  if (trace::enabled()) [[unlikely]] {
+    trace::emit(launcher_, trace::EventId::kLaunchExit, b_.trace_id_,
+                static_cast<std::uint32_t>(done));
+  }
   // Reopen the domain.  Release pairs with the next launcher's CAS acquire.
   b_.batch_flag_.store(0, std::memory_order_release);
 }
@@ -173,6 +200,10 @@ void Batcher::launch_batch() {
     guard.collected(count);
     hooks::emit({hooks::HookPoint::kBatchCollected, launcher,
                  rt::TaskKind::Batch, rt::TaskKind::Batch, this, count});
+    if (trace::enabled()) [[unlikely]] {
+      trace::emit(launcher, trace::EventId::kCollected, trace_id_,
+                  static_cast<std::uint32_t>(count));
+    }
     BATCHER_ASSERT(count <= sched_.num_workers(),
                    "Invariant 2 violated: batch larger than P");
 #if BATCHER_AUDIT
@@ -191,6 +222,10 @@ void Batcher::launch_batch() {
       }
 #endif
       ds_.run_batch(working_.data(), count);
+      if (trace::enabled()) [[unlikely]] {
+        trace::emit(launcher, trace::EventId::kBopDone, trace_id_,
+                    static_cast<std::uint32_t>(count));
+      }
       complete(parallel, /*error=*/nullptr);
     }
     guard.completed_cleanly();
@@ -301,8 +336,11 @@ BatcherStats Batcher::stats() const {
   out.empty_batches = stat_cells_.empty_batches.load(std::memory_order_relaxed);
   out.failed_batches =
       stat_cells_.failed_batches.load(std::memory_order_relaxed);
+  out.clean_nonempty_batches =
+      stat_cells_.clean_nonempty_batches.load(std::memory_order_relaxed);
   out.ops_processed = stat_cells_.ops_processed.load(std::memory_order_relaxed);
   out.ops_failed = stat_cells_.ops_failed.load(std::memory_order_relaxed);
+  out.ops_succeeded = stat_cells_.ops_succeeded.load(std::memory_order_relaxed);
   out.max_batch_size =
       stat_cells_.max_batch_size.load(std::memory_order_relaxed);
   out.batch_size_histogram.reserve(stat_cells_.histogram.size());
@@ -316,8 +354,10 @@ void Batcher::reset_stats() {
   stat_cells_.batches_launched.store(0, std::memory_order_relaxed);
   stat_cells_.empty_batches.store(0, std::memory_order_relaxed);
   stat_cells_.failed_batches.store(0, std::memory_order_relaxed);
+  stat_cells_.clean_nonempty_batches.store(0, std::memory_order_relaxed);
   stat_cells_.ops_processed.store(0, std::memory_order_relaxed);
   stat_cells_.ops_failed.store(0, std::memory_order_relaxed);
+  stat_cells_.ops_succeeded.store(0, std::memory_order_relaxed);
   stat_cells_.max_batch_size.store(0, std::memory_order_relaxed);
   for (auto& h : stat_cells_.histogram) h.store(0, std::memory_order_relaxed);
 }

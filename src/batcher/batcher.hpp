@@ -46,24 +46,38 @@ enum class OpStatus : std::uint8_t { Free = 0, Pending, Executing, Done };
 // Counters describing one Batcher domain's activity.  Written only by the
 // (unique) active batch launcher, so single-writer relaxed atomics suffice.
 //
-// `ops_processed` counts every operation a batch carried to done, successful
-// or failed; `ops_failed` is the subset that completed with an error
-// recorded.  The histogram therefore always satisfies
+// `ops_processed` counts every operation a batch carried to done; it splits
+// exactly into `ops_failed` (completed with an error recorded — the ops a
+// failed launch had collected) and `ops_succeeded`, so the identity
+//
+//   ops_processed == ops_failed + ops_succeeded
+//
+// holds on every snapshot, fault-injected or not.  The histogram satisfies
 // sum(hist) == batches_launched and sum(k * hist[k]) == ops_processed.
 struct BatcherStats {
   std::uint64_t batches_launched = 0;  // includes empty and failed launches
   std::uint64_t empty_batches = 0;
   std::uint64_t failed_batches = 0;    // launches that recorded an error
+  // Launches that completed cleanly and carried at least one op — the
+  // denominator of mean_batch_size.
+  std::uint64_t clean_nonempty_batches = 0;
   std::uint64_t ops_processed = 0;     // ops carried to done (incl. failed)
   std::uint64_t ops_failed = 0;        // ops that completed with an error
+  std::uint64_t ops_succeeded = 0;     // ops that completed without one
   std::uint64_t max_batch_size = 0;
   std::vector<std::uint64_t> batch_size_histogram;  // index = ops in batch
 
+  // Mean over cleanly completed, non-empty launches.  Failed launches'
+  // partially collected ops are excluded from both numerator and
+  // denominator — a launch that died mid-collect would otherwise drag the
+  // mean below what healthy batching actually achieved.  (Short of the
+  // completion pass itself dying mid-flip, every successful op belongs to a
+  // clean launch, so numerator and denominator agree exactly.)
   double mean_batch_size() const {
-    const std::uint64_t nonempty = batches_launched - empty_batches;
-    return nonempty == 0 ? 0.0
-                         : static_cast<double>(ops_processed) /
-                               static_cast<double>(nonempty);
+    return clean_nonempty_batches == 0
+               ? 0.0
+               : static_cast<double>(ops_succeeded) /
+                     static_cast<double>(clean_nonempty_batches);
   }
 };
 
@@ -77,6 +91,7 @@ class Batcher {
 
   Batcher(rt::Scheduler& sched, BatchedStructure& ds,
           SetupPolicy setup = SetupPolicy::Sequential);
+  ~Batcher();
 
   Batcher(const Batcher&) = delete;
   Batcher& operator=(const Batcher&) = delete;
@@ -162,6 +177,9 @@ class Batcher {
   rt::Scheduler& sched_;
   BatchedStructure& ds_;
   const SetupPolicy setup_;
+  // Small id naming this domain in 16-byte trace records (src/trace);
+  // registered for the Batcher's lifetime.
+  const std::uint16_t trace_id_;
 
   std::vector<Slot> slots_;                  // the pending array (size P)
   std::vector<OpRecordBase*> working_;       // the working set (size <= P)
@@ -175,8 +193,10 @@ class Batcher {
     std::atomic<std::uint64_t> batches_launched{0};
     std::atomic<std::uint64_t> empty_batches{0};
     std::atomic<std::uint64_t> failed_batches{0};
+    std::atomic<std::uint64_t> clean_nonempty_batches{0};
     std::atomic<std::uint64_t> ops_processed{0};
     std::atomic<std::uint64_t> ops_failed{0};
+    std::atomic<std::uint64_t> ops_succeeded{0};
     std::atomic<std::uint64_t> max_batch_size{0};
     std::vector<std::atomic<std::uint64_t>> histogram;
   };

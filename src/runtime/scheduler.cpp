@@ -26,6 +26,7 @@ Scheduler::~Scheduler() {
   }
   workers_cv_.notify_all();
   for (auto& t : threads_) t.join();
+  if (final_stats_sink_ != nullptr) *final_stats_sink_ = total_stats();
 }
 
 void Scheduler::worker_thread(unsigned index) { workers_[index]->main_loop(); }

@@ -55,6 +55,13 @@ class Scheduler {
   StatsSnapshot total_stats() const;
   void reset_stats();
 
+  // Writes the final aggregated stats into `sink` from the destructor, after
+  // the worker threads have joined.  A total_stats() call right after run()
+  // can still race with a worker finishing its last loop iteration; the
+  // destructor-time snapshot is exact, which trace-reconciliation consumers
+  // need.  Pass nullptr to cancel.
+  void export_final_stats(StatsSnapshot* sink) { final_stats_sink_ = sink; }
+
   bool stopping() const { return stop_.load(std::memory_order_acquire); }
   bool run_active() const { return run_active_.load(std::memory_order_acquire); }
 
@@ -71,6 +78,8 @@ class Scheduler {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+
+  StatsSnapshot* final_stats_sink_ = nullptr;
 
   std::atomic<Task*> inbox_{nullptr};
   std::atomic<bool> stop_{false};

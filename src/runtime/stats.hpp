@@ -1,24 +1,45 @@
 // Instrumentation counters.
 //
-// Each worker owns a stats block; only the owning worker writes it (plain
-// load+store on relaxed atomics — single-writer, so no RMW needed), while the
-// scheduler may read it from other threads at any time.  The categories
-// mirror the quantities the paper's analysis charges steps to (§5): work
-// executed, steal attempts split by target deque kind, successful steals.
+// Each worker owns a stats block and in the common case is the only writer,
+// while the scheduler — and observers like the stall watchdog — read it from
+// other threads at any time.  `bump` used to exploit that with a plain
+// load+store, but nothing enforced the single-writer contract at the call
+// sites, so it is now a relaxed fetch_add: lock-free, correct under any
+// number of writers, and on an uncontended (single-writer) cache line it
+// costs the same handful of cycles as the load+store pair did.  The
+// categories mirror the quantities the paper's analysis charges steps to
+// (§5): work executed, steal attempts split by target deque kind, successful
+// steals.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 
 namespace batcher::rt {
 
-// Single-writer counter: owner bumps, anyone reads.
+// Monotonic event counter: any thread bumps, anyone reads.
 class Counter {
  public:
   void bump(std::uint64_t n = 1) {
-    value_.store(value_.load(std::memory_order_relaxed) + n,
-                 std::memory_order_relaxed);
+    value_.fetch_add(n, std::memory_order_relaxed);
   }
+
+  // Saturating add: sticks at 2^64-1 instead of wrapping.  Histogram bucket
+  // cells (trace/histogram.hpp) use this so a bucket that somehow overflows
+  // reads as "full" rather than restarting from zero and corrupting every
+  // derived percentile.
+  void add_saturating(std::uint64_t n = 1) {
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t v = value_.load(std::memory_order_relaxed);
+    while (true) {
+      const std::uint64_t next = (v > kMax - n) ? kMax : v + n;
+      if (value_.compare_exchange_weak(v, next, std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
   std::uint64_t get() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
 

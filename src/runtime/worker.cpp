@@ -2,6 +2,7 @@
 
 #include "runtime/scheduler.hpp"
 #include "support/backoff.hpp"
+#include "trace/trace.hpp"
 
 namespace batcher::rt {
 
@@ -24,9 +25,18 @@ void Worker::run_task(Task* task) {
     return;
   }
 #endif
-  KindScope scope(*this, task->kind());
+  const TaskKind task_kind = task->kind();
+  if (trace::enabled()) [[unlikely]] {
+    trace::emit(id_, trace::EventId::kTaskBegin,
+                static_cast<std::uint16_t>(task_kind));
+  }
+  KindScope scope(*this, task_kind);
   task->run_and_release();
   stats_.tasks_executed.bump();
+  if (trace::enabled()) [[unlikely]] {
+    trace::emit(id_, trace::EventId::kTaskEnd,
+                static_cast<std::uint16_t>(task_kind));
+  }
 }
 
 Task* Worker::try_steal(TaskKind kind) {
@@ -44,6 +54,12 @@ Task* Worker::try_steal(TaskKind kind) {
   }
   hooks::emit({hooks::HookPoint::kStealAttempt, id_, kind, kind_, nullptr,
                task != nullptr ? 1u : 0u});
+  if (trace::enabled()) [[unlikely]] {
+    trace::emit(id_, trace::EventId::kSteal,
+                static_cast<std::uint16_t>(
+                    (kind == TaskKind::Batch ? trace::kStealKindBatch : 0) |
+                    (task != nullptr ? trace::kStealSuccess : 0)));
+  }
   if (task != nullptr) stats_.steals_succeeded.bump();
   return task;
 }

@@ -1,0 +1,159 @@
+// Minimal JSON emitter: enough to write trace exports and bench reports
+// without a third-party dependency.  Produces compact, valid JSON; commas
+// and nesting are tracked by a small state stack, keys/values assert basic
+// well-formedness in debug builds.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/config.hpp"
+
+namespace batcher::json {
+
+class Writer {
+ public:
+  Writer() = default;
+
+  Writer& begin_object() {
+    comma();
+    out_ += '{';
+    stack_.push_back(State::kObjectFirst);
+    return *this;
+  }
+  Writer& end_object() {
+    BATCHER_DASSERT(top() == State::kObjectFirst || top() == State::kObject,
+                    "end_object outside an object");
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+  Writer& begin_array() {
+    comma();
+    out_ += '[';
+    stack_.push_back(State::kArrayFirst);
+    return *this;
+  }
+  Writer& end_array() {
+    BATCHER_DASSERT(top() == State::kArrayFirst || top() == State::kArray,
+                    "end_array outside an array");
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  Writer& key(std::string_view k) {
+    BATCHER_DASSERT(top() == State::kObjectFirst || top() == State::kObject,
+                    "key outside an object");
+    comma();
+    append_string(k);
+    out_ += ':';
+    stack_.push_back(State::kValue);
+    return *this;
+  }
+
+  Writer& value(std::string_view s) {
+    comma();
+    append_string(s);
+    return *this;
+  }
+  Writer& value(const char* s) { return value(std::string_view(s)); }
+  Writer& value(bool b) {
+    comma();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  Writer& value(double d) {
+    comma();
+    char buf[32];
+    if (d != d || d > 1.7e308 || d < -1.7e308) {
+      out_ += "null";  // JSON has no NaN/Inf
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      out_ += buf;
+    }
+    return *this;
+  }
+  Writer& value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Writer& value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+
+  // Convenience: key + scalar value.
+  template <typename V>
+  Writer& kv(std::string_view k, V&& v) {
+    key(k);
+    return value(std::forward<V>(v));
+  }
+
+  const std::string& str() const {
+    BATCHER_DASSERT(stack_.empty(), "unbalanced JSON document");
+    return out_;
+  }
+
+ private:
+  enum class State { kValue, kObjectFirst, kObject, kArrayFirst, kArray };
+
+  State top() const {
+    BATCHER_DASSERT(!stack_.empty(), "writer used outside any container");
+    return stack_.back();
+  }
+
+  void comma() {
+    if (stack_.empty()) return;  // the top-level document value
+    switch (top()) {
+      case State::kValue:
+        stack_.pop_back();  // the pending value slot is being filled
+        break;
+      case State::kObjectFirst:
+        stack_.back() = State::kObject;
+        break;
+      case State::kArrayFirst:
+        stack_.back() = State::kArray;
+        break;
+      case State::kObject:
+      case State::kArray:
+        out_ += ',';
+        break;
+    }
+  }
+
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<State> stack_;
+};
+
+}  // namespace batcher::json

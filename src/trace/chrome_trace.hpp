@@ -1,0 +1,40 @@
+// Chrome trace_event export: renders a drained Trace as a JSON object that
+// loads in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Track layout:
+//   * one track per traced thread (tid = registration serial), named
+//     "worker <id>", carrying task slices ("task:core"/"task:batch"),
+//     batchify wait slices ("op wait d<N>"), flag-held slices, and
+//     steal-hit instants;
+//   * one track per batching domain (tid = 1000000 + domain id), named
+//     "batcher d<N>", carrying a "batch[k]" slice per launch with nested
+//     collect/run/complete phase slices.  Invariant 1 (one launch at a time
+//     per domain) is what makes a single track per domain well-formed.
+//
+// Timestamps are microseconds relative to the session start, with nanosecond
+// fractions preserved.  Unbalanced begin/end pairs (possible when the ring
+// dropped records) are sanitized: stray ends are skipped and dangling begins
+// are closed at the session end, so the file always loads.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace batcher::trace {
+
+struct ChromeTraceOptions {
+  // Failed steal attempts can dominate record counts; by default only hits
+  // are rendered as instants (misses are still in the metrics).
+  bool include_steal_misses = false;
+};
+
+std::string chrome_trace_json(const Trace& trace,
+                              ChromeTraceOptions options = {});
+
+// Writes chrome_trace_json to `path`.  Returns false (and leaves no partial
+// file behind) if the file cannot be written.
+bool write_chrome_trace(const Trace& trace, const std::string& path,
+                        ChromeTraceOptions options = {});
+
+}  // namespace batcher::trace

@@ -1,0 +1,212 @@
+#include "trace/metrics.hpp"
+
+#include <algorithm>
+
+namespace batcher::trace {
+
+namespace {
+
+// Per-thread pairing state while replaying a record stream.
+struct ThreadPairing {
+  std::uint64_t op_submit_ts = 0;
+  bool op_open = false;
+  std::uint64_t flag_ts = 0;
+  bool flag_open = false;
+  std::uint64_t launch_ts = 0;
+  bool launch_open = false;  // kLaunchEnter seen, awaiting kCollected
+  std::uint64_t collected_ts = 0;
+  bool bop_open = false;  // kCollected seen, awaiting kBopDone
+  std::uint64_t bop_ts = 0;
+  bool complete_open = false;  // kBopDone seen, awaiting kLaunchExit
+  std::uint64_t steal_streak_ts = 0;
+  bool steal_streak_open = false;
+
+  std::uint64_t open_edges() const {
+    return static_cast<std::uint64_t>(op_open) + flag_open + launch_open +
+           bop_open + complete_open;
+  }
+};
+
+std::uint64_t delta(std::uint64_t from, std::uint64_t to) {
+  return to >= from ? to - from : 0;
+}
+
+}  // namespace
+
+MetricsReport build_metrics(const Trace& trace) {
+  MetricsReport m;
+  m.total_records = trace.total_records();
+  m.dropped_records = trace.dropped_records();
+  m.wall_seconds = trace.wall_seconds();
+
+  for (const TraceThread& thread : trace.threads) {
+    ThreadPairing p;
+    for (const TraceRecord& r : thread.records) {
+      switch (static_cast<EventId>(r.event)) {
+        case EventId::kTaskBegin:
+          break;  // slices are an export concern; counts come from kTaskEnd
+        case EventId::kTaskEnd:
+          if (r.a16 == 0) {
+            ++m.tasks_core;
+          } else {
+            ++m.tasks_batch;
+          }
+          break;
+        case EventId::kSteal: {
+          const bool batch = (r.a16 & kStealKindBatch) != 0;
+          const bool hit = (r.a16 & kStealSuccess) != 0;
+          if (batch) {
+            ++m.steal_attempts_batch;
+          } else {
+            ++m.steal_attempts_core;
+          }
+          if (hit) {
+            ++m.steals_won;
+            m.steal_to_success.add(
+                p.steal_streak_open ? delta(p.steal_streak_ts, r.ts_ns) : 0);
+            p.steal_streak_open = false;
+          } else if (!p.steal_streak_open) {
+            p.steal_streak_open = true;
+            p.steal_streak_ts = r.ts_ns;
+          }
+          break;
+        }
+        case EventId::kOpSubmit:
+          ++m.ops_submitted;
+          m.unmatched_edges += p.op_open;  // a drop ate the matching resume
+          p.op_open = true;
+          p.op_submit_ts = r.ts_ns;
+          break;
+        case EventId::kOpResume:
+          if (p.op_open) {
+            m.op_latency.add(delta(p.op_submit_ts, r.ts_ns));
+            p.op_open = false;
+          } else {
+            ++m.unmatched_edges;
+          }
+          break;
+        case EventId::kFlagWon:
+          m.unmatched_edges += p.flag_open;
+          p.flag_open = true;
+          p.flag_ts = r.ts_ns;
+          break;
+        case EventId::kLaunchEnter:
+          ++m.batches;
+          m.unmatched_edges += p.launch_open + p.bop_open + p.complete_open;
+          p.launch_open = true;
+          p.bop_open = p.complete_open = false;
+          p.launch_ts = r.ts_ns;
+          break;
+        case EventId::kCollected:
+          if (r.a32 >= m.batch_size_hist.size()) {
+            m.batch_size_hist.resize(r.a32 + 1, 0);
+          }
+          ++m.batch_size_hist[r.a32];
+          if (r.a32 == 0) ++m.empty_batches;
+          if (p.launch_open) {
+            m.collect_phase.add(delta(p.launch_ts, r.ts_ns));
+            p.launch_open = false;
+          } else {
+            ++m.unmatched_edges;
+          }
+          p.bop_open = true;
+          p.collected_ts = r.ts_ns;
+          break;
+        case EventId::kBopDone:
+          if (p.bop_open) {
+            m.run_phase.add(delta(p.collected_ts, r.ts_ns));
+            p.bop_open = false;
+          } else {
+            ++m.unmatched_edges;
+          }
+          p.complete_open = true;
+          p.bop_ts = r.ts_ns;
+          break;
+        case EventId::kLaunchExit:
+          if (p.complete_open) {
+            m.complete_phase.add(delta(p.bop_ts, r.ts_ns));
+            p.complete_open = false;
+          }
+          // Empty or failed launches never reach kBopDone; their open
+          // collect-side edge simply closes with the launch.
+          p.launch_open = p.bop_open = false;
+          if (p.flag_open) {
+            m.flag_held.add(delta(p.flag_ts, r.ts_ns));
+            p.flag_open = false;
+          }
+          break;
+        case EventId::kNone:
+          break;
+      }
+    }
+    m.unmatched_edges += p.open_edges();
+  }
+  return m;
+}
+
+void histogram_to_json(const LatencyHistogram& h, json::Writer& w) {
+  w.begin_object();
+  w.kv("count", h.count());
+  w.kv("sum_ns", h.sum_ns());
+  w.kv("min_ns", h.min_ns());
+  w.kv("max_ns", h.max_ns());
+  w.kv("mean_ns", h.mean_ns());
+  w.kv("p50_ns", h.percentile_ns(0.50));
+  w.kv("p90_ns", h.percentile_ns(0.90));
+  w.kv("p99_ns", h.percentile_ns(0.99));
+  w.key("buckets").begin_array();
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (h.bucket(i) == 0) continue;
+    w.begin_object();
+    w.kv("ge_ns", LatencyHistogram::bucket_floor_ns(i));
+    w.kv("lt_ns", LatencyHistogram::bucket_ceil_ns(i));
+    w.kv("count", h.bucket(i));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void MetricsReport::to_json(json::Writer& w) const {
+  w.begin_object();
+  w.kv("total_records", total_records);
+  w.kv("dropped_records", dropped_records);
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("tasks_core", tasks_core);
+  w.kv("tasks_batch", tasks_batch);
+  w.kv("steal_attempts_core", steal_attempts_core);
+  w.kv("steal_attempts_batch", steal_attempts_batch);
+  w.kv("steals_won", steals_won);
+  w.kv("steal_core_fraction", steal_core_fraction());
+  w.kv("ops_submitted", ops_submitted);
+  w.kv("ops", ops());
+  w.kv("batches", batches);
+  w.kv("empty_batches", empty_batches);
+  w.kv("batches_per_sec", batches_per_sec());
+  w.kv("mean_batch_size", mean_batch_size());
+  w.kv("max_batch_size", max_batch_size());
+  w.kv("unmatched_edges", unmatched_edges);
+  w.key("batch_size_distribution").begin_array();
+  for (std::uint64_t n : batch_size_hist) w.value(n);
+  w.end_array();
+  w.key("histograms").begin_object();
+  const struct {
+    const char* name;
+    const LatencyHistogram& h;
+  } named[] = {
+      {"op_submit_to_done_ns", op_latency},
+      {"flag_held_ns", flag_held},
+      {"launch_collect_ns", collect_phase},
+      {"launch_run_ns", run_phase},
+      {"launch_complete_ns", complete_phase},
+      {"steal_to_success_ns", steal_to_success},
+  };
+  for (const auto& [name, h] : named) {
+    w.key(name);
+    histogram_to_json(h, w);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace batcher::trace

@@ -1,0 +1,108 @@
+// Aggregate metrics derived from a drained trace.
+//
+// build_metrics replays each thread's (timestamp-monotonic) record stream
+// and pairs the protocol edges into the latency distributions Theorem 1
+// charges cost to:
+//
+//   op_latency       kOpSubmit -> kOpResume       (batchify round trip)
+//   flag_held        kFlagWon  -> kLaunchExit     (batch flag held)
+//   collect_phase    kLaunchEnter -> kCollected   (LAUNCHBATCH step 1-2)
+//   run_phase        kCollected -> kBopDone       (the BOP itself)
+//   complete_phase   kBopDone -> kLaunchExit      (status flips + reopen)
+//   steal_to_success first miss of a streak -> the steal that succeeded
+//
+// All pairings are per-thread and rely on protocol shape, not luck: batchify
+// never nests (a batch dag may not call batchify), and a worker holds at
+// most one batch flag at a time (it only CASes the domain it is trapped on),
+// so a simple "last open edge" per thread is exact.  Records lost to ring
+// overflow can strand an open edge; those are counted in unmatched_edges
+// rather than silently skewing a histogram.
+//
+// The derived quantities at the bottom are the paper's: measured batch-size
+// distribution (checked against Invariant 2's P bound by callers that know
+// P), the alternating-steal parity split, and batches per second.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/json.hpp"
+#include "trace/histogram.hpp"
+#include "trace/trace.hpp"
+
+namespace batcher::trace {
+
+struct MetricsReport {
+  // Volume.
+  std::uint64_t total_records = 0;
+  std::uint64_t dropped_records = 0;
+  double wall_seconds = 0.0;
+
+  // Event counts.
+  std::uint64_t tasks_core = 0;
+  std::uint64_t tasks_batch = 0;
+  std::uint64_t steal_attempts_core = 0;
+  std::uint64_t steal_attempts_batch = 0;
+  std::uint64_t steals_won = 0;
+  std::uint64_t ops_submitted = 0;
+  std::uint64_t batches = 0;        // kLaunchEnter count
+  std::uint64_t empty_batches = 0;  // kCollected with size 0
+  std::uint64_t unmatched_edges = 0;
+
+  // Latency distributions (nanoseconds).
+  LatencyHistogram op_latency;
+  LatencyHistogram flag_held;
+  LatencyHistogram collect_phase;
+  LatencyHistogram run_phase;
+  LatencyHistogram complete_phase;
+  LatencyHistogram steal_to_success;
+
+  // Batch-size distribution: index = ops in the batch (from kCollected).
+  std::vector<std::uint64_t> batch_size_hist;
+
+  // Derived paper quantities.
+  std::uint64_t ops() const { return op_latency.count(); }
+  std::uint64_t max_batch_size() const {
+    return batch_size_hist.empty()
+               ? 0
+               : static_cast<std::uint64_t>(batch_size_hist.size() - 1);
+  }
+  double mean_batch_size() const {
+    std::uint64_t nonempty = 0, weighted = 0;
+    for (std::size_t k = 1; k < batch_size_hist.size(); ++k) {
+      nonempty += batch_size_hist[k];
+      weighted += k * batch_size_hist[k];
+    }
+    return nonempty == 0 ? 0.0
+                         : static_cast<double>(weighted) /
+                               static_cast<double>(nonempty);
+  }
+  double batches_per_sec() const {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(batches) / wall_seconds;
+  }
+  std::uint64_t steal_attempts() const {
+    return steal_attempts_core + steal_attempts_batch;
+  }
+  // Fraction of steal attempts aimed at core deques — ~0.5 for free workers
+  // under the §4 alternating policy, pulled lower by trapped workers' batch-
+  // only stealing.
+  double steal_core_fraction() const {
+    return steal_attempts() == 0
+               ? 0.0
+               : static_cast<double>(steal_attempts_core) /
+                     static_cast<double>(steal_attempts());
+  }
+
+  // Serializes the full report (counts, derived quantities, histograms with
+  // per-bucket bounds) as one JSON object into `w`.
+  void to_json(json::Writer& w) const;
+};
+
+MetricsReport build_metrics(const Trace& trace);
+
+// Shared by MetricsReport and the bench reporter: one histogram as a JSON
+// object {count, sum_ns, min_ns, max_ns, mean_ns, p50/p90/p99_ns, buckets}.
+void histogram_to_json(const LatencyHistogram& h, json::Writer& w);
+
+}  // namespace batcher::trace

@@ -1,0 +1,147 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <mutex>
+
+#include "support/config.hpp"
+
+namespace batcher::trace {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<detail::RingHandle>> rings;
+  std::uint64_t next_serial = 0;
+  std::size_t ring_capacity = std::size_t{1} << 20;
+  std::atomic<bool> session_active{false};
+};
+
+Registry& registry() {
+  static Registry r;  // immortal: threads may emit until process exit
+  return r;
+}
+
+// Shared ownership from the thread side: keeps the ring alive until the
+// thread exits, after which the registry reference keeps it drainable.
+thread_local std::shared_ptr<detail::RingHandle> t_ring_owner;
+
+// Registry entries whose thread has exited (use_count == 1) have been fully
+// drained by the time this runs; drop them so long processes that trace many
+// short-lived schedulers do not accumulate rings.  Caller holds reg.mu.
+void prune_dead_rings(Registry& reg) {
+  std::erase_if(reg.rings,
+                [](const std::shared_ptr<detail::RingHandle>& h) {
+                  return h.use_count() == 1;
+                });
+}
+
+}  // namespace
+
+namespace detail {
+
+RingHandle* register_thread(unsigned worker_id) {
+  Registry& reg = registry();
+  auto handle = std::make_shared<RingHandle>();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  handle->ring.init(reg.ring_capacity);
+  handle->serial = reg.next_serial++;
+  handle->worker_id = worker_id;
+  reg.rings.push_back(handle);
+  t_ring_owner = handle;
+  t_ring = handle.get();
+  return t_ring;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Domain ids: a small fixed table of atomic pointers.  register_domain claims
+// the first free slot with a CAS; unregister_domain releases it.  Lookups
+// never happen on the hot path — a Batcher caches its id at construction.
+
+namespace {
+constexpr std::size_t kMaxDomains = 256;
+std::array<std::atomic<const void*>, kMaxDomains>& domain_table() {
+  static std::array<std::atomic<const void*>, kMaxDomains> table{};
+  return table;
+}
+}  // namespace
+
+std::uint16_t register_domain(const void* domain) {
+  auto& table = domain_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const void* expected = nullptr;
+    if (table[i].compare_exchange_strong(expected, domain,
+                                         std::memory_order_acq_rel)) {
+      return static_cast<std::uint16_t>(i);
+    }
+  }
+  // Table exhausted: share the overflow id.  Trace consumers see these
+  // domains merged, which degrades attribution but never correctness.
+  return static_cast<std::uint16_t>(kMaxDomains - 1);
+}
+
+void unregister_domain(const void* domain) {
+  auto& table = domain_table();
+  for (auto& slot : table) {
+    const void* expected = domain;
+    if (slot.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_acq_rel)) {
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+TraceSession::TraceSession(Options options) {
+  Registry& reg = registry();
+  bool expected = false;
+  BATCHER_ASSERT(
+      reg.session_active.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel),
+      "at most one TraceSession may be active at a time");
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.ring_capacity = options.ring_capacity;
+    prune_dead_rings(reg);
+    for (auto& h : reg.rings) h->ring.reset();
+  }
+  trace_.t0_ns = now_ns();
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+TraceSession::~TraceSession() { stop(); }
+
+const Trace& TraceSession::stop() {
+  if (stopped_) return trace_;
+  stopped_ = true;
+  Registry& reg = registry();
+  detail::g_enabled.store(false, std::memory_order_release);
+  trace_.t1_ns = now_ns();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (auto& h : reg.rings) {
+      TraceRing::Drained d = h->ring.drain();
+      if (d.records.empty() && d.dropped == 0) continue;
+      TraceThread thread;
+      thread.serial = h->serial;
+      thread.worker_id = h->worker_id;
+      thread.dropped = d.dropped;
+      thread.records = std::move(d.records);
+      trace_.threads.push_back(std::move(thread));
+    }
+    prune_dead_rings(reg);
+  }
+  std::sort(trace_.threads.begin(), trace_.threads.end(),
+            [](const TraceThread& a, const TraceThread& b) {
+              return a.serial < b.serial;
+            });
+  reg.session_active.store(false, std::memory_order_release);
+  return trace_;
+}
+
+}  // namespace batcher::trace

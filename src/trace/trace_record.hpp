@@ -1,0 +1,73 @@
+// The 16-byte trace record and the event vocabulary of the always-on
+// tracing layer (src/trace).
+//
+// Unlike the audit seam (runtime/schedule_hooks.hpp), which exists to *check*
+// the protocol and compiles away in Release builds, trace records exist to
+// *measure* it: every record carries a nanosecond timestamp, so a drained
+// trace reconstructs when each paper quantity happened — op submit→done
+// latency, flag-held windows, LAUNCHBATCH phases, steal streaks — not just
+// how often.  Records are fixed-size so a worker's ring buffer writes them
+// with two plain stores and no allocation.
+#pragma once
+
+#include <cstdint>
+
+namespace batcher::trace {
+
+// What happened.  The a16/a32 payload meaning is per-event:
+//
+//   kTaskBegin / kTaskEnd   a16 = task kind (0 core, 1 batch)
+//   kSteal                  a16 = bit0 target kind (1 = batch),
+//                                 bit1 success
+//   kOpSubmit / kOpResume   a16 = batching-domain id (register_domain)
+//   kFlagWon                a16 = domain id
+//   kLaunchEnter            a16 = domain id
+//   kCollected              a16 = domain id, a32 = ops in the batch
+//   kBopDone                a16 = domain id
+//   kLaunchExit             a16 = domain id, a32 = ops carried to done
+enum class EventId : std::uint16_t {
+  kNone = 0,
+  kTaskBegin,
+  kTaskEnd,
+  kSteal,
+  kOpSubmit,
+  kOpResume,
+  kFlagWon,
+  kLaunchEnter,
+  kCollected,
+  kBopDone,
+  kLaunchExit,
+};
+
+inline constexpr std::uint16_t kStealKindBatch = 1;  // kSteal a16 bit 0
+inline constexpr std::uint16_t kStealSuccess = 2;    // kSteal a16 bit 1
+
+// One drained trace record.  The in-ring representation packs the same 16
+// bytes into two relaxed-atomic words (trace_ring.hpp) so a concurrent drain
+// is race-free; this is the unpacked, reader-side form.
+struct TraceRecord {
+  std::uint64_t ts_ns = 0;  // trace::now_ns() at emission (steady_clock)
+  std::uint16_t event = 0;  // EventId
+  std::uint16_t a16 = 0;
+  std::uint32_t a32 = 0;
+};
+static_assert(sizeof(TraceRecord) == 16, "records are exactly 16 bytes");
+
+// Payload word packing: event in bits 0-15, a16 in 16-31, a32 in 32-63.
+inline std::uint64_t pack_payload(EventId event, std::uint16_t a16,
+                                  std::uint32_t a32) {
+  return static_cast<std::uint64_t>(event) |
+         (static_cast<std::uint64_t>(a16) << 16) |
+         (static_cast<std::uint64_t>(a32) << 32);
+}
+
+inline TraceRecord unpack(std::uint64_t ts_ns, std::uint64_t payload) {
+  TraceRecord r;
+  r.ts_ns = ts_ns;
+  r.event = static_cast<std::uint16_t>(payload);
+  r.a16 = static_cast<std::uint16_t>(payload >> 16);
+  r.a32 = static_cast<std::uint32_t>(payload >> 32);
+  return r;
+}
+
+}  // namespace batcher::trace

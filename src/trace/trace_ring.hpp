@@ -1,0 +1,118 @@
+// Fixed-capacity single-producer trace ring.
+//
+// Each traced thread owns one ring; only that thread pushes.  A push is two
+// relaxed atomic stores into the slot (plain MOVs on x86) plus one release
+// store of the write cursor — no RMW, no branch beyond the capacity mask, so
+// the hot path costs a few nanoseconds and never blocks.  On overflow the
+// writer silently overwrites the oldest records; the reader accounts for
+// every overwritten record in `dropped`, so a drained trace always satisfies
+//
+//   records_kept + dropped == records_written   (per ring, cumulatively)
+//
+// The reader (a TraceSession draining on stop) may run concurrently with the
+// writer.  Safety comes from a seqlock-style re-check rather than locking:
+// the reader snapshots the write cursor, copies the candidate range, then
+// re-reads the cursor; any slot the writer could have lapped during the copy
+// is discarded and counted as dropped.  Slot words are relaxed atomics, so
+// the concurrent overwrite is an ordinary data race *by design* and still
+// well-defined C++ — the re-check guarantees no torn record survives into
+// the drained output, which is why drained timestamps are monotonic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "support/config.hpp"
+#include "trace/trace_record.hpp"
+
+namespace batcher::trace {
+
+class TraceRing {
+ public:
+  // Sizes the buffer; rounds `capacity` up to a power of two (min 8).  Must
+  // be called before the first push and never again afterwards.
+  void init(std::size_t capacity) {
+    BATCHER_ASSERT(slots_.empty(), "TraceRing::init is once-only");
+    std::size_t cap = 8;
+    while (cap < capacity) cap <<= 1;
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint64_t written() const {
+    return written_.load(std::memory_order_acquire);
+  }
+
+  // Writer side (owning thread only).
+  void push(EventId event, std::uint16_t a16, std::uint32_t a32,
+            std::uint64_t ts_ns) {
+    const std::uint64_t w = written_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[w & mask_];
+    slot.ts.store(ts_ns, std::memory_order_relaxed);
+    slot.payload.store(pack_payload(event, a16, a32),
+                       std::memory_order_relaxed);
+    // Release publishes the slot words to a reader that acquires `written_`.
+    written_.store(w + 1, std::memory_order_release);
+  }
+
+  struct Drained {
+    std::vector<TraceRecord> records;  // timestamp-monotonic
+    std::uint64_t dropped = 0;         // overwritten before they could be read
+  };
+
+  // Reader side: returns every record written since the last drain/reset that
+  // is still intact, advancing the read cursor past the whole range.  Safe
+  // while the writer keeps pushing (see file comment); records the writer
+  // lapped — before or during the copy — count as dropped.
+  Drained drain() {
+    Drained out;
+    if (slots_.empty()) return out;
+    const std::uint64_t cap = slots_.size();
+    const std::uint64_t w0 = written_.load(std::memory_order_acquire);
+    std::uint64_t start = read_;
+    if (w0 > cap && w0 - cap > start) start = w0 - cap;  // already lapped
+
+    std::vector<TraceRecord> copied;
+    copied.reserve(static_cast<std::size_t>(w0 - start));
+    for (std::uint64_t i = start; i < w0; ++i) {
+      const Slot& slot = slots_[i & mask_];
+      const std::uint64_t ts = slot.ts.load(std::memory_order_relaxed);
+      const std::uint64_t payload =
+          slot.payload.load(std::memory_order_relaxed);
+      copied.push_back(unpack(ts, payload));
+    }
+
+    // Re-check: anything below w1 - cap may have been overwritten mid-copy.
+    const std::uint64_t w1 = written_.load(std::memory_order_acquire);
+    std::uint64_t safe = start;
+    if (w1 > cap && w1 - cap > safe) safe = w1 - cap;
+    if (safe > w0) safe = w0;
+
+    out.records.assign(copied.begin() + static_cast<std::ptrdiff_t>(safe - start),
+                       copied.end());
+    out.dropped = safe - read_;
+    read_ = w0;
+    return out;
+  }
+
+  // Reader side: forget everything written so far (records and drops).  Used
+  // at session start so a reused ring only reports the new session's events.
+  void reset() { read_ = written_.load(std::memory_order_acquire); }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> ts{0};
+    std::atomic<std::uint64_t> payload{0};
+  };
+  static_assert(sizeof(Slot) == sizeof(TraceRecord),
+                "in-ring slots keep the 16-byte record footprint");
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> written_{0};
+  std::uint64_t read_ = 0;  // reader-owned cursor
+};
+
+}  // namespace batcher::trace

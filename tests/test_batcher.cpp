@@ -228,12 +228,19 @@ TEST(Batcher, StatsStayConsistentUnderBatchifyStorms) {
     // ...the max matches the highest populated bucket (Invariant 2 caps both)...
     ASSERT_EQ(hist_max, stats.max_batch_size) << "round " << round;
     ASSERT_LE(stats.max_batch_size, static_cast<std::uint64_t>(P));
-    // ...and the mean is ops over non-empty launches.
-    const std::uint64_t nonempty = stats.batches_launched - stats.empty_batches;
-    if (nonempty > 0) {
+    // ...ops split exactly into failed and succeeded (no faults here, so
+    // nothing failed and every non-empty launch is clean)...
+    ASSERT_EQ(stats.ops_processed, stats.ops_failed + stats.ops_succeeded)
+        << "round " << round;
+    ASSERT_EQ(stats.ops_failed, 0u);
+    ASSERT_EQ(stats.clean_nonempty_batches,
+              stats.batches_launched - stats.empty_batches)
+        << "round " << round;
+    // ...and the mean is succeeded ops over clean non-empty launches.
+    if (stats.clean_nonempty_batches > 0) {
       ASSERT_DOUBLE_EQ(stats.mean_batch_size(),
-                       static_cast<double>(stats.ops_processed) /
-                           static_cast<double>(nonempty));
+                       static_cast<double>(stats.ops_succeeded) /
+                           static_cast<double>(stats.clean_nonempty_batches));
       ASSERT_LE(stats.mean_batch_size(), static_cast<double>(P));
       ASSERT_GE(stats.mean_batch_size(), 1.0);
     }

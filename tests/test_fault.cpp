@@ -206,7 +206,21 @@ void throwing_bop_recovers(Batcher::SetupPolicy policy) {
   EXPECT_EQ(st.failed_batches, static_cast<std::uint64_t>(kFailures));
   EXPECT_EQ(st.ops_failed, static_cast<std::uint64_t>(failed.load()));
   EXPECT_EQ(st.ops_processed, static_cast<std::uint64_t>(kOps + kProbe));
-  // The stats identities hold across failures.
+  // The stats identities hold across failures: every op a batch carried is
+  // either failed or succeeded...
+  EXPECT_EQ(st.ops_processed, st.ops_failed + st.ops_succeeded);
+  EXPECT_EQ(st.ops_succeeded, static_cast<std::uint64_t>(ok.load()));
+  // ...the mean counts only clean launches, so the failed batches' partial
+  // collections cannot skew it...
+  EXPECT_EQ(st.clean_nonempty_batches,
+            st.batches_launched - st.empty_batches -
+                static_cast<std::uint64_t>(kFailures));
+  if (st.clean_nonempty_batches > 0) {
+    EXPECT_DOUBLE_EQ(st.mean_batch_size(),
+                     static_cast<double>(st.ops_succeeded) /
+                         static_cast<double>(st.clean_nonempty_batches));
+  }
+  // ...and the histogram stays consistent with the totals.
   std::uint64_t hist_batches = 0, hist_ops = 0;
   for (std::size_t k = 0; k < st.batch_size_histogram.size(); ++k) {
     hist_batches += st.batch_size_histogram[k];

@@ -1,0 +1,352 @@
+// Tests for the always-on tracing layer (src/trace).
+//
+// Four layers:
+//   1. TraceRing in isolation: wraparound keeps the newest records with an
+//      exact dropped count, and a drain racing the writer never yields a torn
+//      or out-of-order record (the seqlock re-check contract).
+//   2. Disabled-path guarantees: with no session active, instrumentation
+//      points record nothing and cost roughly one relaxed load (checked with
+//      a deliberately generous ratio bound so the test never flakes on a
+//      loaded CI host).
+//   3. Session-level reconciliation on a live scheduler: the metrics derived
+//      from a drained trace agree *exactly* with BatcherStats and with the
+//      scheduler's destructor-final StatsSnapshot.
+//   4. The same reconciliation under the audit perturber across >=1100
+//      distinct seeded schedules (only with BATCHER_AUDIT hooks compiled in).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "audit/audit_session.hpp"
+#include "audit/schedule_perturber.hpp"
+#include "batcher/batcher.hpp"
+#include "ds/batched_counter.hpp"
+#include "runtime/api.hpp"
+#include "runtime/schedule_hooks.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/timing.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_ring.hpp"
+
+namespace batcher {
+namespace {
+
+namespace hooks = rt::hooks;
+using audit::AuditSession;
+using audit::SchedulePerturber;
+using trace::EventId;
+using trace::TraceRecord;
+using trace::TraceRing;
+
+#define REQUIRE_LIVE_HOOKS()                                               \
+  do {                                                                     \
+    if (!hooks::kEnabled) {                                                \
+      GTEST_SKIP() << "BATCHER_AUDIT hooks not compiled into this build";  \
+    }                                                                      \
+  } while (0)
+
+// --- 1. TraceRing in isolation ---------------------------------------------
+
+void check_monotonic(const std::vector<TraceRecord>& records,
+                     std::uint64_t floor_exclusive = 0) {
+  std::uint64_t prev = floor_exclusive;
+  for (const TraceRecord& r : records) {
+    ASSERT_GT(r.ts_ns, prev) << "drained timestamps must be monotonic";
+    prev = r.ts_ns;
+  }
+}
+
+TEST(TraceRing, QuiescedDrainRoundTripsPayloads) {
+  TraceRing ring;
+  ring.init(64);
+  ASSERT_EQ(ring.capacity(), 64u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.push(EventId::kSteal, static_cast<std::uint16_t>(i),
+              static_cast<std::uint32_t>(1000 + i), /*ts_ns=*/i + 1);
+  }
+  TraceRing::Drained d = ring.drain();
+  EXPECT_EQ(d.dropped, 0u);
+  ASSERT_EQ(d.records.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(d.records[i].ts_ns, i + 1);
+    EXPECT_EQ(d.records[i].event, static_cast<std::uint16_t>(EventId::kSteal));
+    EXPECT_EQ(d.records[i].a16, static_cast<std::uint16_t>(i));
+    EXPECT_EQ(d.records[i].a32, static_cast<std::uint32_t>(1000 + i));
+  }
+  // Nothing left after a drain.
+  TraceRing::Drained again = ring.drain();
+  EXPECT_TRUE(again.records.empty());
+  EXPECT_EQ(again.dropped, 0u);
+}
+
+TEST(TraceRing, OverflowingTwiceKeepsNewestWithExactDropCount) {
+  // Satellite requirement: a writer that laps the ring more than twice must
+  // still drain to monotonically-timestamped records plus an exact count of
+  // what was overwritten.
+  constexpr std::uint64_t kCapacity = 64;
+  constexpr std::uint64_t kWritten = kCapacity * 2 + kCapacity / 2;  // 2.5 laps
+  TraceRing ring;
+  ring.init(kCapacity);
+  for (std::uint64_t i = 0; i < kWritten; ++i) {
+    ring.push(EventId::kTaskBegin, 0, static_cast<std::uint32_t>(i),
+              /*ts_ns=*/i + 1);
+  }
+  TraceRing::Drained d = ring.drain();
+  EXPECT_EQ(d.records.size(), kCapacity);
+  EXPECT_EQ(d.dropped, kWritten - kCapacity);
+  check_monotonic(d.records);
+  // The survivors are exactly the newest kCapacity records.
+  ASSERT_FALSE(d.records.empty());
+  EXPECT_EQ(d.records.front().ts_ns, kWritten - kCapacity + 1);
+  EXPECT_EQ(d.records.back().ts_ns, kWritten);
+}
+
+TEST(TraceRing, DrainWhileWritingStaysMonotonicAndAccountsEveryRecord) {
+  // A reader drains repeatedly while the writer overflows the ring many
+  // times.  Contract: every drained batch is timestamp-monotonic (and later
+  // than everything drained before — no torn/stale record survives the
+  // seqlock re-check), and kept + dropped accounts for every push.
+  constexpr std::uint64_t kCapacity = 256;
+  constexpr std::uint64_t kWritten = kCapacity * 40;
+  TraceRing ring;
+  ring.init(kCapacity);
+
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 0; i < kWritten; ++i) {
+      ring.push(EventId::kTaskEnd, 0, 0, /*ts_ns=*/i + 1);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::uint64_t kept = 0, dropped = 0, last_ts = 0;
+  const auto consume = [&] {
+    TraceRing::Drained d = ring.drain();
+    check_monotonic(d.records, last_ts);
+    if (!d.records.empty()) last_ts = d.records.back().ts_ns;
+    kept += d.records.size();
+    dropped += d.dropped;
+  };
+  while (!done.load(std::memory_order_acquire)) consume();
+  writer.join();
+  consume();  // final drain after the writer quiesced
+
+  EXPECT_EQ(kept + dropped, kWritten);
+  EXPECT_EQ(last_ts, kWritten);  // the newest record always survives
+  EXPECT_GT(kept, 0u);
+}
+
+// --- 2. Disabled-path guarantees -------------------------------------------
+
+TEST(TraceDisabled, EmitsOutsideASessionRecordNothing) {
+  ASSERT_FALSE(trace::enabled());
+  for (int i = 0; i < 1000; ++i) {
+    trace::emit(0, EventId::kTaskBegin);
+    trace::emit(0, EventId::kOpSubmit, 7);
+  }
+  // A fresh session sees none of it: pre-session emits were dropped at the
+  // enabled() check, and session start resets any ring this thread already
+  // had from an earlier test.
+  trace::TraceSession session;
+  const trace::Trace& tr = session.stop();
+  EXPECT_EQ(tr.total_records(), 0u);
+  EXPECT_EQ(tr.dropped_records(), 0u);
+  EXPECT_TRUE(tr.threads.empty());
+}
+
+TEST(TraceDisabled, EmitOverheadIsNearZero) {
+  // The disabled instrumentation point is one relaxed load and a
+  // predicted-not-taken branch.  Bound it against a trivial arithmetic loop
+  // with a *very* generous ratio (and an absolute floor) so a loaded or
+  // virtualized CI host cannot flake this test; a regression that would
+  // matter (a lock, an allocation, a syscall) blows past 50x instantly.
+  ASSERT_FALSE(trace::enabled());
+  constexpr std::int64_t kIters = 4'000'000;
+  volatile std::uint64_t sink = 0;
+
+  Stopwatch base_sw;
+  for (std::int64_t i = 0; i < kIters; ++i) sink = sink + 1;
+  const double base_s = base_sw.elapsed_seconds();
+
+  Stopwatch emit_sw;
+  for (std::int64_t i = 0; i < kIters; ++i) {
+    if (trace::enabled()) [[unlikely]] {
+      trace::emit(0, EventId::kTaskBegin);
+    }
+    sink = sink + 1;
+  }
+  const double emit_s = emit_sw.elapsed_seconds();
+
+  EXPECT_EQ(sink, static_cast<std::uint64_t>(2 * kIters));
+  EXPECT_LT(emit_s, base_s * 50.0 + 0.05)
+      << "disabled trace check cost " << emit_s << "s vs baseline " << base_s
+      << "s over " << kIters << " iterations";
+}
+
+// --- 3. Session-level reconciliation ---------------------------------------
+
+// Runs `ops` counter increments on a `workers`-wide scheduler inside an
+// active trace session and returns everything needed for reconciliation.
+// The StatsSnapshot is the destructor-final one, so every counter the trace
+// saw has also landed in the snapshot (and vice versa) — no teardown race.
+struct Reconciled {
+  BatcherStats batcher;
+  rt::StatsSnapshot sched;
+  trace::MetricsReport metrics;
+};
+
+Reconciled run_traced_counter(unsigned workers, std::int64_t ops,
+                              std::int64_t grain, std::size_t ring_capacity) {
+  trace::TraceSession::Options opt;
+  opt.ring_capacity = ring_capacity;
+  trace::TraceSession session(opt);
+  Reconciled out;
+  {
+    rt::Scheduler sched(workers);
+    sched.export_final_stats(&out.sched);
+    ds::BatchedCounter counter(sched);
+    sched.run([&] {
+      rt::parallel_for(0, ops, [&](std::int64_t) { counter.increment(1); },
+                       grain);
+    });
+    EXPECT_EQ(counter.value_unsafe(), ops);
+    out.batcher = counter.batcher().stats();
+  }  // joins worker threads: all emissions and stat bumps are final
+  out.metrics = trace::build_metrics(session.stop());
+  return out;
+}
+
+// The identities a drained trace must satisfy against the domain's
+// BatcherStats and the scheduler's final StatsSnapshot.
+void expect_reconciles(const Reconciled& r) {
+  const BatcherStats& st = r.batcher;
+  const trace::MetricsReport& m = r.metrics;
+
+  ASSERT_EQ(m.dropped_records, 0u) << "ring overflowed; grow ring_capacity";
+  EXPECT_EQ(m.unmatched_edges, 0u);
+
+  // Histogram totals vs BatcherStats.
+  EXPECT_EQ(m.ops(), st.ops_processed);
+  EXPECT_EQ(m.ops_submitted, st.ops_processed);
+  EXPECT_EQ(m.batches, st.batches_launched);
+  EXPECT_EQ(m.empty_batches, st.empty_batches);
+  EXPECT_EQ(m.flag_held.count(), st.batches_launched);
+  EXPECT_EQ(m.collect_phase.count(), st.batches_launched);
+  EXPECT_EQ(m.run_phase.count(), st.batches_launched - st.empty_batches);
+  EXPECT_EQ(m.complete_phase.count(), st.batches_launched - st.empty_batches);
+  EXPECT_EQ(m.max_batch_size(), st.max_batch_size);
+
+  // Batch-size distributions are bucket-for-bucket identical.
+  const std::size_t buckets =
+      std::max(m.batch_size_hist.size(), st.batch_size_histogram.size());
+  for (std::size_t k = 0; k < buckets; ++k) {
+    const std::uint64_t traced =
+        k < m.batch_size_hist.size() ? m.batch_size_hist[k] : 0;
+    const std::uint64_t counted =
+        k < st.batch_size_histogram.size() ? st.batch_size_histogram[k] : 0;
+    EXPECT_EQ(traced, counted) << "batch size " << k;
+  }
+
+  // Scheduler-side counts vs the destructor-final snapshot.
+  EXPECT_EQ(m.tasks_core + m.tasks_batch, r.sched.tasks_executed);
+  EXPECT_EQ(m.steal_attempts_core, r.sched.core_steal_attempts);
+  EXPECT_EQ(m.steal_attempts_batch, r.sched.batch_steal_attempts);
+  EXPECT_EQ(m.steals_won, r.sched.steals_succeeded);
+}
+
+TEST(TraceSessionLive, CounterWorkloadReconcilesExactly) {
+  const Reconciled r = run_traced_counter(/*workers=*/4, /*ops=*/2048,
+                                          /*grain=*/4,
+                                          /*ring_capacity=*/1u << 18);
+  expect_reconciles(r);
+  EXPECT_EQ(r.batcher.ops_processed, 2048u);
+  EXPECT_GT(r.metrics.batches, 0u);
+  EXPECT_GT(r.metrics.total_records, 0u);
+  // The counter's BOP is sequential, so all executed tasks are core tasks.
+  EXPECT_GT(r.metrics.tasks_core, 0u);
+  EXPECT_EQ(r.metrics.tasks_batch, 0u);
+}
+
+TEST(TraceSessionLive, SingleWorkerHasSingletonBatchesOnly) {
+  const Reconciled r = run_traced_counter(/*workers=*/1, /*ops=*/256,
+                                          /*grain=*/1,
+                                          /*ring_capacity=*/1u << 16);
+  expect_reconciles(r);
+  // Invariant 2 (batch size <= P) specializes to all-singleton batches.
+  EXPECT_EQ(r.metrics.max_batch_size(), 1u);
+}
+
+TEST(TraceSessionLive, BackToBackSessionsStayIndependent) {
+  const Reconciled a = run_traced_counter(2, 512, 2, 1u << 16);
+  const Reconciled b = run_traced_counter(2, 512, 2, 1u << 16);
+  expect_reconciles(a);
+  expect_reconciles(b);
+  // Second session only saw the second run (rings reset at session start,
+  // dead rings pruned): same op volume, not accumulated.
+  EXPECT_EQ(a.metrics.ops(), 512u);
+  EXPECT_EQ(b.metrics.ops(), 512u);
+}
+
+// --- 4. Reconciliation under the audit perturber ---------------------------
+
+TEST(TracePerturbedSweep, HistogramTotalsMatchStatsAcross1100Schedules) {
+  REQUIRE_LIVE_HOOKS();
+  constexpr unsigned kWorkers = 4;
+  constexpr std::uint64_t kSeeds = 1100;
+
+  // Same light perturbation as the audit sweep: enough to force distinct
+  // interleavings per seed while keeping 1100 schedules fast.
+  SchedulePerturber::Options opts;
+  opts.yield_one_in = 96;
+  opts.pause_one_in = 8;
+  opts.max_pause_spins = 32;
+  AuditSession audit(kWorkers, 0, opts);
+  audit.install();
+
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    audit.reseed(seed);
+    trace::TraceSession::Options topt;
+    topt.ring_capacity = 1u << 16;
+    trace::TraceSession session(topt);
+    Reconciled r;
+    {
+      rt::Scheduler sched(kWorkers);
+      sched.export_final_stats(&r.sched);
+      ds::BatchedCounter counter(sched);
+      if (seed % 2 == 0) {
+        sched.run([&] {
+          rt::parallel_for(0, 48, [&](std::int64_t) { counter.increment(1); },
+                           /*grain=*/1);
+        });
+      } else {
+        sched.run([&] {
+          rt::parallel_for(0, 8, [&](std::int64_t) {
+            rt::parallel_for(0, 6,
+                             [&](std::int64_t) { counter.increment(1); },
+                             /*grain=*/1);
+          },
+                           /*grain=*/1);
+        });
+      }
+      ASSERT_EQ(counter.value_unsafe(), 48);
+      r.batcher = counter.batcher().stats();
+    }
+    r.metrics = trace::build_metrics(session.stop());
+
+    ASSERT_EQ(r.batcher.ops_processed, 48u) << "seed " << seed;
+    ASSERT_NO_FATAL_FAILURE(expect_reconciles(r)) << "seed " << seed;
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "reconciliation failed at seed " << seed
+             << " (replay with this seed)";
+    }
+  }
+  audit.uninstall();
+}
+
+}  // namespace
+}  // namespace batcher

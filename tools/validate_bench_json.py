@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json bench reports against the checked-in schema.
+
+Stdlib-only (CI must not install packages), so this implements exactly the
+subset of JSON Schema that bench/bench_report.schema.json uses:
+
+    type, required, properties, additionalProperties, items, enum, minimum
+
+plus the cross-field reconciliation the schema language cannot express: when
+a report carries a trace whose rings never overflowed, the trace-derived op
+count must equal the sum of the recorded BatcherStats op counts (the
+"histograms reconcile exactly with Batcher::stats()" acceptance check).
+
+Usage:
+    python3 tools/validate_bench_json.py --schema bench/bench_report.schema.json \
+        bench-out/BENCH_*.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def type_matches(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    raise ValueError(f"schema uses unsupported type {expected!r}")
+
+
+def validate(value, schema, path, errors):
+    """Appends 'path: problem' strings to `errors` for every violation."""
+    expected_type = schema.get("type")
+    if expected_type is not None and not type_matches(value, expected_type):
+        errors.append(f"{path}: expected {expected_type}, "
+                      f"got {type(value).__name__}")
+        return  # structural checks below would only cascade
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            sub_path = f"{path}.{key}"
+            if key in properties:
+                validate(sub, properties[key], sub_path, errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(additional, dict):
+                validate(sub, additional, sub_path, errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def reconcile(report, errors):
+    """Cross-field identities the schema cannot state."""
+    for i, st in enumerate(report.get("batcher_stats", [])):
+        path = f"$.batcher_stats[{i}]"
+        if st["ops_processed"] != st["ops_failed"] + st["ops_succeeded"]:
+            errors.append(
+                f"{path}: ops_processed ({st['ops_processed']}) != "
+                f"ops_failed + ops_succeeded "
+                f"({st['ops_failed']} + {st['ops_succeeded']})")
+        if sum(st["batch_size_histogram"]) != st["batches_launched"]:
+            errors.append(
+                f"{path}: batch_size_histogram sums to "
+                f"{sum(st['batch_size_histogram'])}, expected "
+                f"batches_launched = {st['batches_launched']}")
+
+    total = report.get("ops_processed_total", 0)
+    trace = report.get("trace")
+    if trace is None:
+        return
+    metrics = trace["metrics"]
+    hist_ops = metrics["histograms"]["op_submit_to_done_ns"]["count"]
+    if hist_ops != metrics["ops"]:
+        errors.append(f"$.trace.metrics: histogram op count {hist_ops} != "
+                      f"ops {metrics['ops']}")
+    # Rings that overflowed (or domains whose stats the harness did not
+    # record) legitimately break exact equality; otherwise it must hold.
+    if metrics["dropped_records"] == 0 and total > 0 \
+            and metrics["ops"] != total:
+        errors.append(
+            f"$.trace.metrics.ops ({metrics['ops']}) != ops_processed_total "
+            f"({total}) with zero dropped records")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--schema", required=True,
+                        help="path to bench_report.schema.json")
+    parser.add_argument("reports", nargs="+",
+                        help="BENCH_<name>.json files to validate")
+    args = parser.parse_args()
+
+    with open(args.schema, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    failed = False
+    for path in args.reports:
+        with open(path, encoding="utf-8") as f:
+            try:
+                report = json.load(f)
+            except json.JSONDecodeError as err:
+                print(f"FAIL {path}: not valid JSON: {err}")
+                failed = True
+                continue
+        errors = []
+        validate(report, schema, "$", errors)
+        if not errors:  # reconciliation reads fields schema-checked above
+            reconcile(report, errors)
+        if errors:
+            failed = True
+            print(f"FAIL {path}:")
+            for err in errors:
+                print(f"  {err}")
+        else:
+            trace_note = " (+trace)" if "trace" in report else ""
+            print(f"OK   {path}: name={report['name']!r} "
+                  f"metrics={len(report['metrics'])} "
+                  f"ops_processed_total={report['ops_processed_total']}"
+                  f"{trace_note}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
