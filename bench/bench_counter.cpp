@@ -25,19 +25,27 @@ using batcher::Stopwatch;
 const std::int64_t kN = bench::scaled(200000, 20000);
 
 double run_batched(unsigned workers, bench::Report& report) {
-  batcher::rt::Scheduler sched(workers);
-  batcher::ds::BatchedCounter counter(sched);
-  Stopwatch sw;
-  sched.run([&] {
-    batcher::rt::parallel_for(0, kN, [&](std::int64_t) { counter.increment(1); },
-                              /*grain=*/64);
-  });
-  const double secs = sw.elapsed_seconds();
-  if (counter.value_unsafe() != kN) std::printf("  !! counter mismatch\n");
-  report.batcher_stats("BATCHED/P=" + std::to_string(workers),
-                       counter.batcher().stats());
-  report.scheduler_stats("BATCHED/P=" + std::to_string(workers),
-                         sched.total_stats());
+  // Scheduler stats come from the destructor-time snapshot: that is the
+  // flushed quiescent point at which the frame-pool identities the report
+  // validator checks (frames_allocated == frames_freed) hold exactly.
+  batcher::rt::StatsSnapshot final_stats;
+  double secs = 0.0;
+  {
+    batcher::rt::Scheduler sched(workers);
+    sched.export_final_stats(&final_stats);
+    batcher::ds::BatchedCounter counter(sched);
+    Stopwatch sw;
+    sched.run([&] {
+      batcher::rt::parallel_for(0, kN,
+                                [&](std::int64_t) { counter.increment(1); },
+                                /*grain=*/64);
+    });
+    secs = sw.elapsed_seconds();
+    if (counter.value_unsafe() != kN) std::printf("  !! counter mismatch\n");
+    report.batcher_stats("BATCHED/P=" + std::to_string(workers),
+                         counter.batcher().stats());
+  }
+  report.scheduler_stats("BATCHED/P=" + std::to_string(workers), final_stats);
   return secs;
 }
 

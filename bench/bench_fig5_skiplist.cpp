@@ -49,32 +49,41 @@ struct BatResult {
 
 BatResult run_batcher(std::int64_t initial, unsigned workers,
                       std::uint64_t seed, bench::Report& report) {
-  batcher::rt::Scheduler sched(workers);
-  BatchedSkipList list(sched, seed);
-  const auto init_keys =
-      bench::random_keys(static_cast<std::size_t>(initial), seed + 1);
-  for (auto k : init_keys) list.insert_unsafe(k);
-  const auto keys =
-      bench::random_keys(static_cast<std::size_t>(kInserts), seed + 2);
-  const std::int64_t calls = kInserts / kPerRecord;
-
-  Stopwatch sw;
-  sched.run([&] {
-    batcher::rt::parallel_for(
-        0, calls,
-        [&](std::int64_t c) {
-          list.multi_insert(std::span<const std::int64_t>(
-              keys.data() + c * kPerRecord, kPerRecord));
-        },
-        /*grain=*/1);
-  });
-  const double secs = sw.elapsed_seconds();
-  const batcher::BatcherStats stats = list.batcher().stats();
   const std::string label = "BAT/initial=" + std::to_string(initial) +
                             "/P=" + std::to_string(workers);
-  report.batcher_stats(label, stats);
-  report.scheduler_stats(label, sched.total_stats());
-  return BatResult{secs, stats.mean_batch_size()};
+  // Scheduler stats come from the destructor-time snapshot: that is the
+  // flushed quiescent point at which the frame-pool identities the report
+  // validator checks (frames_allocated == frames_freed) hold exactly.
+  batcher::rt::StatsSnapshot final_stats;
+  BatResult result{};
+  {
+    batcher::rt::Scheduler sched(workers);
+    sched.export_final_stats(&final_stats);
+    BatchedSkipList list(sched, seed);
+    const auto init_keys =
+        bench::random_keys(static_cast<std::size_t>(initial), seed + 1);
+    for (auto k : init_keys) list.insert_unsafe(k);
+    const auto keys =
+        bench::random_keys(static_cast<std::size_t>(kInserts), seed + 2);
+    const std::int64_t calls = kInserts / kPerRecord;
+
+    Stopwatch sw;
+    sched.run([&] {
+      batcher::rt::parallel_for(
+          0, calls,
+          [&](std::int64_t c) {
+            list.multi_insert(std::span<const std::int64_t>(
+                keys.data() + c * kPerRecord, kPerRecord));
+          },
+          /*grain=*/1);
+    });
+    result.seconds = sw.elapsed_seconds();
+    const batcher::BatcherStats stats = list.batcher().stats();
+    result.mean_batch = stats.mean_batch_size();
+    report.batcher_stats(label, stats);
+  }
+  report.scheduler_stats(label, final_stats);
+  return result;
 }
 
 }  // namespace

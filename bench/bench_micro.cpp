@@ -91,6 +91,25 @@ void BM_ParallelSort(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelSort)->Arg(4096)->Arg(131072);
 
+// The allocator pressure behind every fork: a pure spawn/join storm where
+// each leaf of a grain-1 parallel_for is its own task frame, so one iteration
+// is ~kTasks frame allocate/free round trips.  P=1 isolates the local
+// alloc/free fast path; P=4 adds steals, whose frames free remotely.
+void BM_SpawnJoinStorm(benchmark::State& state) {
+  const auto workers = static_cast<unsigned>(state.range(0));
+  rt::Scheduler sched(workers);
+  constexpr std::int64_t kTasks = 4096;
+  for (auto _ : state) {
+    sched.run([&] {
+      rt::parallel_for(
+          0, kTasks, [](std::int64_t i) { benchmark::DoNotOptimize(i); },
+          /*grain=*/1);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_SpawnJoinStorm)->Arg(1)->Arg(4);
+
 // The batch-setup overhead the analysis amortizes: one full batchify round
 // trip (op record -> pending array -> launch -> BOP -> done) with zero
 // contention, i.e. a singleton batch.
@@ -215,6 +234,29 @@ int main(int argc, char** argv) {
   RecordingReporter reporter(report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  // One fixed-size spawn/join storm per worker count, with destructor-exact
+  // scheduler stats: these rows carry the frame-pool counters the validator
+  // reconciles (frames_allocated == frames_freed, remote_frees bounded).
+  constexpr std::int64_t kStormTasks = 4096;
+  const int storm_rounds = static_cast<int>(bench::scaled(64, 8));
+  for (const unsigned workers : {1u, 4u}) {
+    rt::StatsSnapshot final_stats;
+    {
+      rt::Scheduler sched(workers);
+      sched.export_final_stats(&final_stats);
+      for (int r = 0; r < storm_rounds; ++r) {
+        sched.run([&] {
+          rt::parallel_for(
+              0, kStormTasks,
+              [](std::int64_t i) { benchmark::DoNotOptimize(i); },
+              /*grain=*/1);
+        });
+      }
+    }
+    report.scheduler_stats("spawn_join_storm/P=" + std::to_string(workers),
+                           final_stats);
+  }
 
   return report.write() ? 0 : 1;
 }

@@ -320,6 +320,10 @@ inline bool Report::write() {
     w.kv("batch_steal_attempts", st.batch_steal_attempts);
     w.kv("steals_succeeded", st.steals_succeeded);
     w.kv("join_help_runs", st.join_help_runs);
+    w.kv("frames_allocated", st.frames_allocated);
+    w.kv("frames_freed", st.frames_freed);
+    w.kv("remote_frees", st.remote_frees);
+    w.kv("slab_refills", st.slab_refills);
     w.end_object();
   }
   w.end_array();

@@ -5,10 +5,12 @@
 // Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
 // Models" (PPoPP 2013), i.e. the C11 adaptation of Chase & Lev's algorithm.
 //
-// Buffers are retired, not freed, while the deque lives: a thief that loaded
-// an old buffer pointer may still be reading a slot from it.  All retired
-// buffers are reclaimed when the deque is destroyed (workers outlive every
-// task they ever held, so this is safe and avoids a full reclamation scheme).
+// Buffers are retired, not freed, while thieves may be active: a thief that
+// loaded an old buffer pointer may still be reading a slot from it.  Instead
+// of a full reclamation scheme, the scheduler calls reclaim_retired() at run
+// boundaries — quiescent points where every worker is parked, so no thief
+// can hold a stale pointer — which bounds retained memory for long-running
+// schedulers; the destructor reclaims whatever is left.
 #pragma once
 
 #include <atomic>
@@ -89,7 +91,11 @@ class WorkDeque {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t < b) {
-      Buffer* buf = buffer_.load(std::memory_order_consume);
+      // Acquire pairs with grow()'s release store: a thief that reads the new
+      // buffer pointer also sees the copied slots.  (This was
+      // memory_order_consume — deprecated since C++17 and promoted to acquire
+      // by every compiler anyway, so say what we mean.)
+      Buffer* buf = buffer_.load(std::memory_order_acquire);
       Task* task = buf->get(t);
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
@@ -113,6 +119,18 @@ class WorkDeque {
     const std::int64_t t = top_.load(std::memory_order_relaxed);
     return b > t ? b - t : 0;
   }
+
+  // Frees buffers retired by grow().  Callable only at a quiescent point —
+  // no concurrent push/pop/steal anywhere, e.g. the Scheduler::run boundary
+  // after every worker has parked — since a thief mid-steal may hold a
+  // pointer into a retired buffer.
+  void reclaim_retired() {
+    for (Buffer* b : retired_) delete b;
+    retired_.clear();
+  }
+
+  // Quiescent-point only, like reclaim_retired.
+  std::size_t retired_count() const { return retired_.size(); }
 
  private:
   struct Buffer {

@@ -48,6 +48,33 @@ void Scheduler::run(std::function<void()> root) {
 
   root_done_.store(false, std::memory_order_release);
   root_error_ = nullptr;
+
+  // Reclaim deque buffers retired by grow() during earlier runs, bounding
+  // retained memory across runs instead of deferring it all to destruction.
+  // Reading retired_count here is safe: no run is active, so no owner is
+  // pushing (the only mutator), and the completed-run handshake ordered the
+  // workers' last writes before this read.  The scan keeps the common case
+  // (nothing retired) free of the all-parked handshake below.
+  bool needs_reclaim = false;
+  for (auto& w : workers_) {
+    if (w->deque(TaskKind::Core).retired_count() != 0 ||
+        w->deque(TaskKind::Batch).retired_count() != 0) {
+      needs_reclaim = true;
+      break;
+    }
+  }
+  if (needs_reclaim) {
+    // Quiescent point: wait until every worker is parked (blocked in the
+    // workers_cv_ wait), so no thief can hold a pointer into a retired
+    // buffer, then free the retired buffers.
+    std::unique_lock<std::mutex> lock(mutex_);
+    caller_cv_.wait(lock, [this] { return parked_workers_ == num_workers(); });
+    for (auto& w : workers_) {
+      w->deque(TaskKind::Core).reclaim_retired();
+      w->deque(TaskKind::Batch).reclaim_retired();
+    }
+  }
+
   Task* root_task = make_task(
       [this, fn = std::move(root)]() mutable {
         // Structured constructs join before propagating, so by the time an

@@ -90,6 +90,10 @@ class Scheduler {
   std::mutex mutex_;
   std::condition_variable workers_cv_;  // wakes parked workers for a new run
   std::condition_variable caller_cv_;   // wakes the run() caller on completion
+  // Workers currently blocked in the park wait; guarded by mutex_.  When it
+  // equals num_workers() no thread can be mid-steal, so run() treats that as
+  // the quiescent point for reclaiming retired deque buffers.
+  unsigned parked_workers_ = 0;
 };
 
 }  // namespace batcher::rt

@@ -54,12 +54,31 @@ struct WorkerStats {
   Counter steals_succeeded;
   Counter join_help_runs;       // tasks run while waiting at a join
 
+  // Frame-pool counters (runtime/frame_pool.hpp).  The owner's fast-path
+  // contributions (allocations and local frees) are batched in plain
+  // pool-private fields and published via FramePool::flush_stats() when the
+  // worker parks — an atomic RMW per frame would roughly double the cost of
+  // a steady-state allocate.  Remote frees are bumped eagerly by whichever
+  // thread returns the frame (Counter::bump is a relaxed fetch_add, so the
+  // multi-writer case is safe).  Mid-run reads therefore lag; at a flushed
+  // quiescent point (all workers parked, or a destructor-time snapshot)
+  // frames_allocated == frames_freed holds exactly, and the bench validator
+  // checks this identity on every report.
+  Counter frames_allocated;     // pool frames handed out on the spawn path
+  Counter frames_freed;         // pool frames returned (local + remote)
+  Counter remote_frees;         // frames returned by a non-owner thread
+  Counter slab_refills;         // slabs carved (the only global allocations)
+
   void reset() {
     tasks_executed.reset();
     core_steal_attempts.reset();
     batch_steal_attempts.reset();
     steals_succeeded.reset();
     join_help_runs.reset();
+    frames_allocated.reset();
+    frames_freed.reset();
+    remote_frees.reset();
+    slab_refills.reset();
   }
 };
 
@@ -70,6 +89,10 @@ struct StatsSnapshot {
   std::uint64_t batch_steal_attempts = 0;
   std::uint64_t steals_succeeded = 0;
   std::uint64_t join_help_runs = 0;
+  std::uint64_t frames_allocated = 0;
+  std::uint64_t frames_freed = 0;
+  std::uint64_t remote_frees = 0;
+  std::uint64_t slab_refills = 0;
 
   StatsSnapshot& operator+=(const WorkerStats& w) {
     tasks_executed += w.tasks_executed.get();
@@ -77,6 +100,10 @@ struct StatsSnapshot {
     batch_steal_attempts += w.batch_steal_attempts.get();
     steals_succeeded += w.steals_succeeded.get();
     join_help_runs += w.join_help_runs.get();
+    frames_allocated += w.frames_allocated.get();
+    frames_freed += w.frames_freed.get();
+    remote_frees += w.remote_frees.get();
+    slab_refills += w.slab_refills.get();
     return *this;
   }
 

@@ -1,10 +1,16 @@
 // Task frames and join counters for the fork/join runtime.
 //
-// The runtime is *child-stealing*: `spawn` heap-allocates a small task frame
+// The runtime is *child-stealing*: `spawn` allocates a small task frame
 // holding the child closure and pushes it on the spawning worker's deque; the
 // parent continues inline and later blocks (helping) at a join.  This is the
 // portable-C++ stand-in for Cilk-5's continuation stealing; DESIGN.md §5
 // explains why it preserves the BATCHER invariants.
+//
+// Frames come from the spawning worker's FramePool (frame_pool.hpp), not
+// global `new`: the steady-state spawn/join hot path never touches the
+// global allocator, and a thief that finishes a stolen frame returns it to
+// the owner's remote-free stack instead of cross-thread `delete`-ing it
+// (DESIGN.md §10).
 //
 // Exceptions: a closure that throws never unwinds a worker's scheduling loop.
 // The frame catches the exception and records it in the join (first exception
@@ -18,6 +24,7 @@
 #include <exception>
 #include <utility>
 
+#include "runtime/frame_pool.hpp"
 #include "support/config.hpp"
 
 namespace batcher::rt {
@@ -46,29 +53,42 @@ class JoinCounter {
 
   // Records the first exception thrown by any arm of this join.  Later
   // captures are dropped: siblings keep running (nothing cancels them) and
-  // the spawner rethrows the winner at the join point.  The winner's write of
-  // `error_` is published to the spawner by its subsequent finish()/the
-  // spawner's own program order, so no extra fence is needed here.
+  // the spawner rethrows the winner at the join point.
+  //
+  // Two flags, in two roles: `claimed_` (relaxed CAS) only elects the single
+  // writer of `error_`; `failed_` (store-release) is set *after* the write
+  // and is the one readers see.  Claiming before publishing used to be one
+  // acq_rel CAS, but that let a racing failed() reader observe true while
+  // `error_` was still null — and rethrow_if_failed would have handed
+  // std::rethrow_exception a null pointer (UB).  The release/acquire pair on
+  // `failed_` now publishes `error_` to any reader that sees the flag.
   void capture(std::exception_ptr error) noexcept {
+    BATCHER_DASSERT(error != nullptr, "capture needs a real exception");
     bool expected = false;
-    if (error_claimed_.compare_exchange_strong(expected, true,
-                                               std::memory_order_acq_rel)) {
+    if (claimed_.compare_exchange_strong(expected, true,
+                                         std::memory_order_relaxed)) {
       error_ = std::move(error);
+      failed_.store(true, std::memory_order_release);
     }
   }
 
   bool failed() const noexcept {
-    return error_claimed_.load(std::memory_order_acquire);
+    return failed_.load(std::memory_order_acquire);
   }
 
   // Rethrows the captured exception, if any.  Call only after done().
   void rethrow_if_failed() {
-    if (failed()) std::rethrow_exception(error_);
+    if (failed()) {
+      BATCHER_ASSERT(error_ != nullptr,
+                     "failed() implies a published exception");
+      std::rethrow_exception(error_);
+    }
   }
 
  private:
   std::atomic<std::int64_t> count_;
-  std::atomic<bool> error_claimed_{false};
+  std::atomic<bool> claimed_{false};  // elects the error_ writer, nothing more
+  std::atomic<bool> failed_{false};   // readers' flag; publishes error_
   std::exception_ptr error_;
 };
 
@@ -131,11 +151,18 @@ class ClosureTask final : public Task {
   static void invoke(Task* base) {
     auto* self = static_cast<ClosureTask*>(base);
     F fn = std::move(self->fn_);
-    delete self;  // free the frame before running: the closure may run long
+    // Return the frame before running: the closure may run long, and a
+    // stolen frame goes back to its owner's pool while the thief works.
+    self->~ClosureTask();
+    FramePool::release_frame(self);
     fn();
   }
 
-  static void destroy(Task* base) { delete static_cast<ClosureTask*>(base); }
+  static void destroy(Task* base) {
+    auto* self = static_cast<ClosureTask*>(base);
+    self->~ClosureTask();
+    FramePool::release_frame(self);
+  }
 
   F fn_;
 };
@@ -143,7 +170,14 @@ class ClosureTask final : public Task {
 template <typename F>
 Task* make_task(F&& fn, JoinCounter* join, TaskKind kind) {
   using Decayed = std::decay_t<F>;
-  return new ClosureTask<Decayed>(Decayed(std::forward<F>(fn)), join, kind);
+  using Frame = ClosureTask<Decayed>;
+  void* mem = FramePool::allocate_frame(sizeof(Frame), alignof(Frame));
+  try {
+    return ::new (mem) Frame(Decayed(std::forward<F>(fn)), join, kind);
+  } catch (...) {
+    FramePool::release_frame(mem);  // closure copy/move threw
+    throw;
+  }
 }
 
 }  // namespace batcher::rt

@@ -110,14 +110,23 @@ bool Worker::help_batch_once() {
 
 void Worker::main_loop() {
   t_current_worker = this;
+  FramePool::set_tls(&frame_pool_);
   Backoff backoff;
   while (!sched_->stopping()) {
     if (!sched_->run_active()) {
-      // Park between runs.
+      // Park between runs.  The parked count (guarded by the scheduler
+      // mutex) lets run() detect the all-parked quiescent point at which
+      // retired deque buffers are safe to reclaim.  Flushing here publishes
+      // the frame counts batched during the run, so all-parked snapshots
+      // satisfy frames_allocated == frames_freed exactly.
+      frame_pool_.flush_stats();
       std::unique_lock<std::mutex> lock(sched_->mutex_);
+      ++sched_->parked_workers_;
+      sched_->caller_cv_.notify_all();
       sched_->workers_cv_.wait(lock, [this] {
         return sched_->stopping() || sched_->run_active();
       });
+      --sched_->parked_workers_;
       continue;
     }
     hooks::emit({hooks::HookPoint::kWorkerLoop, id_, TaskKind::Core, kind_});
@@ -132,6 +141,10 @@ void Worker::main_loop() {
       backoff.pause();
     }
   }
+  // The stop flag can interrupt the loop without another park, so flush once
+  // more: the scheduler's destructor reads stats after joining this thread.
+  frame_pool_.flush_stats();
+  FramePool::set_tls(nullptr);
   t_current_worker = nullptr;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "runtime/deque.hpp"
+#include "runtime/frame_pool.hpp"
 #include "runtime/schedule_hooks.hpp"
 #include "runtime/stats.hpp"
 #include "runtime/task.hpp"
@@ -24,7 +25,7 @@ class Scheduler;
 class alignas(kCacheLineSize) Worker {
  public:
   Worker(Scheduler* scheduler, unsigned id, std::uint64_t seed)
-      : sched_(scheduler), id_(id), rng_(seed) {}
+      : sched_(scheduler), id_(id), rng_(seed), frame_pool_(&stats_, id) {}
 
   Worker(const Worker&) = delete;
   Worker& operator=(const Worker&) = delete;
@@ -89,6 +90,11 @@ class alignas(kCacheLineSize) Worker {
   WorkerStats& stats() { return stats_; }
   const WorkerStats& stats() const { return stats_; }
 
+  // The worker's task-frame pool (frame_pool.hpp).  Spawns on this worker's
+  // thread allocate from it; any thread may release frames back into it.
+  FramePool& frame_pool() { return frame_pool_; }
+  const FramePool& frame_pool() const { return frame_pool_; }
+
   // Thread-local accessor: the worker the calling thread is, or nullptr.
   static Worker* current();
 
@@ -113,6 +119,7 @@ class alignas(kCacheLineSize) Worker {
   std::uint64_t steal_tick_ = 0;
   TaskKind kind_ = TaskKind::Core;
   WorkerStats stats_;
+  FramePool frame_pool_;  // after stats_: the pool bumps into it
   WorkDeque deques_[kNumTaskKinds];
 };
 

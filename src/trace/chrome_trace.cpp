@@ -138,6 +138,21 @@ std::string chrome_trace_json(const Trace& trace, ChromeTraceOptions options) {
           domain_events.push_back({r.ts_ns, r.a16, event, r.a32});
           end_slice(EventId::kFlagWon, r.ts_ns);
           break;
+        case EventId::kFrameSlabRefill:
+          event_header(w, "i", tid, rel_us(r.ts_ns, trace.t0_ns));
+          w.kv("s", "t");
+          w.kv("name", "slab refill (class " + std::to_string(r.a16) + ")");
+          w.end_object();
+          break;
+        case EventId::kFrameRemoteFree:
+          // One per remotely-freed frame; high volume, so gated like steal
+          // misses rather than flooding the default view.
+          if (!options.include_steal_misses) break;
+          event_header(w, "i", tid, rel_us(r.ts_ns, trace.t0_ns));
+          w.kv("s", "t");
+          w.kv("name", "remote free (class " + std::to_string(r.a16) + ")");
+          w.end_object();
+          break;
         case EventId::kNone:
           break;
       }

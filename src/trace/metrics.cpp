@@ -135,6 +135,12 @@ MetricsReport build_metrics(const Trace& trace) {
             p.flag_open = false;
           }
           break;
+        case EventId::kFrameSlabRefill:
+          ++m.frame_slab_refills;
+          break;
+        case EventId::kFrameRemoteFree:
+          ++m.frame_remote_frees;
+          break;
         case EventId::kNone:
           break;
       }
@@ -185,6 +191,8 @@ void MetricsReport::to_json(json::Writer& w) const {
   w.kv("batches_per_sec", batches_per_sec());
   w.kv("mean_batch_size", mean_batch_size());
   w.kv("max_batch_size", max_batch_size());
+  w.kv("frame_slab_refills", frame_slab_refills);
+  w.kv("frame_remote_frees", frame_remote_frees);
   w.kv("unmatched_edges", unmatched_edges);
   w.key("batch_size_distribution").begin_array();
   for (std::uint64_t n : batch_size_hist) w.value(n);

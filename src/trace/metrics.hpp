@@ -47,6 +47,8 @@ struct MetricsReport {
   std::uint64_t ops_submitted = 0;
   std::uint64_t batches = 0;        // kLaunchEnter count
   std::uint64_t empty_batches = 0;  // kCollected with size 0
+  std::uint64_t frame_slab_refills = 0;  // kFrameSlabRefill count
+  std::uint64_t frame_remote_frees = 0;  // kFrameRemoteFree count
   std::uint64_t unmatched_edges = 0;
 
   // Latency distributions (nanoseconds).

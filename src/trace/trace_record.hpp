@@ -25,6 +25,8 @@ namespace batcher::trace {
 //   kCollected              a16 = domain id, a32 = ops in the batch
 //   kBopDone                a16 = domain id
 //   kLaunchExit             a16 = domain id, a32 = ops carried to done
+//   kFrameSlabRefill        a16 = size class; ring = owning worker
+//   kFrameRemoteFree        a16 = size class; ring = freeing thread
 enum class EventId : std::uint16_t {
   kNone = 0,
   kTaskBegin,
@@ -37,6 +39,8 @@ enum class EventId : std::uint16_t {
   kCollected,
   kBopDone,
   kLaunchExit,
+  kFrameSlabRefill,
+  kFrameRemoteFree,
 };
 
 inline constexpr std::uint16_t kStealKindBatch = 1;  // kSteal a16 bit 0

@@ -69,6 +69,22 @@ TEST(WorkDeque, GrowPreservesOrderUnderPartialConsumption) {
   for (std::uintptr_t i = 2; i <= 64; ++i) ASSERT_EQ(untag(d.steal()), i);
 }
 
+TEST(WorkDeque, ReclaimRetiredFreesOldBuffersAndKeepsDequeUsable) {
+  WorkDeque d(4);
+  constexpr std::uintptr_t kCount = 1000;  // 4 -> 1024: several growths
+  for (std::uintptr_t i = 1; i <= kCount; ++i) d.push(tag(i));
+  EXPECT_GT(d.retired_count(), 0u);
+  // Single-threaded, so this call site is trivially quiescent.
+  d.reclaim_retired();
+  EXPECT_EQ(d.retired_count(), 0u);
+  // The live buffer is untouched: full LIFO drain still sees every element.
+  for (std::uintptr_t i = kCount; i >= 1; --i) ASSERT_EQ(untag(d.pop()), i);
+  EXPECT_EQ(d.pop(), nullptr);
+  // Growth after a reclaim retires into the emptied list again.
+  for (std::uintptr_t i = 1; i <= 2 * kCount; ++i) d.push(tag(i));
+  EXPECT_GT(d.retired_count(), 0u);
+}
+
 TEST(WorkDeque, SingleElementRace) {
   // Owner pop vs. thief steal of the final element: exactly one side wins.
   for (int round = 0; round < 200; ++round) {

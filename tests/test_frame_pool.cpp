@@ -1,0 +1,341 @@
+// Tests for the per-worker task-frame pool (runtime/frame_pool.hpp).
+//
+// This TU replaces the global operator new/delete with counting versions, so
+// the headline property — steady-state spawn/join performs *zero* global
+// allocations — is asserted directly rather than inferred from counters.
+// The replacement is process-wide but this binary is the only user; the
+// counted paths forward to malloc/free, which ASan/TSan still intercept.
+//
+// Coverage:
+//   * zero global allocations in a warmed-up single-worker storm (exact);
+//   * multi-worker storms: global allocations bounded by slab refills;
+//   * the MPSC remote-free stack under concurrent pushers (TSan target),
+//     including frame recycling — the second allocation wave reuses the
+//     remotely-freed frames rather than carving new slabs;
+//   * global-allocator fallbacks: oversized and over-aligned closures;
+//   * allocate/free balance across whole scheduler lifetimes, with and
+//     without injected faults (frames that die via fail_and_release);
+//   * trace/metrics reconciliation for the pool's slab-refill events;
+//   * retired deque buffers reclaimed at the run-boundary quiescent point.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/api.hpp"
+#include "runtime/frame_pool.hpp"
+#include "runtime/schedule_hooks.hpp"
+#include "runtime/scheduler.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_new_calls{0};
+std::atomic<std::uint64_t> g_delete_calls{0};
+
+void* counted_new(std::size_t bytes) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(bytes != 0 ? bytes : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_new_aligned(std::size_t bytes, std::align_val_t al) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t align = static_cast<std::size_t>(al);
+  const std::size_t size = (bytes + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, size != 0 ? size : align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void counted_delete(void* p) noexcept {
+  g_delete_calls.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_new(n); }
+void* operator new[](std::size_t n) { return counted_new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  return counted_new_aligned(n, al);
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return counted_new_aligned(n, al);
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return counted_new(n);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  try {
+    return counted_new(n);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void operator delete(void* p) noexcept { counted_delete(p); }
+void operator delete[](void* p) noexcept { counted_delete(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_delete(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_delete(p); }
+void operator delete[](void* p, std::align_val_t) noexcept {
+  counted_delete(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_delete(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_delete(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_delete(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_delete(p);
+}
+
+namespace batcher::rt {
+namespace {
+
+// Relaxed-store sink so the storm body is not optimized to nothing.
+std::atomic<std::int64_t> g_sink{0};
+
+// One fork/join storm: kTasks frames, grain 1, ~log2(kTasks) recursion depth
+// so the deques never outgrow their initial capacity (no growth allocations
+// polluting the zero-alloc window).
+void spawn_storm(std::int64_t tasks) {
+  parallel_for(
+      0, tasks,
+      [](std::int64_t i) { g_sink.store(i, std::memory_order_relaxed); },
+      /*grain=*/1);
+}
+
+// --- Steady state: the allocator-free hot path ------------------------------
+
+TEST(FramePoolSteadyState, SingleWorkerStormMakesZeroGlobalAllocations) {
+  Scheduler sched(1);
+  sched.run([] { spawn_storm(4096); });  // warm-up: carve the slabs
+
+  std::uint64_t news = 0, deletes = 0;
+  sched.run([&] {
+    const std::uint64_t n0 = g_new_calls.load(std::memory_order_relaxed);
+    const std::uint64_t d0 = g_delete_calls.load(std::memory_order_relaxed);
+    spawn_storm(4096);
+    spawn_storm(4096);
+    news = g_new_calls.load(std::memory_order_relaxed) - n0;
+    deletes = g_delete_calls.load(std::memory_order_relaxed) - d0;
+  });
+  EXPECT_EQ(news, 0u) << "steady-state spawn/join touched the global allocator";
+  EXPECT_EQ(deletes, 0u);
+}
+
+TEST(FramePoolSteadyState, MultiWorkerGlobalAllocationsAreBoundedByRefills) {
+  Scheduler sched(4);
+  sched.run([] { spawn_storm(4096); });  // warm-up
+
+  std::uint64_t news = 0, refills = 0;
+  sched.run([&] {
+    const std::uint64_t n0 = g_new_calls.load(std::memory_order_relaxed);
+    const std::uint64_t r0 = sched.total_stats().slab_refills;
+    for (int s = 0; s < 4; ++s) spawn_storm(4096);
+    news = g_new_calls.load(std::memory_order_relaxed) - n0;
+    refills = sched.total_stats().slab_refills - r0;
+  });
+  // Each refill is one slab allocation plus at most one slabs_-vector growth;
+  // the +8 absorbs the refill counter racing the second read.
+  EXPECT_LE(news, 2 * refills + 8);
+}
+
+// --- The MPSC remote-free stack ---------------------------------------------
+
+TEST(FramePoolRemoteFree, ConcurrentRemoteFreesAllRecycle) {
+  WorkerStats stats;
+  FramePool pool(&stats, /*owner_id=*/0);
+  constexpr int kFrames = 4096;
+  constexpr int kThreads = 4;
+
+  FramePool::set_tls(&pool);
+  std::vector<void*> frames;
+  frames.reserve(kFrames);
+  for (int i = 0; i < kFrames; ++i) {
+    frames.push_back(FramePool::allocate_frame(48, alignof(std::max_align_t)));
+  }
+  FramePool::set_tls(nullptr);
+  // Fast-path counts are batched owner-side; publish before asserting.
+  pool.flush_stats();
+  const std::uint64_t slabs_carved = stats.slab_refills.get();
+  ASSERT_EQ(stats.frames_allocated.get(), static_cast<std::uint64_t>(kFrames));
+
+  // Non-owner threads hammer the Treiber stack with disjoint slices.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&frames, t] {
+      for (int i = t; i < kFrames; i += kThreads) {
+        FramePool::release_frame(frames[static_cast<std::size_t>(i)]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(stats.remote_frees.get(), static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(stats.frames_freed.get(), static_cast<std::uint64_t>(kFrames));
+  EXPECT_TRUE(pool.has_remote_frees());
+
+  // The owner re-allocates the same count: every frame must come back from
+  // the remote stack (distinct addresses, all previously seen, zero refills).
+  FramePool::set_tls(&pool);
+  std::set<void*> seen(frames.begin(), frames.end());
+  std::set<void*> second_wave;
+  for (int i = 0; i < kFrames; ++i) {
+    void* p = FramePool::allocate_frame(48, alignof(std::max_align_t));
+    EXPECT_TRUE(seen.count(p) == 1) << "allocation bypassed the free lists";
+    second_wave.insert(p);
+  }
+  EXPECT_EQ(second_wave.size(), static_cast<std::size_t>(kFrames));
+  EXPECT_EQ(stats.slab_refills.get(), slabs_carved);
+  for (void* p : second_wave) FramePool::release_frame(p);
+  FramePool::set_tls(nullptr);
+}
+
+TEST(FramePoolRemoteFree, StolenFramesBalanceAcrossSchedulerLifetime) {
+  StatsSnapshot final_stats;
+  {
+    Scheduler sched(4);
+    sched.export_final_stats(&final_stats);
+    // Keep running storms until at least one steal happened (one-core CI
+    // hosts can serialize early runs), then a few more for volume.
+    for (int r = 0; r < 200; ++r) {
+      sched.run([] { spawn_storm(2048); });
+      if (sched.total_stats().steals_succeeded > 4 && r >= 8) break;
+    }
+  }
+  EXPECT_GT(final_stats.frames_allocated, 0u);
+  EXPECT_EQ(final_stats.frames_allocated, final_stats.frames_freed)
+      << "some task frame leaked or double-freed";
+  // Every stolen pool frame is finished by a non-owner, i.e. a remote free.
+  EXPECT_GE(final_stats.remote_frees, final_stats.steals_succeeded);
+}
+
+// --- Global-allocator fallbacks ---------------------------------------------
+
+TEST(FramePoolFallback, OversizedClosuresUseGlobalPathAndBalance) {
+  StatsSnapshot final_stats;
+  {
+    Scheduler sched(2);
+    sched.export_final_stats(&final_stats);
+    std::array<char, 4096> big{};  // frame > 1 KiB class ceiling
+    big[17] = 3;
+    std::atomic<int> sum{0};
+    sched.run([&] {
+      for (int i = 0; i < 64; ++i) {
+        parallel_invoke([&] { sum.fetch_add(1); },
+                        [big, &sum] { sum.fetch_add(big[17]); });
+      }
+    });
+    EXPECT_EQ(sum.load(), 64 * 4);
+  }
+  EXPECT_EQ(final_stats.frames_allocated, final_stats.frames_freed);
+}
+
+TEST(FramePoolFallback, OverAlignedClosuresRoundTrip) {
+  struct alignas(2 * alignof(std::max_align_t)) OverAligned {
+    char data[64] = {};
+  };
+  Scheduler sched(2);
+  std::atomic<int> hits{0};
+  OverAligned payload;
+  payload.data[0] = 1;
+  sched.run([&] {
+    for (int i = 0; i < 32; ++i) {
+      parallel_invoke([&] { hits.fetch_add(1); },
+                      [payload, &hits] { hits.fetch_add(payload.data[0]); });
+    }
+  });
+  EXPECT_EQ(hits.load(), 64);
+}
+
+TEST(FramePoolFallback, ExternalThreadSpawnsFallBackToGlobalNew) {
+  // make_task from a thread with no pool (like the run() caller making the
+  // root) must take the global path and release cleanly from a worker.
+  Scheduler sched(1);
+  std::atomic<int> ran{0};
+  sched.run([&] { ran.fetch_add(1); });  // root frame is exactly this case
+  EXPECT_EQ(ran.load(), 1);
+}
+
+// --- Failure path: fail_and_release returns frames exactly once -------------
+
+#if BATCHER_AUDIT
+TEST(FramePoolFault, InjectedTaskDeathsKeepPoolBalanced) {
+  StatsSnapshot final_stats;
+  {
+    Scheduler sched(2);
+    sched.export_final_stats(&final_stats);
+    for (int r = 0; r < 24; ++r) {
+      hooks::test_faults().throw_in_core_task.store(
+          97, std::memory_order_relaxed);
+      try {
+        sched.run([] { spawn_storm(512); });
+      } catch (const hooks::InjectedFault&) {
+        // expected: the killed frame's error surfaces at the root join
+      }
+      hooks::test_faults().reset();
+    }
+  }
+  EXPECT_GT(final_stats.frames_allocated, 0u);
+  EXPECT_EQ(final_stats.frames_allocated, final_stats.frames_freed)
+      << "a frame that died via fail_and_release missed the pool (or hit it "
+         "twice)";
+}
+#endif  // BATCHER_AUDIT
+
+// --- Trace integration ------------------------------------------------------
+
+TEST(FramePoolTrace, SlabRefillEventsReconcileWithStats) {
+  StatsSnapshot final_stats;
+  trace::MetricsReport metrics;
+  {
+    Scheduler sched(2);
+    sched.export_final_stats(&final_stats);
+    trace::TraceSession session;
+    sched.run([] { spawn_storm(8192); });
+    metrics = trace::build_metrics(session.stop());
+  }
+  ASSERT_EQ(metrics.dropped_records, 0u);
+  EXPECT_EQ(metrics.frame_slab_refills, final_stats.slab_refills);
+  EXPECT_LE(metrics.frame_remote_frees, final_stats.remote_frees);
+}
+
+// --- Run-boundary reclamation of retired deque buffers ----------------------
+
+void deep_spawn(int depth) {
+  if (depth == 0) return;
+  parallel_invoke([&] { deep_spawn(depth - 1); }, [] {});
+}
+
+TEST(FramePoolDequeReclaim, RetiredBuffersFreedAtNextRunBoundary) {
+  Scheduler sched(1);
+  // Each level pushes one frame without popping, so depth 200 overflows the
+  // initial capacity of 64 and forces grow() to retire buffers.
+  sched.run([] { deep_spawn(200); });
+  EXPECT_GT(sched.worker(0).deque(TaskKind::Core).retired_count(), 0u);
+
+  // The next run() reclaims at its all-parked quiescent point.
+  sched.run([] {});
+  EXPECT_EQ(sched.worker(0).deque(TaskKind::Core).retired_count(), 0u);
+  EXPECT_EQ(sched.worker(0).deque(TaskKind::Batch).retired_count(), 0u);
+}
+
+}  // namespace
+}  // namespace batcher::rt

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/api.hpp"
@@ -170,6 +173,50 @@ TEST(RuntimeLifecycle, ManySchedulersComeAndGo) {
     });
     EXPECT_EQ(n.load(), 100);
   }
+}
+
+// Regression test for the capture/failed() race: failed() returning true must
+// imply the exception is already published, or rethrow_if_failed would hand
+// std::rethrow_exception a null pointer.  A reader spins until the flag flips
+// and immediately rethrows; under the old single-CAS scheme (claim before
+// publish) this intermittently crashed.
+TEST(RuntimeJoinCounter, FailedFlagImpliesPublishedException) {
+  for (int iter = 0; iter < 500; ++iter) {
+    JoinCounter join(1);
+    std::atomic<bool> go{false};
+    std::thread writer([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      join.capture(std::make_exception_ptr(std::runtime_error("boom")));
+      join.finish();
+    });
+    go.store(true, std::memory_order_release);
+    while (!join.failed()) {
+    }
+    EXPECT_THROW(join.rethrow_if_failed(), std::runtime_error);
+    writer.join();
+  }
+}
+
+TEST(RuntimeJoinCounter, FirstCaptureWinsUnderContention) {
+  JoinCounter join(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&join, t] {
+      join.capture(std::make_exception_ptr(std::runtime_error(
+          "thrower " + std::to_string(t))));
+      join.finish();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(join.done());
+  std::string message;
+  try {
+    join.rethrow_if_failed();
+  } catch (const std::runtime_error& e) {
+    message = e.what();
+  }
+  EXPECT_EQ(message.rfind("thrower ", 0), 0u) << message;
 }
 
 }  // namespace

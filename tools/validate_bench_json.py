@@ -9,7 +9,10 @@ subset of JSON Schema that bench/bench_report.schema.json uses:
 plus the cross-field reconciliation the schema language cannot express: when
 a report carries a trace whose rings never overflowed, the trace-derived op
 count must equal the sum of the recorded BatcherStats op counts (the
-"histograms reconcile exactly with Batcher::stats()" acceptance check).
+"histograms reconcile exactly with Batcher::stats()" acceptance check), and
+every scheduler_stats row must satisfy the frame-pool identities
+(frames_allocated == frames_freed at a quiescent snapshot,
+remote_frees <= frames_freed).
 
 Usage:
     python3 tools/validate_bench_json.py --schema bench/bench_report.schema.json \
@@ -86,6 +89,23 @@ def reconcile(report, errors):
                 f"{path}: batch_size_histogram sums to "
                 f"{sum(st['batch_size_histogram'])}, expected "
                 f"batches_launched = {st['batches_launched']}")
+
+    for i, st in enumerate(report.get("scheduler_stats", [])):
+        path = f"$.scheduler_stats[{i}]"
+        # Snapshots are taken at quiescent points (after Scheduler::run or at
+        # destruction), where every pool frame handed out has come back.
+        if st["frames_allocated"] != st["frames_freed"]:
+            errors.append(
+                f"{path}: frames_allocated ({st['frames_allocated']}) != "
+                f"frames_freed ({st['frames_freed']}) at a quiescent snapshot")
+        if st["remote_frees"] > st["frames_freed"]:
+            errors.append(
+                f"{path}: remote_frees ({st['remote_frees']}) > "
+                f"frames_freed ({st['frames_freed']})")
+        if st["slab_refills"] > 0 and st["frames_allocated"] == 0:
+            errors.append(
+                f"{path}: slab_refills ({st['slab_refills']}) with zero "
+                f"frames_allocated (refills happen only on allocation)")
 
     total = report.get("ops_processed_total", 0)
     trace = report.get("trace")
