@@ -1,0 +1,121 @@
+// T5-sparseop — the sparse-operation control-path A/B (DESIGN.md §11).
+//
+// Only K=2 lanes issue batched increments while the scheduler is sized at
+// P >> K: every batch carries at most K ops, so the launch control path is
+// the dominant cost.  The Fig. 4 scan policies pay Θ(P) per launch to walk
+// the whole slot array; the announce-list policy pays O(batch).  Sweeping P
+// with the workload held fixed separates the two: announce throughput stays
+// ~flat while the scan policies degrade linearly in P.
+//
+// Reps are interleaved across policies (A/B/C, A/B/C, ...) with all three
+// schedulers alive for the whole sweep, so OS noise lands on every variant
+// evenly instead of biasing whichever ran last.
+#include <cstdio>
+#include <string>
+
+#include "bench/common.hpp"
+#include "ds/batched_counter.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace {
+namespace bench = batcher::bench;
+using batcher::Batcher;
+using batcher::Stopwatch;
+
+constexpr unsigned kLanes = 2;
+const std::int64_t kOpsPerLane = bench::scaled(4000, 400);
+const int kReps = bench::scaled(12, 3);
+
+const char* policy_name(Batcher::SetupPolicy policy) {
+  switch (policy) {
+    case Batcher::SetupPolicy::Sequential: return "SEQUENTIAL";
+    case Batcher::SetupPolicy::Parallel: return "PARALLEL";
+    case Batcher::SetupPolicy::Announce: return "ANNOUNCE";
+  }
+  return "?";
+}
+
+// One policy's scheduler + counter, kept alive across interleaved reps.
+struct Variant {
+  explicit Variant(unsigned workers, Batcher::SetupPolicy policy)
+      : policy(policy), sched(workers), counter(sched, 0, policy) {}
+
+  // One rep: kLanes lanes of sequential increments, the other P - kLanes
+  // workers idle — the sparse-op regime.
+  void rep() {
+    Stopwatch sw;
+    sched.run([&] {
+      batcher::rt::parallel_for(
+          0, static_cast<std::int64_t>(kLanes),
+          [&](std::int64_t) {
+            for (std::int64_t i = 0; i < kOpsPerLane; ++i) {
+              counter.increment(1);
+            }
+          },
+          /*grain=*/1);
+    });
+    seconds += sw.elapsed_seconds();
+  }
+
+  Batcher::SetupPolicy policy;
+  batcher::rt::Scheduler sched;
+  batcher::ds::BatchedCounter counter;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  bench::header("T5-sparseop",
+                "K=2 sparse lanes vs P-sized scheduler: announce-list "
+                "collect vs Fig. 4 scan (launch path O(batch) vs Theta(P))");
+  bench::Report report("sparseop");
+  report.config("lanes", static_cast<std::uint64_t>(kLanes));
+  report.config("ops_per_lane", static_cast<std::uint64_t>(kOpsPerLane));
+  report.config("reps", static_cast<std::uint64_t>(kReps));
+  bench::TraceScope trace(report);
+
+  bench::row("%-6s %-12s %12s %10s %10s %10s", "P", "policy", "ops/s",
+             "batches", "empty", "chained");
+  for (unsigned p : {4u, 8u, 16u, 32u}) {
+    Variant variants[] = {
+        Variant(p, Batcher::SetupPolicy::Announce),
+        Variant(p, Batcher::SetupPolicy::Sequential),
+        Variant(p, Batcher::SetupPolicy::Parallel),
+    };
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (Variant& v : variants) v.rep();
+    }
+    const std::int64_t total = static_cast<std::int64_t>(kLanes) *
+                               kOpsPerLane * kReps;
+    for (Variant& v : variants) {
+      if (v.counter.value_unsafe() != total) {
+        std::printf("  !! counter mismatch (%s)\n", policy_name(v.policy));
+      }
+      const batcher::BatcherStats st = v.counter.batcher().stats();
+      const double ops_per_s =
+          v.seconds > 0 ? static_cast<double>(total) / v.seconds : 0.0;
+      bench::row("%-6u %-12s %12.0f %10llu %10llu %10llu", p,
+                 policy_name(v.policy), ops_per_s,
+                 static_cast<unsigned long long>(st.batches_launched),
+                 static_cast<unsigned long long>(st.empty_batches),
+                 static_cast<unsigned long long>(st.chained_launches));
+      const std::string suffix =
+          std::string("/") + policy_name(v.policy) + "/P=" + std::to_string(p);
+      report.metric("ops_per_s" + suffix, ops_per_s, "1/s");
+      report.metric("batches_per_op" + suffix,
+                    static_cast<double>(st.batches_launched) /
+                        static_cast<double>(total));
+      report.batcher_stats(policy_name(v.policy) +
+                               ("/P=" + std::to_string(p)),
+                           st);
+    }
+  }
+  bench::note("announce collect touches only announced slots, so its launch "
+              "cost tracks the (tiny) batch, not P; the scan policies walk "
+              "all P slots per launch and fall behind as P grows");
+  report.write();
+  std::printf("\n");
+  return 0;
+}

@@ -304,6 +304,9 @@ inline bool Report::write() {
     w.kv("ops_succeeded", st.ops_succeeded);
     w.kv("max_batch_size", st.max_batch_size);
     w.kv("mean_batch_size", st.mean_batch_size());
+    w.kv("announce_pushes", st.announce_pushes);
+    w.kv("chained_launches", st.chained_launches);
+    w.kv("flag_cas_failures", st.flag_cas_failures);
     w.key("batch_size_histogram").begin_array();
     for (std::uint64_t n : st.batch_size_histogram) w.value(n);
     w.end_array();

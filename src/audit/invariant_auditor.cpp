@@ -42,6 +42,9 @@ const char* point_name(hooks::HookPoint p) {
     case P::kStatusPendingToExecuting: return "status pending->executing";
     case P::kStatusExecutingToDone: return "status executing->done";
     case P::kStatusDoneToFree: return "status done->free";
+    case P::kAnnouncePush: return "announce-push";
+    case P::kAnnounceClaim: return "announce-claim";
+    case P::kLaunchChained: return "launch-chained";
   }
   return "?";
 }
@@ -56,6 +59,7 @@ InvariantAuditor::DomainState& InvariantAuditor::domain_state(
   auto [it, inserted] = domains_.try_emplace(domain);
   if (inserted) {
     it->second.flag_holder = hooks::kNoWorker;
+    it->second.last_launcher = hooks::kNoWorker;
     it->second.status.assign(workers_.size(), Status::Free);
   }
   return it->second;
@@ -263,7 +267,79 @@ void InvariantAuditor::on_event(const rt::hooks::HookEvent& event) {
         violate(event, "Invariant 1 (one active batch)", os.str());
       }
       dom.active_launches = dom.active_launches > 0 ? dom.active_launches - 1 : 0;
+      // Remember who exited: a kLaunchChained event may re-establish this
+      // worker as holder without an intervening kFlagCasWon (the real flag
+      // never reopened between the two launches).
+      dom.last_launcher = event.worker;
       dom.flag_holder = hooks::kNoWorker;
+      break;
+    }
+
+    case P::kAnnouncePush: {
+      DomainState& dom = domain_state(event.domain);
+      worker_state(event.worker);  // ensure dom.status covers event.worker
+      if (dom.status[event.worker] != Status::Pending) {
+        std::ostringstream os;
+        os << "worker " << event.worker << " announced a slot whose status is "
+           << status_name(static_cast<int>(dom.status[event.worker]))
+           << " (only pending slots may be announced)";
+        violate(event, "§11 (announce-list protocol)", os.str());
+      }
+      break;
+    }
+
+    case P::kAnnounceClaim: {
+      DomainState& dom = domain_state(event.domain);
+      if (dom.flag_holder != event.worker) {
+        std::ostringstream os;
+        os << "worker " << event.worker
+           << " claimed the announce list without holding the batch flag "
+           << "(holder: ";
+        if (dom.flag_holder == hooks::kNoWorker) {
+          os << "none";
+        } else {
+          os << "worker " << dom.flag_holder;
+        }
+        os << ")";
+        violate(event, "§11 (announce-list protocol)", os.str());
+      }
+      if (dom.active_launches != 1) {
+        std::ostringstream os;
+        os << "worker " << event.worker << " claimed the announce list with "
+           << dom.active_launches << " launches active (expected 1)";
+        violate(event, "§11 (announce-list protocol)", os.str());
+      }
+      break;
+    }
+
+    case P::kLaunchChained: {
+      DomainState& dom = domain_state(event.domain);
+      if (dom.flag_holder != hooks::kNoWorker) {
+        std::ostringstream os;
+        os << "worker " << event.worker
+           << " chained a launch while worker " << dom.flag_holder
+           << " is still inside one";
+        violate(event, "Invariant 1 (one active batch)", os.str());
+      }
+      if (event.worker != dom.last_launcher) {
+        std::ostringstream os;
+        os << "worker " << event.worker
+           << " chained a launch but the previous launch exited on ";
+        if (dom.last_launcher == hooks::kNoWorker) {
+          os << "no worker (no launch has exited yet)";
+        } else {
+          os << "worker " << dom.last_launcher;
+        }
+        violate(event, "§11 (announce-list protocol)", os.str());
+      }
+      if (event.value < 1) {
+        std::ostringstream os;
+        os << "worker " << event.worker << " chained a launch with chain index "
+           << event.value << " (must be >= 1)";
+        violate(event, "§11 (announce-list protocol)", os.str());
+      }
+      // The chained launch runs under the same (never reopened) flag hold.
+      dom.flag_holder = event.worker;
       break;
     }
 

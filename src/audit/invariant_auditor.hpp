@@ -17,7 +17,12 @@
 //                pending/done edges owned by the trapped worker and the
 //                executing edges owned by the (unique) launcher;
 //   §4           a free worker's steal attempts alternate strictly between
-//                core and batch deques.
+//                core and batch deques;
+//   §11          the announce-list protocol (DESIGN.md §11): a worker only
+//                announces a slot it holds pending, the announce list is
+//                claimed by the flag holder from inside a launch, and a
+//                chained launch is started only by the worker whose launch
+//                just exited under the still-held flag.
 //
 // The auditor is a plain state machine over events: it can audit a live
 // scheduler (installed as the hook observer, mutex-serialized) or a synthetic
@@ -79,6 +84,10 @@ class InvariantAuditor final : public rt::hooks::ScheduleObserver {
   struct DomainState {
     unsigned flag_holder;
     int active_launches = 0;
+    // The worker whose launch most recently exited — the only worker a
+    // kLaunchChained event may legally come from (the flag never reopened
+    // between its exit and the chained launch).
+    unsigned last_launcher;
     std::vector<Status> status;  // per worker
   };
 

@@ -79,7 +79,8 @@ void StallWatchdog::on_event(const rt::hooks::HookEvent& event) {
 
   const bool tracks_state =
       event.point == P::kFlagCasWon || event.point == P::kLaunchExit ||
-      event.point == P::kBatchifyEnter || event.point == P::kBatchifyExit;
+      event.point == P::kLaunchChained || event.point == P::kBatchifyEnter ||
+      event.point == P::kBatchifyExit;
   if (!tracks_state && now % kScanPeriod != 0) return;
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -97,6 +98,17 @@ void StallWatchdog::on_event(const rt::hooks::HookEvent& event) {
     case P::kLaunchExit: {
       DomainWatch& dw = domains_[event.domain];
       dw.holder = hooks::kNoWorker;
+      dw.flagged = false;
+      break;
+    }
+    case P::kLaunchChained: {
+      // A chained launch keeps the flag held across launches; restart the
+      // hold budget so a healthy chain of short launches is not mistaken for
+      // one stuck LAUNCHBATCH.
+      DomainWatch& dw = domains_[event.domain];
+      dw.holder = event.worker;
+      dw.acquired_at_event = now;
+      dw.acquired_at = now_clock;
       dw.flagged = false;
       break;
     }

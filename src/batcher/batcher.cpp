@@ -40,9 +40,18 @@ Batcher::Batcher(rt::Scheduler& sched, BatchedStructure& ds, SetupPolicy setup)
       trace_id_(trace::register_domain(this)) {
   const std::size_t P = sched_.num_workers();
   slots_ = std::vector<Slot>(P);
+  for (std::size_t i = 0; i < P; ++i) {
+    slots_[i].owner = static_cast<unsigned>(i);
+  }
   working_.resize(P, nullptr);
   marks_.resize(P, 0);
+  claimed_.resize(P, nullptr);
+  chain_limit_ = P > 0 ? P : 1;
   stat_cells_.histogram = std::vector<std::atomic<std::uint64_t>>(P + 1);
+}
+
+void Batcher::set_chain_limit(std::size_t limit) {
+  chain_limit_ = limit > 0 ? limit : 1;
 }
 
 Batcher::~Batcher() { trace::unregister_domain(this); }
@@ -72,6 +81,28 @@ void Batcher::batchify(OpRecordBase& op) {
   // `Pending` also sees the op pointer and the operation's arguments.
   slot.status.store(OpStatus::Pending, std::memory_order_release);
 
+  if (setup_ == SetupPolicy::Announce) {
+    // Announce the slot (DESIGN.md §11): one release CAS pushes it onto the
+    // intrusive MPSC list the launcher claims wholesale.  The release — and,
+    // for slots deeper in the list, the release sequence every later push
+    // continues — pairs with the launcher's acquire exchange, so the claim
+    // walk's relaxed status/op reads are ordered after this worker's
+    // publication above.  Emitted-before-push mirrors the status hooks: an
+    // observer sees the announce before any launcher can act on it.
+    hooks::emit({hooks::HookPoint::kAnnouncePush, w->id(), rt::TaskKind::Core,
+                 w->current_kind(), this});
+    if (trace::enabled()) [[unlikely]] {
+      trace::emit(w->id(), trace::EventId::kAnnouncePush, trace_id_);
+    }
+    stat_cells_.announce_pushes.fetch_add(1, std::memory_order_relaxed);
+    Slot* head = announce_head_.load(std::memory_order_relaxed);
+    do {
+      slot.announce_next = head;
+    } while (!announce_head_.compare_exchange_weak(head, &slot,
+                                                   std::memory_order_release,
+                                                   std::memory_order_relaxed));
+  }
+
   // The trapped-worker rules of Fig. 3.
   Backoff backoff;
   while (true) {
@@ -84,28 +115,41 @@ void Batcher::batchify(OpRecordBase& op) {
     }
     // Batch deque empty: resume if our operation completed.
     if (slot.status.load(std::memory_order_acquire) == OpStatus::Done) break;
-    // Otherwise try to launch a batch if none is active...
-    std::uint32_t expected = 0;
-    if (batch_flag_.load(std::memory_order_relaxed) == 0 &&
-        batch_flag_.compare_exchange_strong(expected, 1,
-                                            std::memory_order_acq_rel,
-                                            std::memory_order_acquire)) {
+    // Otherwise try to launch a batch if none is active.  The relaxed load
+    // gates the CAS so a closed flag never costs an exclusive cache-line
+    // acquisition, and a *lost* CAS race backs off before this worker
+    // touches the flag line again — under a reopen storm (P trapped workers
+    // racing one reopened flag) only the winner keeps hammering the line.
+    if (batch_flag_.load(std::memory_order_relaxed) == 0) {
+      std::uint32_t expected = 0;
+      if (batch_flag_.compare_exchange_strong(expected, 1,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
 #if BATCHER_AUDIT
-      if (!hooks::test_faults().skip_batch_flag_cas.load(
-              std::memory_order_relaxed))
+        if (!hooks::test_faults().skip_batch_flag_cas.load(
+                std::memory_order_relaxed))
 #endif
-      {
-        hooks::emit({hooks::HookPoint::kFlagCasWon, w->id(),
-                     rt::TaskKind::Core, w->current_kind(), this});
+        {
+          hooks::emit({hooks::HookPoint::kFlagCasWon, w->id(),
+                       rt::TaskKind::Core, w->current_kind(), this});
+        }
+        // Unlike the audit hook above, the trace record is not suppressed by
+        // the skip_batch_flag_cas fault: the trace reports what the schedule
+        // actually did, not what the auditor is being shown.
+        if (trace::enabled()) [[unlikely]] {
+          trace::emit(w->id(), trace::EventId::kFlagWon, trace_id_);
+        }
+        w->run_inline(rt::TaskKind::Batch, [this] { launch_batch(); });
+        backoff.reset();
+        continue;
       }
-      // Unlike the audit hook above, the trace record is not suppressed by
-      // the skip_batch_flag_cas fault: the trace reports what the schedule
-      // actually did, not what the auditor is being shown.
+      // Lost the race: another trapped worker (or a chained launch) owns the
+      // batch; count it, note it in the trace, and back off.
+      stat_cells_.flag_cas_failures.fetch_add(1, std::memory_order_relaxed);
       if (trace::enabled()) [[unlikely]] {
-        trace::emit(w->id(), trace::EventId::kFlagWon, trace_id_);
+        trace::emit(w->id(), trace::EventId::kFlagCasFail, trace_id_);
       }
-      w->run_inline(rt::TaskKind::Batch, [this] { launch_batch(); });
-      backoff.reset();
+      backoff.pause();
       continue;
     }
     // ...else steal from a random victim's batch deque.
@@ -151,12 +195,16 @@ Batcher::BatchGuard::~BatchGuard() {
     // Recovery: every slot the batch collected but never completed is failed
     // with the launch error, so its trapped owner resumes (and rethrows).
     // Always sequential — we may be on the unwind path of a parallel phase.
+    // The announce policy fails exactly the claimed list (O(batch)); the
+    // scan policies rescan the P slots for Executing ones.
     std::exception_ptr error =
         error_ != nullptr
             ? error_
             : std::make_exception_ptr(
                   std::runtime_error("batcher: batch launch aborted"));
-    failed_ops = b_.complete(/*parallel=*/false, error);
+    failed_ops = b_.setup_ == SetupPolicy::Announce
+                     ? b_.fail_claimed(error)
+                     : b_.complete(/*parallel=*/false, error);
     if (!have_count_) done = failed_ops;  // collect died before counting
   }
 
@@ -187,52 +235,99 @@ Batcher::BatchGuard::~BatchGuard() {
     trace::emit(launcher_, trace::EventId::kLaunchExit, b_.trace_id_,
                 static_cast<std::uint32_t>(done));
   }
-  // Reopen the domain.  Release pairs with the next launcher's CAS acquire.
+  if (keep_flag_) return;  // a chained launch runs under the same hold
+  // Reopen the domain.  kFlagReopen closes the flag-held trace window that
+  // kFlagWon opened (kLaunchExit no longer implies a reopen); the release
+  // store pairs with the next launcher's CAS acquire.
+  if (trace::enabled()) [[unlikely]] {
+    trace::emit(launcher_, trace::EventId::kFlagReopen, b_.trace_id_);
+  }
   b_.batch_flag_.store(0, std::memory_order_release);
 }
 
 void Batcher::launch_batch() {
   const unsigned launcher = rt::Worker::current()->id();
   const bool parallel = setup_ == SetupPolicy::Parallel;
-  BatchGuard guard(*this, launcher);
-  try {
-    const std::size_t count = collect(parallel);
-    guard.collected(count);
-    hooks::emit({hooks::HookPoint::kBatchCollected, launcher,
-                 rt::TaskKind::Batch, rt::TaskKind::Batch, this, count});
+  const bool announce = setup_ == SetupPolicy::Announce;
+  // Batch chaining (announce policy): each iteration is one complete launch
+  // under its own BatchGuard — per-launch stats, hooks and trace events are
+  // identical to the unchained protocol — but a clean launch that finds new
+  // announcements keeps the flag and runs the next batch immediately,
+  // skipping the reopen -> CAS storm -> relaunch round trip.  `chain`
+  // counts launches already run under this hold; the chain is bounded by
+  // chain_limit_ (default P) so one worker cannot monopolize the domain.
+  for (std::size_t chain = 0;;) {
+    bool chain_again = false;
+    {
+      BatchGuard guard(*this, launcher);
+      try {
+        const std::size_t count = announce ? collect_announce()
+                                           : collect(parallel);
+        guard.collected(count);
+        hooks::emit({hooks::HookPoint::kBatchCollected, launcher,
+                     rt::TaskKind::Batch, rt::TaskKind::Batch, this, count});
+        if (trace::enabled()) [[unlikely]] {
+          trace::emit(launcher, trace::EventId::kCollected, trace_id_,
+                      static_cast<std::uint32_t>(count));
+        }
+        BATCHER_ASSERT(count <= sched_.num_workers(),
+                       "Invariant 2 violated: batch larger than P");
+#if BATCHER_AUDIT
+        // Slow-launcher fault: stretch the window in which the batch flag is
+        // held, for StallWatchdog tests.
+        for (std::uint32_t i = hooks::test_faults().slow_launcher_spins.load(
+                 std::memory_order_relaxed);
+             i > 0; --i) {
+          cpu_relax();
+        }
+#endif
+        if (count > 0) {
+#if BATCHER_AUDIT
+          if (hooks::fire(hooks::test_faults().throw_in_bop)) {
+            throw hooks::InjectedFault("injected fault: BOP threw");
+          }
+#endif
+          ds_.run_batch(working_.data(), count);
+          if (trace::enabled()) [[unlikely]] {
+            trace::emit(launcher, trace::EventId::kBopDone, trace_id_,
+                        static_cast<std::uint32_t>(count));
+          }
+          if (announce) {
+            complete_claimed(/*error=*/nullptr);
+          } else {
+            complete(parallel, /*error=*/nullptr);
+          }
+        }
+        guard.completed_cleanly();
+        // Chain only off a clean launch: a failed one reopens the domain so
+        // recovery semantics match the unchained path exactly.  The relaxed
+        // head probe is only a hint: a stale-null miss just means the next
+        // batch pays one flag round trip, and a non-null sighting cannot be
+        // spurious (only owners push; collect_announce claims whatever is
+        // really there, possibly more than we saw).
+        if (announce && chain + 1 < chain_limit_ &&
+            announce_head_.load(std::memory_order_relaxed) != nullptr) {
+          chain_again = true;
+          guard.keep_flag();
+        }
+      } catch (...) {
+        // First (and only) launch error wins; the guard fails the remaining
+        // collected slots and reopens the domain on destruction.
+        guard.fail(std::current_exception());
+      }
+    }
+    if (!chain_again) return;
+    ++chain;
+    // The guard's kLaunchExit cleared the observer's flag-holder; re-assert
+    // it before the next kLaunchEnter so the auditor's Invariant 1 model
+    // stays exact (the real flag never reopened).
+    stat_cells_.chained_launches.fetch_add(1, std::memory_order_relaxed);
+    hooks::emit({hooks::HookPoint::kLaunchChained, launcher,
+                 rt::TaskKind::Batch, rt::TaskKind::Batch, this, chain});
     if (trace::enabled()) [[unlikely]] {
-      trace::emit(launcher, trace::EventId::kCollected, trace_id_,
-                  static_cast<std::uint32_t>(count));
+      trace::emit(launcher, trace::EventId::kLaunchChained, trace_id_,
+                  static_cast<std::uint32_t>(chain));
     }
-    BATCHER_ASSERT(count <= sched_.num_workers(),
-                   "Invariant 2 violated: batch larger than P");
-#if BATCHER_AUDIT
-    // Slow-launcher fault: stretch the window in which the batch flag is
-    // held, for StallWatchdog tests.
-    for (std::uint32_t i = hooks::test_faults().slow_launcher_spins.load(
-             std::memory_order_relaxed);
-         i > 0; --i) {
-      cpu_relax();
-    }
-#endif
-    if (count > 0) {
-#if BATCHER_AUDIT
-      if (hooks::fire(hooks::test_faults().throw_in_bop)) {
-        throw hooks::InjectedFault("injected fault: BOP threw");
-      }
-#endif
-      ds_.run_batch(working_.data(), count);
-      if (trace::enabled()) [[unlikely]] {
-        trace::emit(launcher, trace::EventId::kBopDone, trace_id_,
-                    static_cast<std::uint32_t>(count));
-      }
-      complete(parallel, /*error=*/nullptr);
-    }
-    guard.completed_cleanly();
-  } catch (...) {
-    // First (and only) launch error wins; the guard fails the remaining
-    // collected slots and reopens the domain on destruction.
-    guard.fail(std::current_exception());
   }
 }
 
@@ -329,6 +424,91 @@ std::size_t Batcher::complete(bool parallel, const std::exception_ptr& error) {
   return flipped.load(std::memory_order_relaxed);
 }
 
+std::size_t Batcher::collect_announce() {
+  BATCHER_DASSERT(claimed_count_ == 0 && claimed_rest_ == nullptr,
+                  "the previous launch's claim was fully consumed");
+  hooks::emit({hooks::HookPoint::kAnnounceClaim,
+               rt::Worker::current()->id(), rt::TaskKind::Batch,
+               rt::TaskKind::Batch, this});
+  // One exchange claims every announced slot.  The acquire pairs with each
+  // owner's release CAS — for slots deeper in the list via the release
+  // sequence the later pushes continue — so the relaxed loads in the walk
+  // below see each owner's op pointer and Pending store.
+  Slot* s = announce_head_.exchange(nullptr, std::memory_order_acquire);
+  claimed_rest_ = s;
+  std::size_t count = 0;
+  while (s != nullptr) {
+    BATCHER_DASSERT(s->status.load(std::memory_order_relaxed) ==
+                        OpStatus::Pending,
+                    "announced slots are pending until this walk flips them");
+    // The fault fires before the flip and before the slot leaves
+    // claimed_rest_, so recovery sees it as claimed-but-uncollected.
+    maybe_inject_collect_fault();
+    working_[count] = s->op;
+    claimed_[count] = s;
+    claimed_count_ = ++count;
+    hooks::emit({hooks::HookPoint::kStatusPendingToExecuting, s->owner,
+                 rt::TaskKind::Batch, rt::TaskKind::Batch, this});
+    s->status.store(OpStatus::Executing, std::memory_order_relaxed);
+    s = s->announce_next;
+    claimed_rest_ = s;
+  }
+  return count;
+}
+
+std::size_t Batcher::complete_claimed(const std::exception_ptr& error) {
+  BATCHER_DASSERT(claimed_rest_ == nullptr,
+                  "clean completion implies the claim walk finished");
+  for (std::size_t i = 0; i < claimed_count_; ++i) {
+    Slot* s = claimed_[i];
+    if (error != nullptr) s->op->set_error(error);
+    hooks::emit({hooks::HookPoint::kStatusExecutingToDone, s->owner,
+                 rt::TaskKind::Batch, rt::TaskKind::Batch, this});
+    // Release publishes BOP results (and any recorded error) to the
+    // trapped owner's acquire load in batchify.
+    s->status.store(OpStatus::Done, std::memory_order_release);
+  }
+  const std::size_t flipped = claimed_count_;
+  claimed_count_ = 0;
+  return flipped;
+}
+
+std::size_t Batcher::fail_claimed(const std::exception_ptr& error) {
+  // Already-collected slots are Executing: record the error and flip them
+  // to Done exactly like a clean completion would.
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < claimed_count_; ++i) {
+    Slot* s = claimed_[i];
+    s->op->set_error(error);
+    hooks::emit({hooks::HookPoint::kStatusExecutingToDone, s->owner,
+                 rt::TaskKind::Batch, rt::TaskKind::Batch, this});
+    s->status.store(OpStatus::Done, std::memory_order_release);
+    ++flipped;
+  }
+  claimed_count_ = 0;
+  // A throw inside the claim walk leaves a claimed-but-uncollected tail:
+  // those slots are still Pending but no longer on the announce stack, so
+  // no later batch could ever pick them up — fail them here, walking the
+  // legal Fig. 3 edges (pending -> executing -> done) so their trapped
+  // owners resume and rethrow.
+  for (Slot* s = claimed_rest_; s != nullptr;) {
+    // Read the link before the Done store: once Done is published the owner
+    // may resume, re-announce, and overwrite announce_next.
+    Slot* next = s->announce_next;
+    s->op->set_error(error);
+    hooks::emit({hooks::HookPoint::kStatusPendingToExecuting, s->owner,
+                 rt::TaskKind::Batch, rt::TaskKind::Batch, this});
+    s->status.store(OpStatus::Executing, std::memory_order_relaxed);
+    hooks::emit({hooks::HookPoint::kStatusExecutingToDone, s->owner,
+                 rt::TaskKind::Batch, rt::TaskKind::Batch, this});
+    s->status.store(OpStatus::Done, std::memory_order_release);
+    ++flipped;
+    s = next;
+  }
+  claimed_rest_ = nullptr;
+  return flipped;
+}
+
 BatcherStats Batcher::stats() const {
   BatcherStats out;
   out.batches_launched =
@@ -343,6 +523,12 @@ BatcherStats Batcher::stats() const {
   out.ops_succeeded = stat_cells_.ops_succeeded.load(std::memory_order_relaxed);
   out.max_batch_size =
       stat_cells_.max_batch_size.load(std::memory_order_relaxed);
+  out.announce_pushes =
+      stat_cells_.announce_pushes.load(std::memory_order_relaxed);
+  out.chained_launches =
+      stat_cells_.chained_launches.load(std::memory_order_relaxed);
+  out.flag_cas_failures =
+      stat_cells_.flag_cas_failures.load(std::memory_order_relaxed);
   out.batch_size_histogram.reserve(stat_cells_.histogram.size());
   for (const auto& h : stat_cells_.histogram) {
     out.batch_size_histogram.push_back(h.load(std::memory_order_relaxed));
@@ -359,6 +545,9 @@ void Batcher::reset_stats() {
   stat_cells_.ops_failed.store(0, std::memory_order_relaxed);
   stat_cells_.ops_succeeded.store(0, std::memory_order_relaxed);
   stat_cells_.max_batch_size.store(0, std::memory_order_relaxed);
+  stat_cells_.announce_pushes.store(0, std::memory_order_relaxed);
+  stat_cells_.chained_launches.store(0, std::memory_order_relaxed);
+  stat_cells_.flag_cas_failures.store(0, std::memory_order_relaxed);
   for (auto& h : stat_cells_.histogram) h.store(0, std::memory_order_relaxed);
 }
 

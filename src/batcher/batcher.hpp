@@ -18,6 +18,16 @@
 // always resume: successful ops return normally, failed ops rethrow from
 // batchify, and the next batch launches as if nothing happened.
 //
+// Launch-path cost (DESIGN.md §11): under the default `Announce` setup
+// policy, batchify additionally pushes its slot onto an intrusive MPSC
+// announce list, and LAUNCHBATCH claims that list with a single exchange —
+// so collect, complete and recovery all cost O(batch) instead of the
+// Fig. 4 Θ(P) slot scan (which remains available via `SetupPolicy` for
+// paper fidelity and ablation).  Before reopening the batch flag, the
+// launcher chains straight into the next batch if new announcements arrived
+// during this one (bounded by `chain_limit()`, default P), skipping the
+// reopen -> CAS-storm -> relaunch round trip.
+//
 // Under BATCHER_AUDIT the whole protocol — batchify entry/exit, every slot
 // status transition, the batch-flag CAS, and LAUNCHBATCH entry/exit — emits
 // schedule hooks (runtime/schedule_hooks.hpp) keyed on `this` as the domain
@@ -43,8 +53,11 @@ namespace batcher {
 // data-structure node; `free` means it has none.
 enum class OpStatus : std::uint8_t { Free = 0, Pending, Executing, Done };
 
-// Counters describing one Batcher domain's activity.  Written only by the
-// (unique) active batch launcher, so single-writer relaxed atomics suffice.
+// Counters describing one Batcher domain's activity.  The launch-side cells
+// are written only by the (unique) active batch launcher, so single-writer
+// relaxed atomics suffice; `announce_pushes` and `flag_cas_failures` are
+// bumped by the trapped owners themselves (multi-writer) and use a relaxed
+// fetch_add.
 //
 // `ops_processed` counts every operation a batch carried to done; it splits
 // exactly into `ops_failed` (completed with an error recorded — the ops a
@@ -54,6 +67,8 @@ enum class OpStatus : std::uint8_t { Free = 0, Pending, Executing, Done };
 //
 // holds on every snapshot, fault-injected or not.  The histogram satisfies
 // sum(hist) == batches_launched and sum(k * hist[k]) == ops_processed.
+// Chained launches are ordinary launches run under one flag hold, so
+// chained_launches <= batches_launched always.
 struct BatcherStats {
   std::uint64_t batches_launched = 0;  // includes empty and failed launches
   std::uint64_t empty_batches = 0;
@@ -65,6 +80,10 @@ struct BatcherStats {
   std::uint64_t ops_failed = 0;        // ops that completed with an error
   std::uint64_t ops_succeeded = 0;     // ops that completed without one
   std::uint64_t max_batch_size = 0;
+  // Launch-path cost counters (DESIGN.md §11).
+  std::uint64_t announce_pushes = 0;    // slots pushed onto the announce list
+  std::uint64_t chained_launches = 0;   // launches run under a kept flag hold
+  std::uint64_t flag_cas_failures = 0;  // lost batch-flag CAS races
   std::vector<std::uint64_t> batch_size_histogram;  // index = ops in batch
 
   // Mean over cleanly completed, non-empty launches.  Failed launches'
@@ -83,14 +102,23 @@ struct BatcherStats {
 
 class Batcher {
  public:
-  // How LAUNCHBATCH flips statuses and compacts the pending array.
-  // `Parallel` is the paper's Fig. 4 (parallel_for + parallel prefix sums,
-  // Θ(P) work / Θ(lg P) span); `Sequential` is the paper's own prototype
-  // simplification for small P (§7).
-  enum class SetupPolicy { Sequential, Parallel };
+  // How LAUNCHBATCH discovers pending operations and compacts the pending
+  // array.  `Parallel` is the paper's Fig. 4 (parallel_for + parallel prefix
+  // sums over all P slots, Θ(P) work / Θ(lg P) span); `Sequential` is the
+  // paper's own prototype simplification for small P (§7).  `Announce` is
+  // our O(batch) deviation from Fig. 4 (DESIGN.md §11): batchify pushes its
+  // slot onto an intrusive MPSC Treiber stack alongside the Pending store,
+  // and the launcher claims the whole list with one exchange — collect,
+  // complete and recovery all touch only the batch's own slots.  The scan
+  // policies remain for paper fidelity and as ablation baselines.
+  enum class SetupPolicy { Sequential, Parallel, Announce };
+
+  // Default for new domains (and the DS wrappers in src/ds): the O(batch)
+  // announce path.
+  static constexpr SetupPolicy kDefaultSetup = SetupPolicy::Announce;
 
   Batcher(rt::Scheduler& sched, BatchedStructure& ds,
-          SetupPolicy setup = SetupPolicy::Sequential);
+          SetupPolicy setup = kDefaultSetup);
   ~Batcher();
 
   Batcher(const Batcher&) = delete;
@@ -110,6 +138,16 @@ class Batcher {
   void batchify(OpRecordBase& op);
 
   rt::Scheduler& scheduler() const { return sched_; }
+  SetupPolicy setup_policy() const { return setup_; }
+
+  // Batch chaining (Announce policy only): before reopening the batch flag,
+  // the launcher checks for announcements that arrived during the launch and
+  // runs the next batch under the same flag hold, up to `limit` launches per
+  // hold.  Defaults to P, which bounds one worker's consecutive holds the
+  // same way P sequential launches would.  `limit` is clamped to >= 1
+  // (1 disables chaining).
+  void set_chain_limit(std::size_t limit);
+  std::size_t chain_limit() const { return chain_limit_; }
 
   // Snapshot of domain statistics.  Safe to call anytime; exact when no
   // batch is in flight.
@@ -120,6 +158,14 @@ class Batcher {
   struct alignas(kCacheLineSize) Slot {
     std::atomic<OpStatus> status{OpStatus::Free};
     OpRecordBase* op = nullptr;
+    // This slot's worker id — the status hooks name the slot's owner, and
+    // the announce walk has no scan index to derive it from.
+    unsigned owner = 0;
+    // Intrusive announce-list link.  Written by the owner before its release
+    // CAS on announce_head_, read by the launcher after its acquire
+    // exchange; the claim walk always reads it before flipping the slot to
+    // a state the owner could resume from, so a plain pointer suffices.
+    Slot* announce_next = nullptr;
   };
 
   // RAII completion of one LAUNCHBATCH (DESIGN.md §8): the constructor
@@ -141,6 +187,10 @@ class Batcher {
     }
     void completed_cleanly() { clean_ = true; }
     void fail(std::exception_ptr error) { error_ = std::move(error); }
+    // Chaining: leave the batch flag closed on destruction so the next
+    // launch of the chain runs under the same hold.  Only legal after
+    // completed_cleanly() — a failed launch always reopens the domain.
+    void keep_flag() { keep_flag_ = true; }
 
    private:
     Batcher& b_;
@@ -148,6 +198,7 @@ class Batcher {
     std::size_t count_ = 0;
     bool have_count_ = false;
     bool clean_ = false;
+    bool keep_flag_ = false;
     std::exception_ptr error_;
   };
 
@@ -170,9 +221,21 @@ class Batcher {
 
   // Fig. 4 steps 1-2: flip Pending -> Executing and compact the working set.
   std::size_t collect(bool parallel);
+  // Announce-policy collect (DESIGN.md §11): claim the announce list with
+  // one exchange and walk it, flipping Pending -> Executing and densely
+  // filling working_/claimed_.  O(batch) work, no P-slot scan.
+  std::size_t collect_announce();
   // Flips every still-Executing slot to Done, recording `error` (may be
   // null) in its op record first.  Returns the number of slots flipped.
   std::size_t complete(bool parallel, const std::exception_ptr& error);
+  // Announce-policy completion: walks only claimed_[0..claimed_count_), not
+  // all P slots.  `error` as in complete().
+  std::size_t complete_claimed(const std::exception_ptr& error);
+  // Announce-policy recovery: fails exactly the claimed list — the already-
+  // collected slots (Executing) and, after a throw inside the claim walk,
+  // the claimed-but-uncollected remainder (still Pending, but off the
+  // announce stack, so no later batch could ever pick them up).
+  std::size_t fail_claimed(const std::exception_ptr& error);
 
   rt::Scheduler& sched_;
   BatchedStructure& ds_;
@@ -188,7 +251,21 @@ class Batcher {
   alignas(kCacheLineSize) std::atomic<std::uint32_t> batch_flag_{0};
   std::atomic<std::int32_t> batches_running_{0};  // Invariant 1 check
 
-  // Stats, written only under the batch flag (single writer at a time).
+  // Announce-list head (Announce policy).  Owners push with a release CAS;
+  // the launcher claims the whole list with exchange(nullptr, acquire).
+  // Push-only + whole-list claim means no ABA window.
+  alignas(kCacheLineSize) std::atomic<Slot*> announce_head_{nullptr};
+  // Launcher-private bookkeeping for the current launch (valid only under
+  // the batch flag): the slots this launch flipped to Executing, and — while
+  // the claim walk is still running — the claimed-but-unprocessed tail.
+  std::vector<Slot*> claimed_;               // size <= P
+  std::size_t claimed_count_ = 0;
+  Slot* claimed_rest_ = nullptr;
+  std::size_t chain_limit_;                  // launches per flag hold (>= 1)
+
+  // Stats.  Launch-side cells are written only under the batch flag (single
+  // writer at a time); announce_pushes / flag_cas_failures are bumped by
+  // trapped owners and need real read-modify-writes.
   struct StatsCells {
     std::atomic<std::uint64_t> batches_launched{0};
     std::atomic<std::uint64_t> empty_batches{0};
@@ -198,6 +275,9 @@ class Batcher {
     std::atomic<std::uint64_t> ops_failed{0};
     std::atomic<std::uint64_t> ops_succeeded{0};
     std::atomic<std::uint64_t> max_batch_size{0};
+    std::atomic<std::uint64_t> announce_pushes{0};
+    std::atomic<std::uint64_t> chained_launches{0};
+    std::atomic<std::uint64_t> flag_cas_failures{0};
     std::vector<std::atomic<std::uint64_t>> histogram;
   };
   StatsCells stat_cells_;

@@ -27,7 +27,7 @@ class BatchedCounter final : public BatchedStructure {
   };
 
   explicit BatchedCounter(rt::Scheduler& sched, std::int64_t initial = 0,
-                          Batcher::SetupPolicy setup = Batcher::SetupPolicy::Sequential)
+                          Batcher::SetupPolicy setup = Batcher::kDefaultSetup)
       : value_(initial),
         scratch_(sched.num_workers()),
         batcher_(sched, *this, setup) {}

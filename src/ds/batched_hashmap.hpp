@@ -34,7 +34,7 @@ class BatchedHashMap final : public BatchedStructure {
   };
 
   explicit BatchedHashMap(rt::Scheduler& sched,
-                          Batcher::SetupPolicy setup = Batcher::SetupPolicy::Sequential);
+                          Batcher::SetupPolicy setup = Batcher::kDefaultSetup);
 
   BatchedHashMap(const BatchedHashMap&) = delete;
   BatchedHashMap& operator=(const BatchedHashMap&) = delete;

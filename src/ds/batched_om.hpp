@@ -47,7 +47,7 @@ class BatchedOrderMaintenance final : public BatchedStructure {
 
   explicit BatchedOrderMaintenance(
       rt::Scheduler& sched,
-      Batcher::SetupPolicy setup = Batcher::SetupPolicy::Sequential);
+      Batcher::SetupPolicy setup = Batcher::kDefaultSetup);
 
   BatchedOrderMaintenance(const BatchedOrderMaintenance&) = delete;
   BatchedOrderMaintenance& operator=(const BatchedOrderMaintenance&) = delete;

@@ -35,7 +35,7 @@ class BatchedPriorityQueue final : public BatchedStructure {
 
   explicit BatchedPriorityQueue(
       rt::Scheduler& sched,
-      Batcher::SetupPolicy setup = Batcher::SetupPolicy::Sequential);
+      Batcher::SetupPolicy setup = Batcher::kDefaultSetup);
 
   BatchedPriorityQueue(const BatchedPriorityQueue&) = delete;
   BatchedPriorityQueue& operator=(const BatchedPriorityQueue&) = delete;

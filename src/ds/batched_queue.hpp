@@ -35,7 +35,7 @@ class BatchedQueue final : public BatchedStructure {
   };
 
   explicit BatchedQueue(rt::Scheduler& sched,
-                        Batcher::SetupPolicy setup = Batcher::SetupPolicy::Sequential)
+                        Batcher::SetupPolicy setup = Batcher::kDefaultSetup)
       : batcher_(sched, *this, setup) {
     table_.resize(kInitialCapacity);
   }

@@ -57,7 +57,7 @@ class BatchedSkipList final : public BatchedStructure {
 
   explicit BatchedSkipList(rt::Scheduler& sched,
                            std::uint64_t seed = 0xdecafbadULL,
-                           Batcher::SetupPolicy setup = Batcher::SetupPolicy::Sequential);
+                           Batcher::SetupPolicy setup = Batcher::kDefaultSetup);
   ~BatchedSkipList() override;
 
   BatchedSkipList(const BatchedSkipList&) = delete;

@@ -36,7 +36,7 @@ class BatchedStack final : public BatchedStructure {
   };
 
   explicit BatchedStack(rt::Scheduler& sched,
-                        Batcher::SetupPolicy setup = Batcher::SetupPolicy::Sequential)
+                        Batcher::SetupPolicy setup = Batcher::kDefaultSetup)
       : batcher_(sched, *this, setup) {
     table_.resize(kInitialCapacity);
   }

@@ -47,7 +47,7 @@ class BatchedTree23 final : public BatchedStructure {
   };
 
   explicit BatchedTree23(rt::Scheduler& sched,
-                         Batcher::SetupPolicy setup = Batcher::SetupPolicy::Sequential);
+                         Batcher::SetupPolicy setup = Batcher::kDefaultSetup);
 
   BatchedTree23(const BatchedTree23&) = delete;
   BatchedTree23& operator=(const BatchedTree23&) = delete;

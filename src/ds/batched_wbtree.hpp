@@ -55,7 +55,7 @@ class BatchedWBTree final : public BatchedStructure {
   };
 
   explicit BatchedWBTree(rt::Scheduler& sched,
-                         Batcher::SetupPolicy setup = Batcher::SetupPolicy::Sequential);
+                         Batcher::SetupPolicy setup = Batcher::kDefaultSetup);
 
   BatchedWBTree(const BatchedWBTree&) = delete;
   BatchedWBTree& operator=(const BatchedWBTree&) = delete;

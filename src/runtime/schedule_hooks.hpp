@@ -46,6 +46,10 @@ enum class HookPoint : std::uint8_t {
   kStatusPendingToExecuting,
   kStatusExecutingToDone,
   kStatusDoneToFree,
+  kAnnouncePush,    // worker pushed its (pending) slot onto the announce list
+  kAnnounceClaim,   // the launcher claimed the announce list (one exchange)
+  kLaunchChained,   // launcher starts another launch under the same flag hold
+                    // (value = chain index, >= 1)
 };
 
 inline constexpr unsigned kNoWorker = ~0u;

@@ -41,16 +41,32 @@ void Worker::run_task(Task* task) {
 
 Task* Worker::try_steal(TaskKind kind) {
   const unsigned P = sched_->num_workers();
+  // Single-worker schedulers have nobody to steal from: return before the
+  // stats bump, the hook and the trace record, so P=1 runs (and the trapped
+  // worker's steal-spin in batchify) pay nothing for attempts that cannot
+  // succeed.  Trace/stats stay reconciled — neither side sees the attempt.
+  if (P <= 1) return nullptr;
   if (kind == TaskKind::Core) {
     stats_.core_steal_attempts.bump();
   } else {
     stats_.batch_steal_attempts.bump();
   }
-  Task* task = nullptr;
-  if (P > 1) {
-    unsigned victim = static_cast<unsigned>(rng_.next_below(P - 1));
+  // Batch-deque steals get last-successful-victim affinity: batch work is
+  // spawned by the one active launcher (Invariant 1), so the victim that
+  // fed us last is overwhelmingly likely to feed us again — re-probing it
+  // skips the RNG and keeps trapped workers off other workers' (empty)
+  // deque cache lines.  A miss drops the affinity and falls back to the
+  // uniform random victim.
+  unsigned victim;
+  if (kind == TaskKind::Batch && last_batch_victim_ != kNoVictim) {
+    victim = last_batch_victim_;
+  } else {
+    victim = static_cast<unsigned>(rng_.next_below(P - 1));
     if (victim >= id_) ++victim;  // uniform over workers other than self
-    task = sched_->worker(victim).deque(kind).steal();
+  }
+  Task* task = sched_->worker(victim).deque(kind).steal();
+  if (kind == TaskKind::Batch) {
+    last_batch_victim_ = task != nullptr ? victim : kNoVictim;
   }
   hooks::emit({hooks::HookPoint::kStealAttempt, id_, kind, kind_, nullptr,
                task != nullptr ? 1u : 0u});

@@ -113,10 +113,16 @@ class alignas(kCacheLineSize) Worker {
     const TaskKind saved_;
   };
 
+  static constexpr unsigned kNoVictim = ~0u;
+
   Scheduler* const sched_;
   const unsigned id_;
   Xoshiro256 rng_;
   std::uint64_t steal_tick_ = 0;
+  // Last victim a batch-deque steal succeeded against (kNoVictim if the
+  // last attempt missed).  See try_steal: batch work comes from the unique
+  // active launcher, so successful batch-steal victims repeat.
+  unsigned last_batch_victim_ = kNoVictim;
   TaskKind kind_ = TaskKind::Core;
   WorkerStats stats_;
   FramePool frame_pool_;  // after stats_: the pool bumps into it

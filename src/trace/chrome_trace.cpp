@@ -136,7 +136,33 @@ std::string chrome_trace_json(const Trace& trace, ChromeTraceOptions options) {
           break;
         case EventId::kLaunchExit:
           domain_events.push_back({r.ts_ns, r.a16, event, r.a32});
+          break;
+        case EventId::kFlagReopen:
+          // The "flag held" slice spans a whole chain of launches: it closes
+          // on the reopen, not on each launch's exit.
           end_slice(EventId::kFlagWon, r.ts_ns);
+          break;
+        case EventId::kLaunchChained:
+          domain_events.push_back({r.ts_ns, r.a16, event, r.a32});
+          event_header(w, "i", tid, rel_us(r.ts_ns, trace.t0_ns));
+          w.kv("s", "t");
+          w.kv("name", "chained launch #" + std::to_string(r.a32) + " " +
+                           domain_label(r.a16));
+          w.end_object();
+          break;
+        case EventId::kAnnouncePush:
+          if (!options.include_steal_misses) break;
+          event_header(w, "i", tid, rel_us(r.ts_ns, trace.t0_ns));
+          w.kv("s", "t");
+          w.kv("name", "announce " + domain_label(r.a16));
+          w.end_object();
+          break;
+        case EventId::kFlagCasFail:
+          if (!options.include_steal_misses) break;
+          event_header(w, "i", tid, rel_us(r.ts_ns, trace.t0_ns));
+          w.kv("s", "t");
+          w.kv("name", "flag CAS lost " + domain_label(r.a16));
+          w.end_object();
           break;
         case EventId::kFrameSlabRefill:
           event_header(w, "i", tid, rel_us(r.ts_ns, trace.t0_ns));
@@ -235,6 +261,13 @@ std::string chrome_trace_json(const Trace& trace, ChromeTraceOptions options) {
         ls = LaunchState{};
         break;
       }
+      case EventId::kLaunchChained:
+        // Marks the seam between two launches that share one flag hold.
+        event_header(w, "i", tid, rel_us(e.ts_ns, trace.t0_ns));
+        w.kv("s", "t");
+        w.kv("name", "chain #" + std::to_string(e.a32));
+        w.end_object();
+        break;
       default:
         break;
     }

@@ -128,12 +128,27 @@ MetricsReport build_metrics(const Trace& trace) {
             p.complete_open = false;
           }
           // Empty or failed launches never reach kBopDone; their open
-          // collect-side edge simply closes with the launch.
+          // collect-side edge simply closes with the launch.  The flag edge
+          // stays open: a chained launch keeps the flag held past this exit,
+          // and kFlagReopen closes it (once per chain).
           p.launch_open = p.bop_open = false;
+          break;
+        case EventId::kFlagReopen:
           if (p.flag_open) {
             m.flag_held.add(delta(p.flag_ts, r.ts_ns));
             p.flag_open = false;
+          } else {
+            ++m.unmatched_edges;
           }
+          break;
+        case EventId::kLaunchChained:
+          ++m.chained_launches;
+          break;
+        case EventId::kAnnouncePush:
+          ++m.announce_pushes;
+          break;
+        case EventId::kFlagCasFail:
+          ++m.flag_cas_failures;
           break;
         case EventId::kFrameSlabRefill:
           ++m.frame_slab_refills;
@@ -193,6 +208,9 @@ void MetricsReport::to_json(json::Writer& w) const {
   w.kv("max_batch_size", max_batch_size());
   w.kv("frame_slab_refills", frame_slab_refills);
   w.kv("frame_remote_frees", frame_remote_frees);
+  w.kv("announce_pushes", announce_pushes);
+  w.kv("chained_launches", chained_launches);
+  w.kv("flag_cas_failures", flag_cas_failures);
   w.kv("unmatched_edges", unmatched_edges);
   w.key("batch_size_distribution").begin_array();
   for (std::uint64_t n : batch_size_hist) w.value(n);

@@ -5,7 +5,8 @@
 // charges cost to:
 //
 //   op_latency       kOpSubmit -> kOpResume       (batchify round trip)
-//   flag_held        kFlagWon  -> kLaunchExit     (batch flag held)
+//   flag_held        kFlagWon  -> kFlagReopen     (batch flag held; spans a
+//                                                  whole chain of launches)
 //   collect_phase    kLaunchEnter -> kCollected   (LAUNCHBATCH step 1-2)
 //   run_phase        kCollected -> kBopDone       (the BOP itself)
 //   complete_phase   kBopDone -> kLaunchExit      (status flips + reopen)
@@ -49,6 +50,9 @@ struct MetricsReport {
   std::uint64_t empty_batches = 0;  // kCollected with size 0
   std::uint64_t frame_slab_refills = 0;  // kFrameSlabRefill count
   std::uint64_t frame_remote_frees = 0;  // kFrameRemoteFree count
+  std::uint64_t announce_pushes = 0;     // kAnnouncePush count (§11)
+  std::uint64_t chained_launches = 0;    // kLaunchChained count (§11)
+  std::uint64_t flag_cas_failures = 0;   // kFlagCasFail count
   std::uint64_t unmatched_edges = 0;
 
   // Latency distributions (nanoseconds).

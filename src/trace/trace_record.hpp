@@ -27,6 +27,14 @@ namespace batcher::trace {
 //   kLaunchExit             a16 = domain id, a32 = ops carried to done
 //   kFrameSlabRefill        a16 = size class; ring = owning worker
 //   kFrameRemoteFree        a16 = size class; ring = freeing thread
+//   kAnnouncePush           a16 = domain id (announce-list CAS push)
+//   kFlagCasFail            a16 = domain id (lost the batch-flag CAS race)
+//   kLaunchChained          a16 = domain id, a32 = chain index (>= 1);
+//                           next launch runs under the same flag hold
+//   kFlagReopen             a16 = domain id; the flag is about to reopen —
+//                           closes the flag-held window kFlagWon opened
+//                           (kLaunchExit no longer implies a reopen: a
+//                           chained launch keeps the flag)
 enum class EventId : std::uint16_t {
   kNone = 0,
   kTaskBegin,
@@ -41,6 +49,10 @@ enum class EventId : std::uint16_t {
   kLaunchExit,
   kFrameSlabRefill,
   kFrameRemoteFree,
+  kAnnouncePush,
+  kFlagCasFail,
+  kLaunchChained,
+  kFlagReopen,
 };
 
 inline constexpr std::uint16_t kStealKindBatch = 1;  // kSteal a16 bit 0

@@ -72,7 +72,8 @@ INSTANTIATE_TEST_SUITE_P(
     Configs, CounterTest,
     ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
                        ::testing::Values(Batcher::SetupPolicy::Sequential,
-                                         Batcher::SetupPolicy::Parallel)));
+                                         Batcher::SetupPolicy::Parallel,
+                                         Batcher::SetupPolicy::Announce)));
 
 TEST(BatchedCounter, RunBatchDirectMatchesFigure2) {
   // Drive BOP directly with a hand-built batch, mimicking Fig. 2 exactly.

@@ -4,11 +4,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 #include "batcher/batcher.hpp"
 #include "runtime/api.hpp"
+#include "runtime/schedule_hooks.hpp"
 #include "runtime/scheduler.hpp"
+#include "runtime/stats.hpp"
 
 namespace batcher {
 namespace {
@@ -130,7 +133,8 @@ INSTANTIATE_TEST_SUITE_P(
     Configs, BatcherTest,
     ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
                        ::testing::Values(Batcher::SetupPolicy::Sequential,
-                                         Batcher::SetupPolicy::Parallel)));
+                                         Batcher::SetupPolicy::Parallel,
+                                         Batcher::SetupPolicy::Announce)));
 
 TEST(Batcher, TwoIndependentDomains) {
   // Two data structures batch independently; ops interleave freely.
@@ -246,6 +250,177 @@ TEST(Batcher, StatsStayConsistentUnderBatchifyStorms) {
     }
   }
   EXPECT_EQ(probe.ops_seen_.load(), kOpsPerRound * kRounds);
+}
+
+// --- announce-list collect and batch chaining (§11) -------------------------
+
+// A probe whose BOP yields repeatedly: other (timesliced) workers get CPU
+// while the batch flag is held, announce their ops, and the launcher finds a
+// non-empty announce list when the batch finishes — the chaining condition.
+class YieldingProbe final : public BatchedStructure {
+ public:
+  struct Op : OpRecordBase {
+    std::int64_t id = 0;
+    std::int64_t result = 0;
+  };
+
+  void run_batch(OpRecordBase* const* ops, std::size_t count) override {
+    for (int i = 0; i < 16; ++i) std::this_thread::yield();
+    for (std::size_t i = 0; i < count; ++i) {
+      Op* op = static_cast<Op*>(ops[i]);
+      op->result = op->id + 1;
+    }
+    ops_seen_.fetch_add(static_cast<std::int64_t>(count));
+  }
+
+  std::atomic<std::int64_t> ops_seen_{0};
+};
+
+// Runs one storm round against `batcher`; every op's result is checked.
+void announce_storm_round(rt::Scheduler& sched, Batcher& batcher,
+                          std::int64_t ops) {
+  sched.run([&] {
+    rt::parallel_for(0, ops, [&](std::int64_t i) {
+      YieldingProbe::Op op;
+      op.id = i;
+      batcher.batchify(op);
+      ASSERT_EQ(op.result, i + 1);
+    },
+                     /*grain=*/1);
+  });
+}
+
+TEST(AnnounceChaining, SlowBopProducesChainedLaunches) {
+  constexpr unsigned P = 8;
+  rt::Scheduler sched(P);
+  YieldingProbe probe;
+  Batcher batcher(sched, probe, Batcher::SetupPolicy::Announce);
+  ASSERT_EQ(batcher.chain_limit(), static_cast<std::size_t>(P));
+
+  // Chaining needs at least one worker to announce while the BOP runs; the
+  // yielding BOP makes that overwhelmingly likely per round, but it is still
+  // schedule-dependent, so run rounds until observed (bounded).
+  std::int64_t total = 0;
+  for (int round = 0; round < 40 && batcher.stats().chained_launches == 0;
+       ++round) {
+    announce_storm_round(sched, batcher, 200);
+    total += 200;
+  }
+  const BatcherStats stats = batcher.stats();
+  EXPECT_GT(stats.chained_launches, 0u)
+      << "no chained launch in " << total << " announce-path ops";
+  EXPECT_LE(stats.chained_launches, stats.batches_launched);
+  EXPECT_EQ(stats.ops_processed, static_cast<std::uint64_t>(total));
+  EXPECT_EQ(probe.ops_seen_.load(), total);
+  EXPECT_GT(stats.announce_pushes, 0u);
+  // Every processed op announced itself exactly once.
+  EXPECT_EQ(stats.announce_pushes, stats.ops_processed);
+}
+
+TEST(AnnounceChaining, ChainLimitOneDisablesChaining) {
+  constexpr unsigned P = 8;
+  rt::Scheduler sched(P);
+  YieldingProbe probe;
+  Batcher batcher(sched, probe, Batcher::SetupPolicy::Announce);
+  batcher.set_chain_limit(1);
+  ASSERT_EQ(batcher.chain_limit(), 1u);
+
+  for (int round = 0; round < 5; ++round) {
+    announce_storm_round(sched, batcher, 200);
+  }
+  const BatcherStats stats = batcher.stats();
+  EXPECT_EQ(stats.chained_launches, 0u);
+  EXPECT_EQ(stats.ops_processed, 1000u);
+}
+
+// Counts launches per flag hold straight off the hook stream: a hold starts
+// at kFlagCasWon with one launch and grows by one per kLaunchChained, so the
+// per-hold launch count must never exceed the configured chain limit.
+class ChainBoundObserver final : public rt::hooks::ScheduleObserver {
+ public:
+  explicit ChainBoundObserver(std::uint64_t limit) : limit_(limit) {}
+
+  void on_event(const rt::hooks::HookEvent& event) override {
+    using P = rt::hooks::HookPoint;
+    // Flag ownership is serialized per domain, so these two points never
+    // race each other; relaxed atomics only make the counters TSan-clean.
+    if (event.point == P::kFlagCasWon) {
+      launches_this_hold_.store(1, std::memory_order_relaxed);
+    } else if (event.point == P::kLaunchChained) {
+      const std::uint64_t n =
+          launches_this_hold_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (n > limit_) over_limit_.store(true, std::memory_order_relaxed);
+      if (event.value < 1 || event.value != n - 1) {
+        bad_index_.store(true, std::memory_order_relaxed);
+      }
+      chained_seen_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  bool over_limit() const { return over_limit_.load(); }
+  bool bad_index() const { return bad_index_.load(); }
+  std::uint64_t chained_seen() const { return chained_seen_.load(); }
+
+ private:
+  const std::uint64_t limit_;
+  std::atomic<std::uint64_t> launches_this_hold_{0};
+  std::atomic<std::uint64_t> chained_seen_{0};
+  std::atomic<bool> over_limit_{false};
+  std::atomic<bool> bad_index_{false};
+};
+
+TEST(AnnounceChaining, LaunchesPerFlagHoldRespectChainLimit) {
+  if (!rt::hooks::kEnabled) {
+    GTEST_SKIP() << "built without BATCHER_AUDIT; no live hook stream";
+  }
+  constexpr unsigned P = 8;
+  constexpr std::size_t kLimit = 3;
+  ChainBoundObserver observer(kLimit);
+  rt::hooks::install_observer(&observer);
+  {
+    rt::Scheduler sched(P);
+    YieldingProbe probe;
+    Batcher batcher(sched, probe, Batcher::SetupPolicy::Announce);
+    batcher.set_chain_limit(kLimit);
+    for (int round = 0; round < 10; ++round) {
+      announce_storm_round(sched, batcher, 200);
+    }
+  }  // scheduler destroyed: no further emissions
+  rt::hooks::install_observer(nullptr);
+  EXPECT_FALSE(observer.over_limit())
+      << "a flag hold ran more than " << kLimit << " launches";
+  EXPECT_FALSE(observer.bad_index())
+      << "kLaunchChained chain indices not consecutive from 1";
+}
+
+TEST(AnnounceChaining, SingleWorkerNeverStealsNorChains) {
+  // P=1 regression for the try_steal early return: with nobody to steal
+  // from, a run must record zero steal attempts — and chaining is impossible
+  // (chain_limit clamps to 1 and no second worker can announce mid-launch).
+  rt::StatsSnapshot snap;
+  {
+    rt::Scheduler sched(1);
+    sched.export_final_stats(&snap);
+    YieldingProbe probe;
+    Batcher batcher(sched, probe, Batcher::SetupPolicy::Announce);
+    ASSERT_EQ(batcher.chain_limit(), 1u);
+    sched.run([&] {
+      rt::parallel_for(0, 128, [&](std::int64_t i) {
+        YieldingProbe::Op op;
+        op.id = i;
+        batcher.batchify(op);
+        ASSERT_EQ(op.result, i + 1);
+      },
+                       /*grain=*/1);
+    });
+    const BatcherStats stats = batcher.stats();
+    EXPECT_EQ(stats.ops_processed, 128u);
+    EXPECT_EQ(stats.chained_launches, 0u);
+    EXPECT_EQ(stats.max_batch_size, 1u);
+  }  // destruction publishes the final snapshot
+  EXPECT_EQ(snap.core_steal_attempts, 0u);
+  EXPECT_EQ(snap.batch_steal_attempts, 0u);
+  EXPECT_EQ(snap.steals_succeeded, 0u);
 }
 
 TEST(Batcher, StatsResetClearsCounters) {

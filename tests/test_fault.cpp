@@ -239,6 +239,10 @@ TEST(BatchRecovery, ThrowingBopRecoversParallelSetup) {
   throwing_bop_recovers(Batcher::SetupPolicy::Parallel);
 }
 
+TEST(BatchRecovery, ThrowingBopRecoversAnnounceSetup) {
+  throwing_bop_recovers(Batcher::SetupPolicy::Announce);
+}
+
 // --- 1c. ExternalDomain failure paths ---------------------------------------
 
 TEST(ExternalFailure, BadThreadIdThrowsOutOfRangeInEveryBuild) {
@@ -488,12 +492,18 @@ TEST(InjectedFaults, CoreTaskFaultSurfacesAtSpawnerJoin) {
   hooks::test_faults().reset();
 }
 
-TEST(InjectedFaults, CollectFaultFailsOnlyCollectedOpsAndRecovers) {
-  REQUIRE_LIVE_HOOKS();
+// The collect-fault recovery contract, per setup policy.  Scan policies
+// (Sequential/Parallel) leave a faulted slot pending, to be re-collected by
+// a later batch; the announce policy has already unhooked the claimed list
+// from the stack, so recovery fails the whole claimed list — collected slots
+// and the uncollected tail alike.  Either way every caller either gets its
+// result or the injected error, and the counter agrees exactly with the
+// calls that returned.
+void collect_fault_recovers(Batcher::SetupPolicy policy) {
   hooks::test_faults().reset();
   hooks::test_faults().throw_in_collect.store(2, std::memory_order_relaxed);
   rt::Scheduler sched(4);
-  ds::BatchedCounter counter(sched);
+  ds::BatchedCounter counter(sched, 0, policy);
   std::atomic<std::int64_t> ok{0};
   sched.run([&] {
     rt::parallel_for(0, 64,
@@ -513,12 +523,21 @@ TEST(InjectedFaults, CollectFaultFailsOnlyCollectedOpsAndRecovers) {
                      },
                      /*grain=*/1);
   });
-  // A faulted collect leaves its slot pending (re-collected by the next
-  // batch) and fails only the already-collected ones — the counter agrees
-  // exactly with the successful calls.
   EXPECT_EQ(counter.value_unsafe(), ok.load());
   EXPECT_GE(ok.load(), 8);
+  const BatcherStats st = counter.batcher().stats();
+  EXPECT_EQ(st.ops_processed, st.ops_failed + st.ops_succeeded);
   hooks::test_faults().reset();
+}
+
+TEST(InjectedFaults, CollectFaultFailsOnlyCollectedOpsAndRecovers) {
+  REQUIRE_LIVE_HOOKS();
+  collect_fault_recovers(Batcher::SetupPolicy::Sequential);
+}
+
+TEST(InjectedFaults, CollectFaultFailsClaimedListAndRecoversAnnounce) {
+  REQUIRE_LIVE_HOOKS();
+  collect_fault_recovers(Batcher::SetupPolicy::Announce);
 }
 
 TEST(InjectedFaults, SlowLauncherTripsStallWatchdog) {
@@ -575,9 +594,12 @@ TEST(InjectedFaults, FaultMatrixSweepRecoversAcrossSeeds) {
   for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
     session.reseed(seed);
     const int row = static_cast<int>(seed % 5);
-    const Batcher::SetupPolicy policy = row == 1
-                                            ? Batcher::SetupPolicy::Parallel
-                                            : Batcher::SetupPolicy::Sequential;
+    // Rotate every fault row through the announce path too: row 1 pins the
+    // parallel scan, the rest alternate announce/sequential by seed.
+    const Batcher::SetupPolicy policy =
+        row == 1 ? Batcher::SetupPolicy::Parallel
+                 : (seed % 2 == 0 ? Batcher::SetupPolicy::Announce
+                                  : Batcher::SetupPolicy::Sequential);
     auto& faults = hooks::test_faults();
     faults.reset();
     const std::int64_t armed = 1 + static_cast<std::int64_t>(seed % 3);

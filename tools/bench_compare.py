@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json reports metric by metric.
+
+Stdlib-only, like tools/validate_bench_json.py.  Matches metrics by exact
+name between a baseline report and a candidate report and classifies each
+pair as improvement / unchanged / regression:
+
+  * direction comes from the metric's unit: "1/s" is higher-better;
+    "ns", "us", "s", and "steps" are lower-better.  Unknown or missing
+    units are compared informationally but never gated.
+  * a metric regresses when it is worse than baseline by more than
+    --tolerance (relative, default 0.10 = 10%).
+
+Gating: by default the exit status is 1 if any *gated* metric regressed.
+--metric PREFIX (repeatable) restricts gating to metrics whose name starts
+with PREFIX — everything else is still printed, but report-only.  This is
+how CI gates only the deterministic simulation metrics (sim_makespan/*)
+while throughput metrics, which are machine-dependent, stay informational.
+--report-only prints the full comparison and always exits 0.
+
+Usage:
+    python3 tools/bench_compare.py --baseline bench/results/BENCH_counter.json \
+        --candidate bench-out/BENCH_counter.json \
+        --metric sim_makespan/ --tolerance 0.05
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_BETTER_UNITS = {"1/s"}
+LOWER_BETTER_UNITS = {"ns", "us", "s", "steps"}
+
+
+def load_metrics(path):
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+    metrics = {}
+    for m in report.get("metrics", []):
+        metrics[m["name"]] = (m["value"], m.get("unit", ""))
+    return report.get("name", "?"), metrics
+
+
+def classify(name, base, cand, unit, tolerance):
+    """Returns (status, rel) with status in {better, same, worse, info}."""
+    if unit in HIGHER_BETTER_UNITS:
+        sign = 1.0
+    elif unit in LOWER_BETTER_UNITS:
+        sign = -1.0
+    else:
+        return "info", 0.0
+    if base == 0:
+        return ("same", 0.0) if cand == 0 else ("info", 0.0)
+    rel = (cand - base) / abs(base)  # >0: candidate larger
+    gain = sign * rel                # >0: candidate better
+    if gain < -tolerance:
+        return "worse", rel
+    if gain > tolerance:
+        return "better", rel
+    return "same", rel
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative tolerance before a change gates "
+                             "(default 0.10)")
+    parser.add_argument("--metric", action="append", default=[],
+                        help="gate only metrics whose name starts with this "
+                             "prefix (repeatable); others are report-only")
+    parser.add_argument("--report-only", action="store_true",
+                        help="never fail, just print the comparison")
+    args = parser.parse_args()
+
+    base_name, base = load_metrics(args.baseline)
+    cand_name, cand = load_metrics(args.candidate)
+    if base_name != cand_name:
+        print(f"note: comparing different reports "
+              f"({base_name!r} vs {cand_name!r})")
+
+    def gated(name):
+        if not args.metric:
+            return True
+        return any(name.startswith(p) for p in args.metric)
+
+    gate_failures = 0
+    rows = 0
+    for name in sorted(set(base) | set(cand)):
+        if name not in base:
+            print(f"  NEW      {name} = {cand[name][0]:g}")
+            continue
+        if name not in cand:
+            print(f"  MISSING  {name} (baseline {base[name][0]:g})")
+            if gated(name) and not args.report_only:
+                gate_failures += 1
+            continue
+        bval, bunit = base[name]
+        cval, cunit = cand[name]
+        unit = bunit or cunit
+        status, rel = classify(name, bval, cval, unit, args.tolerance)
+        tag = {"better": "BETTER", "same": "ok", "worse": "WORSE",
+               "info": "info"}[status]
+        scope = "gated" if gated(name) and status != "info" else "report"
+        print(f"  {tag:<8} {name}: {bval:g} -> {cval:g} "
+              f"({rel:+.1%}, {unit or 'unitless'}, {scope})")
+        rows += 1
+        if status == "worse" and gated(name):
+            gate_failures += 1
+
+    if rows == 0:
+        print("no comparable metrics found")
+    if args.report_only:
+        return 0
+    if gate_failures > 0:
+        print(f"FAIL: {gate_failures} gated metric(s) regressed beyond "
+              f"{args.tolerance:.0%}")
+        return 1
+    print("PASS: no gated regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

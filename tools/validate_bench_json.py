@@ -89,6 +89,13 @@ def reconcile(report, errors):
                 f"{path}: batch_size_histogram sums to "
                 f"{sum(st['batch_size_histogram'])}, expected "
                 f"batches_launched = {st['batches_launched']}")
+        # A chained launch is still a launch: chaining only skips the flag
+        # reopen between two launches, so the chain count can never exceed
+        # the launch count.
+        if st["chained_launches"] > st["batches_launched"]:
+            errors.append(
+                f"{path}: chained_launches ({st['chained_launches']}) > "
+                f"batches_launched ({st['batches_launched']})")
 
     for i, st in enumerate(report.get("scheduler_stats", [])):
         path = f"$.scheduler_stats[{i}]"
