@@ -1,0 +1,156 @@
+// SCEN-sim — adversarial scenario sweep: BATCHER vs flat combining vs a
+// contended concurrent structure across workload shape × P grids.
+//
+// The 1-core container cannot run P in the thousands; the simulator can.
+// For every workload shape of src/sim/scenario.hpp (uniform, zipfian skew,
+// flash crowds, trapped-heavy, working-set locality) this harness simulates
+// the same core dag + keyed cost model under three policies and reports the
+// makespan grid plus the *crossover point*: the smallest simulated P at which
+// BATCHER's makespan drops below each rival's and stays below for the rest
+// of the grid.  All three simulators are deterministic functions of the
+// scenario seed, so every metric here is exactly reproducible and the
+// committed smoke baseline gates bit-exact in CI
+// (tools/bench_compare.py --metric sim_makespan/ --metric crossover/).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "sim/dag.hpp"
+#include "sim/scenario.hpp"
+#include "sim/sim_batcher.hpp"
+#include "sim/sim_concurrent.hpp"
+#include "sim/sim_flatcomb.hpp"
+
+namespace {
+namespace bench = batcher::bench;
+using namespace batcher::sim;
+
+constexpr std::uint64_t kSeed = 42;
+
+// Smallest P whose makespan is below the rival's from there to the end of the
+// grid; 0 when BATCHER never durably wins on this grid.
+std::int64_t crossover(const std::vector<unsigned>& grid,
+                       const std::vector<std::int64_t>& ours,
+                       const std::vector<std::int64_t>& rival) {
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    bool durable = true;
+    for (std::size_t j = i; j < grid.size(); ++j) {
+      if (ours[j] >= rival[j]) {
+        durable = false;
+        break;
+      }
+    }
+    if (durable) return static_cast<std::int64_t>(grid[i]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("SCEN-sim",
+                "adversarial workload shapes at simulator scale: "
+                "BATCHER vs flat combining vs contended-concurrent");
+
+  const std::int64_t ops = bench::scaled(8192, 2048);
+  std::vector<unsigned> grid{16, 64, 256, 1024};
+  if (!bench::smoke()) grid.push_back(4096);
+
+  bench::Report report("sim_scenarios");
+  report.config("ops", ops);
+  report.config("seed", kSeed);
+  {
+    std::string g;
+    for (unsigned P : grid) g += (g.empty() ? "" : ",") + std::to_string(P);
+    report.config("p_grid", g);
+  }
+
+  const Shape shapes[] = {Shape::Uniform, Shape::Zipfian, Shape::FlashCrowd,
+                          Shape::TrappedHeavy, Shape::WorkingSet};
+  bench::row("%-13s %-5s %12s %12s %12s %8s", "shape", "P", "batcher",
+             "flatcomb", "concurrent", "b/fc");
+
+  for (Shape shape : shapes) {
+    const ScenarioConfig cfg = make_scenario_config(shape, ops, kSeed);
+    const ScenarioGen gen(cfg);
+    const Dag core = gen.build_core_dag();
+    const std::string sname = shape_name(shape);
+
+    report.metric("tape/" + sname + "/distinct_keys",
+                  static_cast<double>(gen.distinct_keys()), "keys");
+    report.metric("tape/" + sname + "/top_key_fraction",
+                  gen.top_key_fraction(), "ratio");
+    report.metric("tape/" + sname + "/repeat_fraction_w64",
+                  gen.repeat_fraction(64), "ratio");
+
+    std::vector<std::int64_t> mk_batcher, mk_flatcomb, mk_concurrent;
+    for (unsigned P : grid) {
+      const std::string suffix = "/" + sname + "/P=" + std::to_string(P);
+
+      auto bmodel = gen.make_cost_model();
+      BatcherSimConfig bcfg;
+      bcfg.workers = P;
+      bcfg.seed = kSeed;
+      const SimResult rb = simulate_batcher(core, *bmodel, bcfg);
+      mk_batcher.push_back(rb.makespan);
+      report.metric("sim_makespan/BATCHER" + suffix,
+                    static_cast<double>(rb.makespan), "steps");
+      report.metric("sim_batches/BATCHER" + suffix,
+                    static_cast<double>(rb.batches), "batches");
+      report.metric("sim_mean_batch/BATCHER" + suffix, rb.mean_batch_size(),
+                    "ops");
+      report.metric("sim_trapped_frac/BATCHER" + suffix,
+                    rb.makespan == 0
+                        ? 0.0
+                        : static_cast<double>(rb.trapped_steps) /
+                              (static_cast<double>(rb.makespan) * P),
+                    "ratio");
+
+      auto fmodel = gen.make_cost_model();
+      const SimResult rf = simulate_flatcomb(core, *fmodel, P, kSeed);
+      mk_flatcomb.push_back(rf.makespan);
+      report.metric("sim_makespan/FLATCOMB" + suffix,
+                    static_cast<double>(rf.makespan), "steps");
+
+      auto cmodel = gen.make_cost_model();
+      ConcurrentSimConfig ccfg;
+      ccfg.workers = P;
+      ccfg.seed = kSeed;
+      ccfg.base_cost = cmodel->sequential_op_cost();
+      ccfg.contention_factor = 1;
+      const SimResult rc = simulate_concurrent(core, ccfg);
+      mk_concurrent.push_back(rc.makespan);
+      report.metric("sim_makespan/CONCURRENT" + suffix,
+                    static_cast<double>(rc.makespan), "steps");
+
+      bench::row("%-13s %-5u %12lld %12lld %12lld %8.2f", sname.c_str(), P,
+                 static_cast<long long>(rb.makespan),
+                 static_cast<long long>(rf.makespan),
+                 static_cast<long long>(rc.makespan),
+                 rf.makespan == 0 ? 0.0
+                                  : static_cast<double>(rb.makespan) /
+                                        static_cast<double>(rf.makespan));
+    }
+
+    const std::int64_t x_fc = crossover(grid, mk_batcher, mk_flatcomb);
+    const std::int64_t x_cc = crossover(grid, mk_batcher, mk_concurrent);
+    report.metric("crossover/" + sname + "/batcher_beats_flatcomb",
+                  static_cast<double>(x_fc), "workers");
+    report.metric("crossover/" + sname + "/batcher_beats_concurrent",
+                  static_cast<double>(x_cc), "workers");
+    bench::note("%s: batcher beats flatcomb from P=%lld, concurrent from "
+                "P=%lld (0 = never on this grid); tape: %lld distinct keys, "
+                "top-key %.1f%%, repeat@64 %.1f%%",
+                sname.c_str(), static_cast<long long>(x_fc),
+                static_cast<long long>(x_cc),
+                static_cast<long long>(gen.distinct_keys()),
+                100.0 * gen.top_key_fraction(),
+                100.0 * gen.repeat_fraction(64));
+  }
+
+  report.write();
+  std::printf("\n");
+  return 0;
+}

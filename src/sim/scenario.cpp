@@ -1,0 +1,334 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/config.hpp"
+#include "support/rng.hpp"
+
+namespace batcher::sim {
+
+namespace {
+
+// Pure per-leaf randomness: hash (seed, leaf) through splitmix so an arrival
+// answer never depends on query order.
+std::uint64_t leaf_hash(std::uint64_t seed, std::int64_t leaf) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(leaf + 1)));
+  return sm.next();
+}
+
+}  // namespace
+
+const char* shape_name(Shape shape) {
+  switch (shape) {
+    case Shape::Uniform: return "UNIFORM";
+    case Shape::Zipfian: return "ZIPFIAN";
+    case Shape::FlashCrowd: return "FLASHCROWD";
+    case Shape::TrappedHeavy: return "TRAPPEDHEAVY";
+    case Shape::WorkingSet: return "WORKINGSET";
+  }
+  return "?";
+}
+
+ScenarioConfig make_scenario_config(Shape shape, std::int64_t ops,
+                                    std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.shape = shape;
+  cfg.ops = ops;
+  cfg.seed = seed;
+  switch (shape) {
+    case Shape::TrappedHeavy:
+      // Long sequential ds runs: the paper's m per strand grows to 8 and the
+      // op mix turns update-heavy.
+      cfg.ds_per_leaf = 8;
+      break;
+    case Shape::FlashCrowd:
+      // Near-simultaneous waves: almost no per-leaf jitter, all the arrival
+      // structure lives in the burst/quiet alternation.
+      cfg.arrival_jitter = 1;
+      break;
+    default:
+      break;
+  }
+  return cfg;
+}
+
+// --- arrival processes ------------------------------------------------------
+
+UniformArrival::UniformArrival(std::uint64_t seed, std::int64_t max_jitter)
+    : seed_(seed), max_jitter_(max_jitter) {}
+
+Arrival UniformArrival::at(std::int64_t leaf) const {
+  Arrival a;
+  a.wave = 0;
+  a.jitter = max_jitter_ <= 0
+                 ? 0
+                 : static_cast<std::int64_t>(
+                       leaf_hash(seed_, leaf) %
+                       static_cast<std::uint64_t>(max_jitter_ + 1));
+  return a;
+}
+
+FlashCrowdArrival::FlashCrowdArrival(std::uint64_t seed, std::int64_t leaves,
+                                     std::int64_t burst, std::int64_t quiet,
+                                     std::int64_t max_jitter)
+    : seed_(seed),
+      leaves_(leaves),
+      burst_(std::max<std::int64_t>(burst, 1)),
+      quiet_(std::max<std::int64_t>(quiet, 1)),
+      max_jitter_(max_jitter) {}
+
+std::int64_t FlashCrowdArrival::waves() const {
+  return (leaves_ + burst_ - 1) / burst_;
+}
+
+Arrival FlashCrowdArrival::at(std::int64_t leaf) const {
+  Arrival a;
+  a.wave = leaf / burst_;
+  a.jitter = max_jitter_ <= 0
+                 ? 0
+                 : static_cast<std::int64_t>(
+                       leaf_hash(seed_, leaf) %
+                       static_cast<std::uint64_t>(max_jitter_ + 1));
+  return a;
+}
+
+// --- keyed cost model -------------------------------------------------------
+
+KeyedCostModel::KeyedCostModel(std::vector<std::int64_t> keys,
+                               std::int64_t unit)
+    : keys_(std::move(keys)), unit_(std::max<std::int64_t>(unit, 1)) {
+  BATCHER_ASSERT(!keys_.empty(), "empty key tape");
+}
+
+WorkSpan KeyedCostModel::batch_cost(std::int64_t k) const {
+  k = std::max<std::int64_t>(k, 1);
+  // Peek the next k keys (wrapping; commits advance the cursor by exactly
+  // the batch sizes, so a full run consumes the tape once in arrival order).
+  scratch_.clear();
+  scratch_.reserve(static_cast<std::size_t>(k));
+  for (std::int64_t i = 0; i < k; ++i) {
+    scratch_.push_back(keys_[(cursor_ + static_cast<std::size_t>(i)) % keys_.size()]);
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  std::int64_t distinct = 0;
+  std::int64_t run = 0, max_run = 0;
+  for (std::size_t i = 0; i < scratch_.size(); ++i) {
+    if (i == 0 || scratch_[i] != scratch_[i - 1]) {
+      ++distinct;
+      run = 0;
+    }
+    ++run;
+    if (run > max_run) max_run = run;
+  }
+  WorkSpan cost;
+  cost.work = unit_ * k + distinct;
+  cost.span = ilog2(k) + ilog2(distinct) + unit_ * max_run;
+  return cost;
+}
+
+void KeyedCostModel::on_commit(std::int64_t k) {
+  cursor_ = (cursor_ + static_cast<std::size_t>(std::max<std::int64_t>(k, 0))) %
+            keys_.size();
+}
+
+// --- scenario generator -----------------------------------------------------
+
+ScenarioGen::ScenarioGen(const ScenarioConfig& config) : config_(config) {
+  BATCHER_ASSERT(config_.ops >= 1, "scenario needs at least one op");
+  BATCHER_ASSERT(config_.key_space >= 1, "scenario needs keys");
+  BATCHER_ASSERT(config_.ds_per_leaf >= 1, "ds_per_leaf must be positive");
+  leaves_ = std::max<std::int64_t>(config_.ops / config_.ds_per_leaf, 1);
+  // Round the tape to whole leaves so tape length == total ds nodes.
+  config_.ops = leaves_ * config_.ds_per_leaf;
+
+  Xoshiro256 rng(config_.seed);
+  tape_.reserve(static_cast<std::size_t>(config_.ops));
+
+  switch (config_.shape) {
+    case Shape::Zipfian: {
+      // Inverse-CDF zipf over `key_space` ranks, ranks shuffled onto key ids
+      // so key identity does not encode popularity.
+      const std::size_t K = static_cast<std::size_t>(config_.key_space);
+      std::vector<double> cdf(K);
+      double total = 0;
+      for (std::size_t r = 0; r < K; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), config_.zipf_theta);
+        cdf[r] = total;
+      }
+      std::vector<std::int64_t> perm(K);
+      std::iota(perm.begin(), perm.end(), 0);
+      for (std::size_t i = K; i > 1; --i) {
+        std::swap(perm[i - 1], perm[rng.next_below(i)]);
+      }
+      for (std::int64_t i = 0; i < config_.ops; ++i) {
+        const double u = rng.next_double() * total;
+        const std::size_t rank = static_cast<std::size_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+        tape_.push_back({perm[std::min(rank, K - 1)], (rng.next() & 3u) != 0});
+      }
+      break;
+    }
+    case Shape::WorkingSet: {
+      // Move-to-front recency list: with probability `locality` re-reference
+      // one of the `working_set` most recent distinct keys, else page in a
+      // fresh uniform key.
+      std::vector<std::int64_t> recent;
+      for (std::int64_t i = 0; i < config_.ops; ++i) {
+        std::int64_t key;
+        if (!recent.empty() && rng.next_double() < config_.locality) {
+          key = recent[rng.next_below(recent.size())];
+        } else {
+          key = static_cast<std::int64_t>(
+              rng.next_below(static_cast<std::uint64_t>(config_.key_space)));
+        }
+        const auto it = std::find(recent.begin(), recent.end(), key);
+        if (it != recent.end()) recent.erase(it);
+        recent.insert(recent.begin(), key);
+        if (static_cast<std::int64_t>(recent.size()) > config_.working_set) {
+          recent.pop_back();
+        }
+        tape_.push_back({key, (rng.next() & 3u) != 0});
+      }
+      break;
+    }
+    case Shape::TrappedHeavy:
+      // Uniform keys, update-only: the adversarial part is the dag shape
+      // (ds_per_leaf sequential ds nodes per strand), not the key stream.
+      for (std::int64_t i = 0; i < config_.ops; ++i) {
+        tape_.push_back({static_cast<std::int64_t>(rng.next_below(
+                             static_cast<std::uint64_t>(config_.key_space))),
+                         true});
+      }
+      break;
+    case Shape::Uniform:
+    case Shape::FlashCrowd:
+      for (std::int64_t i = 0; i < config_.ops; ++i) {
+        tape_.push_back({static_cast<std::int64_t>(rng.next_below(
+                             static_cast<std::uint64_t>(config_.key_space))),
+                         (rng.next() & 3u) != 0});
+      }
+      break;
+  }
+
+  if (config_.shape == Shape::FlashCrowd) {
+    arrivals_ = std::make_unique<FlashCrowdArrival>(
+        config_.seed, leaves_, config_.burst, config_.quiet,
+        config_.arrival_jitter);
+  } else {
+    arrivals_ =
+        std::make_unique<UniformArrival>(config_.seed, config_.arrival_jitter);
+  }
+}
+
+std::vector<Arrival> ScenarioGen::arrival_schedule() const {
+  std::vector<Arrival> schedule(static_cast<std::size_t>(leaves_));
+  for (std::int64_t i = 0; i < leaves_; ++i) {
+    schedule[static_cast<std::size_t>(i)] = arrivals_->at(i);
+  }
+  return schedule;
+}
+
+Dag ScenarioGen::build_core_dag() const {
+  Dag dag;
+
+  // One leaf: pre+jitter core chain, ds_per_leaf sequential ds nodes, post
+  // chain.
+  auto build_leaf = [&](std::int64_t leaf) -> Segment {
+    const Arrival a = arrivals_->at(leaf);
+    const Segment head =
+        build_chain(dag, std::max<std::int64_t>(config_.pre + a.jitter, 1));
+    NodeId tail = head.last;
+    for (std::int64_t d = 0; d < config_.ds_per_leaf; ++d) {
+      const NodeId ds = dag.add_node(/*ds_node=*/true);
+      dag.add_edge(tail, ds);
+      tail = ds;
+    }
+    if (config_.post > 0) {
+      const Segment p = build_chain(dag, config_.post);
+      dag.add_edge(tail, p.first);
+      tail = p.last;
+    }
+    return Segment{head.first, tail};
+  };
+
+  // Binary fork/join over [lo, hi) leaves.
+  auto fork_join = [&](auto&& self, std::int64_t lo,
+                       std::int64_t hi) -> Segment {
+    if (hi - lo == 1) return build_leaf(lo);
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    const NodeId fork = dag.add_node();
+    const Segment left = self(self, lo, mid);
+    const Segment right = self(self, mid, hi);
+    const NodeId join = dag.add_node();
+    dag.add_edge(fork, left.first);
+    dag.add_edge(fork, right.first);
+    dag.add_edge(left.last, join);
+    dag.add_edge(right.last, join);
+    return Segment{fork, join};
+  };
+
+  const std::int64_t waves = arrivals_->waves();
+  const std::int64_t per_wave = (leaves_ + waves - 1) / waves;
+  Segment whole{kNoNode, kNoNode};
+  for (std::int64_t w = 0; w < waves; ++w) {
+    const std::int64_t lo = w * per_wave;
+    const std::int64_t hi = std::min(lo + per_wave, leaves_);
+    if (lo >= hi) break;
+    const Segment wave = fork_join(fork_join, lo, hi);
+    if (whole.first == kNoNode) {
+      whole = wave;
+    } else {
+      const Segment gap = build_chain(dag, arrivals_->quiet_between());
+      dag.add_edge(whole.last, gap.first);
+      dag.add_edge(gap.last, wave.first);
+      whole.last = wave.last;
+    }
+  }
+  dag.root = whole.first;
+  BATCHER_DASSERT(dag.validate(), "scenario built an invalid dag");
+  return dag;
+}
+
+std::unique_ptr<KeyedCostModel> ScenarioGen::make_cost_model(
+    std::int64_t unit) const {
+  std::vector<std::int64_t> keys(tape_.size());
+  for (std::size_t i = 0; i < tape_.size(); ++i) keys[i] = tape_[i].key;
+  return std::make_unique<KeyedCostModel>(std::move(keys), unit);
+}
+
+std::int64_t ScenarioGen::distinct_keys() const {
+  std::unordered_set<std::int64_t> seen;
+  for (const OpDesc& op : tape_) seen.insert(op.key);
+  return static_cast<std::int64_t>(seen.size());
+}
+
+double ScenarioGen::top_key_fraction() const {
+  std::unordered_map<std::int64_t, std::int64_t> counts;
+  std::int64_t best = 0;
+  for (const OpDesc& op : tape_) best = std::max(best, ++counts[op.key]);
+  return tape_.empty() ? 0.0
+                       : static_cast<double>(best) /
+                             static_cast<double>(tape_.size());
+}
+
+double ScenarioGen::repeat_fraction(std::int64_t window) const {
+  if (tape_.size() < 2 || window < 1) return 0.0;
+  std::int64_t repeats = 0;
+  for (std::size_t i = 1; i < tape_.size(); ++i) {
+    const std::size_t lo =
+        i > static_cast<std::size_t>(window) ? i - static_cast<std::size_t>(window) : 0;
+    for (std::size_t j = lo; j < i; ++j) {
+      if (tape_[j].key == tape_[i].key) {
+        ++repeats;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(repeats) / static_cast<double>(tape_.size() - 1);
+}
+
+}  // namespace batcher::sim

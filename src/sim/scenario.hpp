@@ -1,0 +1,229 @@
+// Adversarial workload shapes for the scheduler simulator.
+//
+// The 1-core container caps real runs at small P and benign arrival patterns;
+// the discrete-event simulator is where P can reach the thousands and traffic
+// can be shaped adversarially.  This file defines the shapes the working-set
+// and finger-search literature (Agrawal/Gilbert/Lim, PAPERS.md) says batched
+// structures must be exercised under, and that uniform-random benchmarks
+// never produce:
+//
+//   * Zipfian      key skew — a handful of hot keys absorb most operations,
+//                  so a batch's working set is dense on few keys and any
+//                  per-key serialization in the BOP collapses its span;
+//   * FlashCrowd   arrival bursts — waves of near-simultaneous operations
+//                  separated by quiet serial phases, the worst case for the
+//                  launch protocol (everyone announces at once, then nobody);
+//   * TrappedHeavy op mixes — long sequential runs of data-structure nodes
+//                  per strand (the paper's m grows), so most workers spend
+//                  most steps trapped;
+//   * WorkingSet   access locality — operations re-reference a small, slowly
+//                  drifting set of recent keys (the working-set property),
+//                  sitting between Uniform and Zipfian in skew.
+//
+// A `ScenarioGen` is a pure function of its `ScenarioConfig` (seed included):
+// it produces (1) an *op tape* — the key/kind sequence the data structure
+// will see, (2) an *arrival schedule* — when each operation's strand becomes
+// runnable, via the `ArrivalProcess` interface shared by all simulator
+// front-ends, (3) a core dag encoding that schedule for the dag-driven
+// simulators (sim_batcher / sim_flatcomb / sim_concurrent), and (4) a
+// `KeyedCostModel` that prices each batch from the actual keys it carries,
+// so skew and locality reach the batch work/span the way they would in a
+// real bucketed or tree-shaped BOP.  Same seed, same everything — replays
+// are exact, and tests assert it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/dag.hpp"
+
+namespace batcher::sim {
+
+enum class Shape : std::uint8_t {
+  Uniform,
+  Zipfian,
+  FlashCrowd,
+  TrappedHeavy,
+  WorkingSet,
+};
+inline constexpr int kNumShapes = 5;
+const char* shape_name(Shape shape);
+
+// One entry of the op tape.  `update` distinguishes read-like from write-like
+// operations (the trapped-heavy mix skews toward updates; cost models may
+// price them differently later).
+struct OpDesc {
+  std::int64_t key = 0;
+  bool update = true;
+
+  bool operator==(const OpDesc&) const = default;
+};
+
+struct ScenarioConfig {
+  Shape shape = Shape::Uniform;
+  std::int64_t ops = 1024;       // op-tape length (= total ds nodes)
+  std::uint64_t seed = 1;
+
+  // Key population and skew.
+  std::int64_t key_space = 512;  // distinct keys the tape draws from
+  double zipf_theta = 1.1;       // Zipfian exponent (Zipfian shape)
+
+  // Working-set locality (WorkingSet shape): with probability `locality`
+  // the next key re-references one of the `working_set` most recent keys.
+  std::int64_t working_set = 16;
+  double locality = 0.9;
+
+  // Flash crowds (FlashCrowd shape): strands arrive in waves of `burst`
+  // operations; consecutive waves are separated by a serial quiet phase of
+  // `quiet` core nodes (no ds traffic at all between crowds).
+  std::int64_t burst = 64;
+  std::int64_t quiet = 512;
+
+  // Strand anatomy: core nodes before/after the ds run in each leaf, plus
+  // per-leaf arrival jitter (extra pre nodes, drawn in [0, arrival_jitter]).
+  std::int64_t pre = 2;
+  std::int64_t post = 1;
+  std::int64_t arrival_jitter = 4;
+
+  // Sequential ds nodes per leaf.  TrappedHeavy raises this (the paper's m);
+  // every other shape keeps 1.
+  std::int64_t ds_per_leaf = 1;
+};
+
+// Shape-specific defaults layered over the common knobs above: TrappedHeavy
+// sets ds_per_leaf = 8, FlashCrowd keeps its burst/quiet, etc.
+ScenarioConfig make_scenario_config(Shape shape, std::int64_t ops,
+                                    std::uint64_t seed);
+
+// --- Arrival process --------------------------------------------------------
+//
+// The shared interface between workload shapes and simulator front-ends: for
+// each leaf (strand of the core dag) it answers *when* that strand's first
+// data-structure node becomes reachable.  Arrivals are organized as
+// sequential waves — all leaves of wave w become runnable only after wave
+// w-1 completed plus `quiet_between()` serial core nodes — with per-leaf
+// jitter inside a wave.  A steady open-loop load is the 1-wave special case.
+// Every answer is a pure function of (seed, leaf): replaying a seed replays
+// the exact arrival schedule.
+
+struct Arrival {
+  std::int64_t wave = 0;    // sequential wave index (0-based)
+  std::int64_t jitter = 0;  // extra core nodes before the leaf's ds run
+
+  bool operator==(const Arrival&) const = default;
+};
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  virtual std::int64_t waves() const = 0;          // >= 1
+  virtual std::int64_t quiet_between() const = 0;  // core nodes between waves
+  virtual Arrival at(std::int64_t leaf) const = 0;
+};
+
+// All leaves in one wave, jitter uniform in [0, max_jitter].
+class UniformArrival final : public ArrivalProcess {
+ public:
+  UniformArrival(std::uint64_t seed, std::int64_t max_jitter);
+  std::int64_t waves() const override { return 1; }
+  std::int64_t quiet_between() const override { return 0; }
+  Arrival at(std::int64_t leaf) const override;
+
+ private:
+  std::uint64_t seed_;
+  std::int64_t max_jitter_;
+};
+
+// Waves of `burst` consecutive leaves separated by `quiet` serial core nodes.
+class FlashCrowdArrival final : public ArrivalProcess {
+ public:
+  FlashCrowdArrival(std::uint64_t seed, std::int64_t leaves, std::int64_t burst,
+                    std::int64_t quiet, std::int64_t max_jitter);
+  std::int64_t waves() const override;
+  std::int64_t quiet_between() const override { return quiet_; }
+  Arrival at(std::int64_t leaf) const override;
+
+ private:
+  std::uint64_t seed_;
+  std::int64_t leaves_;
+  std::int64_t burst_;
+  std::int64_t quiet_;
+  std::int64_t max_jitter_;
+};
+
+// --- Keyed batch cost model -------------------------------------------------
+//
+// Prices a batch from the actual keys it carries, modelling a bucketed /
+// per-key-serialized BOP (hash map buckets, per-key combine chains): the
+// parallel part is a sort+dedup tree over the k records, the serial part is
+// the deepest per-key chain.  With d distinct keys and worst per-key
+// multiplicity c_max:
+//
+//   work = unit·k + d            (per-record probe + per-distinct-key apply)
+//   span = lg k + lg d + unit·c_max
+//
+// Under a uniform tape c_max ≈ 1 and the span is the paper's Θ(lg) bound;
+// under zipfian skew c_max → Θ(k) and the span collapses toward sequential —
+// exactly the skew-induced batch-density collapse the sweep hunts for.  The
+// model consumes the tape in batch-sized bites (on_commit advances the
+// cursor), so simulators exercise the tape in arrival order.
+class KeyedCostModel final : public BatchCostModel {
+ public:
+  explicit KeyedCostModel(std::vector<std::int64_t> keys,
+                          std::int64_t unit = 1);
+
+  WorkSpan batch_cost(std::int64_t k) const override;
+  std::int64_t sequential_op_cost() const override { return unit_ + 1; }
+  void on_commit(std::int64_t k) override;
+
+  std::size_t cursor() const { return cursor_; }
+
+ private:
+  std::vector<std::int64_t> keys_;
+  std::int64_t unit_;
+  std::size_t cursor_ = 0;
+  mutable std::vector<std::int64_t> scratch_;  // batch_cost key-count scratch
+};
+
+// --- Scenario generator -----------------------------------------------------
+
+class ScenarioGen {
+ public:
+  explicit ScenarioGen(const ScenarioConfig& config);
+
+  const ScenarioConfig& config() const { return config_; }
+  const std::vector<OpDesc>& tape() const { return tape_; }
+  const ArrivalProcess& arrivals() const { return *arrivals_; }
+  std::int64_t leaves() const { return leaves_; }
+
+  // The arrival schedule, materialized: arrivals().at(i) for each leaf.
+  std::vector<Arrival> arrival_schedule() const;
+
+  // Core dag realizing the arrival schedule: per wave, a binary fork/join
+  // over that wave's leaves (leaf = pre+jitter core chain, ds_per_leaf
+  // sequential ds nodes, post chain); waves chained through `quiet` serial
+  // core nodes.
+  Dag build_core_dag() const;
+
+  // Fresh cost model over this scenario's key tape (each simulated policy
+  // gets its own cursor).
+  std::unique_ptr<KeyedCostModel> make_cost_model(std::int64_t unit = 1) const;
+
+  // Tape statistics, for tests and the sweep report.
+  std::int64_t distinct_keys() const;
+  double top_key_fraction() const;   // share of ops on the most popular key
+  // Fraction of ops whose key appeared within the previous `window` ops —
+  // the working-set locality measure.
+  double repeat_fraction(std::int64_t window) const;
+
+ private:
+  ScenarioConfig config_;
+  std::int64_t leaves_;
+  std::vector<OpDesc> tape_;
+  std::unique_ptr<ArrivalProcess> arrivals_;
+};
+
+}  // namespace batcher::sim

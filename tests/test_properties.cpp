@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -21,6 +22,10 @@
 #include "ds/batched_stack.hpp"
 #include "ds/batched_tree23.hpp"
 #include "ds/batched_wbtree.hpp"
+#include "audit/audit_session.hpp"
+#include "audit/schedule_perturber.hpp"
+#include "runtime/api.hpp"
+#include "runtime/schedule_hooks.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/rng.hpp"
 
@@ -412,6 +417,202 @@ TEST_P(PropertySeed, HashMapMatchesWorkingSetOrderModel) {
     }
     ASSERT_EQ(map.size_unsafe(), model.size());
     ASSERT_TRUE(map.check_invariants()) << "batch " << b;
+  }
+}
+
+// --- Perturbed op tapes through the real Batcher -----------------------------
+//
+// The models above drive run_batch directly, choosing batch partitions at
+// random.  These tests close the other half of the loop: a pregenerated op
+// tape executed through the *blocking* API on a live scheduler, under the
+// schedule perturber (when BATCHER_AUDIT hooks are compiled in), so the
+// partitions are whatever the real launch protocol produces for that seed's
+// interleaving.  Since the partition is now out of the test's hands, each
+// round of the tape is designed to be partition-insensitive:
+//
+//   * PQ rounds are insert-only or extract-only.  However an extract-only
+//     round of E ops splits into batches, each batch takes the smallest
+//     remaining, so the union is always the E smallest — a multiset equality
+//     the reference can predict.
+//   * Tree rounds touch pairwise-distinct keys, one op per strand, so every
+//     op's result depends only on pre-round membership, never on how the
+//     round's ops share batches.
+//
+// A perturbed schedule that splits rounds differently must still produce the
+// same answers; a violation here is a real linearizability bug.
+
+// Installs the perturber for one seeded run when live hooks exist; verifies
+// the auditor stayed clean on teardown either way.
+class PerturbedScope {
+ public:
+  explicit PerturbedScope(std::uint64_t seed) {
+    if (rt::hooks::kEnabled) {
+      audit::SchedulePerturber::Options opts;
+      opts.yield_one_in = 96;
+      opts.pause_one_in = 8;
+      opts.max_pause_spins = 32;
+      session_ = std::make_unique<audit::AuditSession>(4, seed, opts);
+      session_->install();
+    }
+  }
+  ~PerturbedScope() {
+    if (session_ != nullptr) {
+      EXPECT_TRUE(session_->auditor().clean()) << session_->auditor().report();
+      session_->uninstall();
+    }
+  }
+
+ private:
+  std::unique_ptr<audit::AuditSession> session_;
+};
+
+TEST_P(PropertySeed, PQPerturbedTapeMatchesSequentialReference) {
+  const std::uint64_t seed = GetParam() + 6000;
+  Xoshiro256 rng(seed);
+
+  // Pregenerate the tape: alternating insert-only / extract-only rounds.
+  struct Round {
+    bool insert;
+    std::vector<std::int64_t> keys;  // insert round: keys; extract: op count
+  };
+  std::vector<Round> tape;
+  std::size_t modeled_size = 0;
+  for (int r = 0; r < 40; ++r) {
+    Round round;
+    const std::size_t n = 1 + rng.next_below(12);
+    round.insert = modeled_size < n || (rng.next() & 1);
+    if (round.insert) {
+      for (std::size_t i = 0; i < n; ++i) {
+        round.keys.push_back(static_cast<std::int64_t>(rng.next_below(1000)));
+      }
+      modeled_size += n;
+    } else {
+      round.keys.resize(n);  // n extracts; values unused
+      modeled_size -= n;
+    }
+    tape.push_back(std::move(round));
+  }
+
+  PerturbedScope perturbed(seed);
+  std::multiset<std::int64_t> model;
+  {
+    rt::Scheduler sched(4);
+    ds::BatchedPriorityQueue pq(sched);
+    sched.run([&] {
+      for (std::size_t r = 0; r < tape.size(); ++r) {
+        const Round& round = tape[r];
+        const auto n = static_cast<std::int64_t>(round.keys.size());
+        if (round.insert) {
+          rt::parallel_for(0, n,
+                           [&](std::int64_t i) {
+                             pq.insert(
+                                 round.keys[static_cast<std::size_t>(i)]);
+                           },
+                           /*grain=*/1);
+          for (std::int64_t k : round.keys) model.insert(k);
+        } else {
+          std::vector<std::optional<std::int64_t>> got(
+              static_cast<std::size_t>(n));
+          rt::parallel_for(0, n,
+                           [&](std::int64_t i) {
+                             got[static_cast<std::size_t>(i)] =
+                                 pq.extract_min();
+                           },
+                           /*grain=*/1);
+          // Rounds never extract from an underfull queue, so every op hits,
+          // and the union of the round's batches is the n smallest.
+          std::vector<std::int64_t> returned;
+          for (const auto& v : got) {
+            ASSERT_TRUE(v.has_value()) << "round " << r;
+            returned.push_back(*v);
+          }
+          std::sort(returned.begin(), returned.end());
+          for (std::int64_t v : returned) {
+            ASSERT_FALSE(model.empty()) << "round " << r;
+            ASSERT_EQ(v, *model.begin()) << "round " << r;
+            model.erase(model.begin());
+          }
+        }
+        ASSERT_EQ(pq.size_unsafe(), model.size()) << "round " << r;
+      }
+    });
+    ASSERT_TRUE(pq.check_invariants());
+  }
+}
+
+TEST_P(PropertySeed, Tree23PerturbedTapeMatchesSequentialReference) {
+  const std::uint64_t seed = GetParam() + 7000;
+  Xoshiro256 rng(seed);
+  using Kind = ds::BatchedTree23::Kind;
+
+  // Pregenerate rounds of pairwise-distinct keys with one op each.
+  struct RoundOp {
+    std::int64_t key;
+    Kind kind;
+  };
+  std::vector<std::vector<RoundOp>> tape;
+  for (int r = 0; r < 40; ++r) {
+    std::int64_t pool[64];
+    for (std::int64_t k = 0; k < 64; ++k) pool[k] = k;
+    for (std::size_t i = 64; i > 1; --i) {
+      std::swap(pool[i - 1], pool[rng.next_below(i)]);
+    }
+    const std::size_t n = 1 + rng.next_below(12);
+    std::vector<RoundOp> round;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto pick = rng.next_below(10);
+      round.push_back({pool[i], pick < 4   ? Kind::Insert
+                                : pick < 7 ? Kind::Erase
+                                           : Kind::Contains});
+    }
+    tape.push_back(std::move(round));
+  }
+
+  PerturbedScope perturbed(seed);
+  std::set<std::int64_t> model;
+  {
+    rt::Scheduler sched(4);
+    ds::BatchedTree23 tree(sched);
+    sched.run([&] {
+      for (std::size_t r = 0; r < tape.size(); ++r) {
+        const auto& round = tape[r];
+        std::vector<std::uint8_t> got(round.size());
+        rt::parallel_for(
+            0, static_cast<std::int64_t>(round.size()),
+            [&](std::int64_t i) {
+              const RoundOp& op = round[static_cast<std::size_t>(i)];
+              bool res = false;
+              switch (op.kind) {
+                case Kind::Insert: res = tree.insert(op.key); break;
+                case Kind::Erase: res = tree.erase(op.key); break;
+                case Kind::Contains: res = tree.contains(op.key); break;
+              }
+              got[static_cast<std::size_t>(i)] = res ? 1 : 0;
+            },
+            /*grain=*/1);
+        // Keys are distinct within the round, so every result is determined
+        // by pre-round membership alone, whatever the batch split was.
+        for (std::size_t i = 0; i < round.size(); ++i) {
+          const RoundOp& op = round[i];
+          const bool member = model.count(op.key) > 0;
+          const bool expected =
+              op.kind == Kind::Contains ? member
+              : op.kind == Kind::Erase  ? member
+                                        : !member;  // Insert: fresh
+          ASSERT_EQ(got[i] != 0, expected)
+              << "round " << r << " op " << i << " key " << op.key;
+        }
+        for (const RoundOp& op : round) {
+          if (op.kind == Kind::Insert) model.insert(op.key);
+          if (op.kind == Kind::Erase) model.erase(op.key);
+        }
+        ASSERT_EQ(tree.size_unsafe(), model.size()) << "round " << r;
+      }
+    });
+    ASSERT_TRUE(tree.check_invariants());
+    for (std::int64_t k = 0; k < 64; ++k) {
+      ASSERT_EQ(tree.contains_unsafe(k), model.count(k) > 0) << "key " << k;
+    }
   }
 }
 

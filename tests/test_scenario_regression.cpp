@@ -1,0 +1,123 @@
+// Runtime regression tests distilled from the scenario sweep's predicted
+// pathologies (see bench_sim_scenarios and DESIGN.md §12).
+//
+// The simulator's flash-crowd shape predicts the launch path's worst regime:
+// bursts of near-simultaneous announces, where one flag holder can service
+// many launches back to back (launch chaining).  Before the chain limit
+// landed, a holder facing a steady announce stream could chain without bound,
+// holding the flag — and starving every late announcer of the chance to
+// launch — for the rest of the burst.  The runtime is already hardened:
+// `Batcher::set_chain_limit` caps launches per flag hold (default P).  These
+// tests pin that hardening under the exact traffic the simulator flags as
+// adversarial, using the always-on trace histograms:
+//
+//   * progress: every announced op completes (no starved announcer);
+//   * the chain bound: chained_launches <= (chain_limit - 1) per flag hold,
+//     exactly zero when the limit is 1;
+//   * bounded flag-hold latency: no single hold spans the whole bursty run
+//     (the unbounded-chaining signature), with a wall-clock-relative bound
+//     so a loaded CI host cannot flake it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "batcher/batcher.hpp"
+#include "ds/batched_counter.hpp"
+#include "runtime/api.hpp"
+#include "runtime/scheduler.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace batcher {
+namespace {
+
+struct BurstRun {
+  BatcherStats stats;
+  trace::MetricsReport metrics;
+  std::int64_t total = 0;
+};
+
+// `waves` bursts of `burst` increments each, every burst a fresh parallel_for
+// fan-out with grain 1 so announces arrive as near-simultaneously as the
+// runtime allows — the flash-crowd shape, at the runtime scale the 1-core
+// container can execute.
+BurstRun run_bursty_counter(unsigned workers, std::size_t chain_limit,
+                            std::int64_t waves, std::int64_t burst) {
+  trace::TraceSession::Options opt;
+  opt.ring_capacity = std::size_t{1} << 18;
+  trace::TraceSession session(opt);
+  BurstRun out;
+  {
+    rt::Scheduler sched(workers);
+    ds::BatchedCounter counter(sched);
+    counter.batcher().set_chain_limit(chain_limit);
+    sched.run([&] {
+      for (std::int64_t w = 0; w < waves; ++w) {
+        rt::parallel_for(0, burst,
+                         [&](std::int64_t) { counter.increment(1); },
+                         /*grain=*/1);
+      }
+    });
+    out.total = counter.value_unsafe();
+    out.stats = counter.batcher().stats();
+  }
+  out.metrics = trace::build_metrics(session.stop());
+  return out;
+}
+
+void expect_no_starvation(const BurstRun& r, std::size_t chain_limit,
+                          std::int64_t expected_ops) {
+  const BatcherStats& st = r.stats;
+  const trace::MetricsReport& m = r.metrics;
+
+  // Progress: every announced op completed.
+  EXPECT_EQ(r.total, expected_ops);
+  EXPECT_EQ(st.ops_processed, static_cast<std::uint64_t>(expected_ops));
+  ASSERT_EQ(m.dropped_records, 0u) << "ring overflowed; grow ring_capacity";
+  EXPECT_EQ(m.ops(), st.ops_processed);
+
+  // One flag_held entry per chain of launches; the chain limit caps how many
+  // launches share one hold.
+  EXPECT_EQ(m.flag_held.count(), st.batches_launched - st.chained_launches);
+  EXPECT_LE(st.chained_launches,
+            (chain_limit - 1) * m.flag_held.count());
+
+  // Bounded hold latency: the longest single flag hold must not approach the
+  // whole run (the signature of unbounded chaining under a steady announce
+  // stream).  The bound is deliberately loose — a genuine starvation bug
+  // chains across waves and lands near 100% of wall time.
+  const double wall_ns = m.wall_seconds * 1e9;
+  EXPECT_LT(static_cast<double>(m.flag_held.max_ns()), 0.8 * wall_ns + 1e6)
+      << "one flag hold spanned most of the run";
+}
+
+TEST(ChainLimitStarvation, BurstsAtTheChainLimitBoundaryMakeProgress) {
+  // chain_limit 2 is the boundary: chaining is allowed but must hand the
+  // flag back after one extra launch, so late announcers in a burst get
+  // their own holds.
+  const BurstRun r = run_bursty_counter(/*workers=*/4, /*chain_limit=*/2,
+                                        /*waves=*/64, /*burst=*/96);
+  expect_no_starvation(r, 2, 64 * 96);
+  EXPECT_GT(r.stats.announce_pushes, 0u);
+}
+
+TEST(ChainLimitStarvation, LimitOneDisablesChainingEntirely) {
+  const BurstRun r = run_bursty_counter(/*workers=*/4, /*chain_limit=*/1,
+                                        /*waves=*/32, /*burst=*/96);
+  expect_no_starvation(r, 1, 32 * 96);
+  // With the limit at 1 every launch reopens the flag first: no chains, and
+  // the flag_held histogram has exactly one entry per launch.
+  EXPECT_EQ(r.stats.chained_launches, 0u);
+  EXPECT_EQ(r.metrics.flag_held.count(), r.stats.batches_launched);
+}
+
+TEST(ChainLimitStarvation, DefaultLimitStaysWithinTheBoundUnderBursts) {
+  // Default chain limit is P: the bound still holds, and the run chains at
+  // most P-1 times per hold even under back-to-back waves.
+  const BurstRun r = run_bursty_counter(/*workers=*/4, /*chain_limit=*/4,
+                                        /*waves=*/64, /*burst=*/96);
+  expect_no_starvation(r, 4, 64 * 96);
+}
+
+}  // namespace
+}  // namespace batcher

@@ -1,0 +1,238 @@
+// Tests for the adversarial scenario engine (src/sim/scenario.hpp).
+//
+// Four layers:
+//   1. Replayability: a ScenarioGen is a pure function of its config — same
+//      seed, same op tape, same arrival schedule, same dag, same simulated
+//      makespan; different seeds diverge.
+//   2. Shape statistics: each workload shape actually produces the regime it
+//      names (zipfian skew concentrates keys, working-set locality repeats
+//      recent keys, trapped-heavy deepens the ds chain, flash crowds arrive
+//      in waves).
+//   3. The keyed cost model: batch span collapses exactly when a batch is
+//      dense on few keys, which is what makes skew adversarial at all.
+//   4. Predicted pathologies: the simulator reproduces the regimes the sweep
+//      (bench_sim_scenarios) reports — skew inflates BATCHER's makespan,
+//      flash crowds erode its advantage over flat combining, and on uniform
+//      traffic a crossover P exists on the sweep grid.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/scenario.hpp"
+#include "sim/sim_batcher.hpp"
+#include "sim/sim_concurrent.hpp"
+#include "sim/sim_flatcomb.hpp"
+
+namespace batcher::sim {
+namespace {
+
+constexpr Shape kAllShapes[] = {Shape::Uniform, Shape::Zipfian,
+                                Shape::FlashCrowd, Shape::TrappedHeavy,
+                                Shape::WorkingSet};
+
+std::int64_t batcher_makespan(const ScenarioGen& gen, const Dag& core,
+                              unsigned workers) {
+  auto model = gen.make_cost_model();
+  BatcherSimConfig cfg;
+  cfg.workers = workers;
+  cfg.seed = gen.config().seed;
+  return simulate_batcher(core, *model, cfg).makespan;
+}
+
+std::int64_t flatcomb_makespan(const ScenarioGen& gen, const Dag& core,
+                               unsigned workers) {
+  auto model = gen.make_cost_model();
+  return simulate_flatcomb(core, *model, workers, gen.config().seed).makespan;
+}
+
+// --- 1. Replayability -------------------------------------------------------
+
+TEST(ScenarioReplay, SameSeedReplaysTapeAndArrivalsExactly) {
+  for (Shape shape : kAllShapes) {
+    const ScenarioConfig cfg = make_scenario_config(shape, 1024, 7);
+    const ScenarioGen a(cfg);
+    const ScenarioGen b(cfg);
+    EXPECT_EQ(a.tape(), b.tape()) << shape_name(shape);
+    EXPECT_EQ(a.arrival_schedule(), b.arrival_schedule()) << shape_name(shape);
+    EXPECT_EQ(a.leaves(), b.leaves()) << shape_name(shape);
+    const Dag da = a.build_core_dag();
+    const Dag db = b.build_core_dag();
+    EXPECT_EQ(da.size(), db.size()) << shape_name(shape);
+    EXPECT_EQ(da.span(), db.span()) << shape_name(shape);
+  }
+}
+
+TEST(ScenarioReplay, DifferentSeedsDiverge) {
+  for (Shape shape : kAllShapes) {
+    const ScenarioGen a(make_scenario_config(shape, 1024, 7));
+    const ScenarioGen b(make_scenario_config(shape, 1024, 8));
+    EXPECT_NE(a.tape(), b.tape()) << shape_name(shape);
+  }
+}
+
+TEST(ScenarioReplay, SimulatedMakespansAreDeterministic) {
+  const ScenarioGen gen(make_scenario_config(Shape::Zipfian, 1024, 3));
+  const Dag core = gen.build_core_dag();
+  EXPECT_EQ(batcher_makespan(gen, core, 64), batcher_makespan(gen, core, 64));
+  EXPECT_EQ(flatcomb_makespan(gen, core, 64), flatcomb_makespan(gen, core, 64));
+  auto model = gen.make_cost_model();
+  ConcurrentSimConfig cfg;
+  cfg.workers = 64;
+  cfg.seed = 3;
+  cfg.base_cost = model->sequential_op_cost();
+  EXPECT_EQ(simulate_concurrent(core, cfg).makespan,
+            simulate_concurrent(core, cfg).makespan);
+}
+
+// --- 2. Shape statistics ----------------------------------------------------
+
+TEST(ScenarioShape, TapeCoversEveryDsNodeExactlyOnce) {
+  for (Shape shape : kAllShapes) {
+    const ScenarioGen gen(make_scenario_config(shape, 1024, 5));
+    const Dag core = gen.build_core_dag();
+    EXPECT_TRUE(core.validate()) << shape_name(shape);
+    EXPECT_EQ(core.num_ds_nodes(),
+              static_cast<std::int64_t>(gen.tape().size()))
+        << shape_name(shape);
+    EXPECT_EQ(static_cast<std::int64_t>(gen.tape().size()), gen.config().ops)
+        << shape_name(shape);
+  }
+}
+
+TEST(ScenarioShape, ZipfianConcentratesKeys) {
+  const ScenarioGen uniform(make_scenario_config(Shape::Uniform, 4096, 11));
+  const ScenarioGen zipf(make_scenario_config(Shape::Zipfian, 4096, 11));
+  // A theta=1.1 zipfian's hottest key absorbs a double-digit share of the
+  // tape; uniform over 512 keys sits near 1/512.
+  EXPECT_GT(zipf.top_key_fraction(), 5.0 * uniform.top_key_fraction());
+  EXPECT_GT(zipf.top_key_fraction(), 0.05);
+  EXPECT_LT(zipf.distinct_keys(), uniform.distinct_keys());
+}
+
+TEST(ScenarioShape, WorkingSetRepeatsRecentKeys) {
+  const ScenarioGen uniform(make_scenario_config(Shape::Uniform, 4096, 11));
+  const ScenarioGen ws(make_scenario_config(Shape::WorkingSet, 4096, 11));
+  EXPECT_GT(ws.repeat_fraction(64), 0.6);
+  EXPECT_LT(uniform.repeat_fraction(64), 0.3);
+  // Locality without global skew: no single hot key dominates.
+  EXPECT_LT(ws.top_key_fraction(), 0.2);
+}
+
+TEST(ScenarioShape, TrappedHeavyDeepensTheDsChain) {
+  const ScenarioGen uniform(make_scenario_config(Shape::Uniform, 1024, 5));
+  const ScenarioGen trapped(make_scenario_config(Shape::TrappedHeavy, 1024, 5));
+  EXPECT_EQ(uniform.build_core_dag().max_ds_on_path(), 1);
+  EXPECT_EQ(trapped.build_core_dag().max_ds_on_path(),
+            trapped.config().ds_per_leaf);
+  EXPECT_GT(trapped.config().ds_per_leaf, 1);
+  for (const OpDesc& op : trapped.tape()) EXPECT_TRUE(op.update);
+}
+
+TEST(ScenarioShape, FlashCrowdArrivesInBurstWaves) {
+  const ScenarioConfig cfg = make_scenario_config(Shape::FlashCrowd, 1024, 5);
+  const ScenarioGen gen(cfg);
+  const ArrivalProcess& arr = gen.arrivals();
+  EXPECT_EQ(arr.waves(), (gen.leaves() + cfg.burst - 1) / cfg.burst);
+  EXPECT_GT(arr.waves(), 1);
+  EXPECT_EQ(arr.quiet_between(), cfg.quiet);
+  for (std::int64_t leaf = 0; leaf < gen.leaves(); ++leaf) {
+    EXPECT_EQ(arr.at(leaf).wave, leaf / cfg.burst) << "leaf " << leaf;
+  }
+  // Every other shape is open-loop: one wave, no quiet phases.
+  const ScenarioGen u(make_scenario_config(Shape::Uniform, 1024, 5));
+  EXPECT_EQ(u.arrivals().waves(), 1);
+  EXPECT_EQ(u.arrivals().quiet_between(), 0);
+  // The quiet phases show up as serial span: the flash-crowd dag's critical
+  // path carries at least (waves-1) * quiet core nodes.
+  EXPECT_GE(gen.build_core_dag().span(), (arr.waves() - 1) * cfg.quiet);
+}
+
+// --- 3. The keyed cost model ------------------------------------------------
+
+TEST(KeyedCost, DistinctKeysKeepTheSpanLogarithmic) {
+  std::vector<std::int64_t> keys(256);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<std::int64_t>(i);
+  }
+  KeyedCostModel model(keys, /*unit=*/1);
+  const WorkSpan ws = model.batch_cost(256);
+  // d = k = 256, c_max = 1: span = lg 256 + lg 256 + 1 = 17.
+  EXPECT_EQ(ws.span, 17);
+  EXPECT_EQ(ws.work, 256 + 256);
+}
+
+TEST(KeyedCost, RepeatedKeysCollapseTheSpan) {
+  KeyedCostModel model(std::vector<std::int64_t>(256, 42), /*unit=*/1);
+  const WorkSpan ws = model.batch_cost(256);
+  // d = 1, c_max = 256: the per-key serial chain eats the whole batch.
+  EXPECT_GE(ws.span, 256);
+  EXPECT_EQ(ws.work, 256 + 1);
+}
+
+TEST(KeyedCost, CommitsConsumeTheTapeInOrder) {
+  std::vector<std::int64_t> keys{1, 1, 1, 1, 9, 8, 7, 6};
+  KeyedCostModel model(keys, /*unit=*/1);
+  EXPECT_EQ(model.cursor(), 0u);
+  // First half: one key four times -> serial span.
+  const WorkSpan dense = model.batch_cost(4);
+  model.on_commit(4);
+  EXPECT_EQ(model.cursor(), 4u);
+  // Second half: four distinct keys -> parallel span.
+  const WorkSpan sparse = model.batch_cost(4);
+  model.on_commit(4);
+  EXPECT_EQ(model.cursor(), 0u);  // wrapped
+  EXPECT_GT(dense.span, sparse.span);
+  // batch_cost peeks without consuming: calling it twice is idempotent.
+  const WorkSpan again = model.batch_cost(4);
+  EXPECT_EQ(again.span, model.batch_cost(4).span);
+}
+
+// --- 4. Predicted pathologies ----------------------------------------------
+
+// Skew-induced batch-density collapse: with many ops landing on one key, the
+// keyed BOP span degenerates toward sequential, and BATCHER — whose advantage
+// is parallel batch application — slows down relative to the same traffic
+// spread uniformly.  (The runtime analogue is exercised by the perturbed
+// property tapes in test_properties.cpp; the real batched structures combine
+// same-key ops, which is the hardening this test motivates.)
+TEST(ScenarioPathology, ZipfianSkewInflatesBatcherMakespan) {
+  const ScenarioGen uniform(make_scenario_config(Shape::Uniform, 2048, 42));
+  const ScenarioGen zipf(make_scenario_config(Shape::Zipfian, 2048, 42));
+  const Dag du = uniform.build_core_dag();
+  const Dag dz = zipf.build_core_dag();
+  EXPECT_GT(batcher_makespan(zipf, dz, 256), batcher_makespan(uniform, du, 256));
+  EXPECT_GT(batcher_makespan(zipf, dz, 1024),
+            batcher_makespan(uniform, du, 1024));
+}
+
+// Flash crowds erode BATCHER's advantage: each burst fills only a fraction of
+// P, so the Θ(P) batch-setup work amortizes over too few ops while the quiet
+// phases serialize everything else.  At the same P where BATCHER beats flat
+// combining on uniform traffic, it loses under flash crowds.  (The runtime
+// analogue — bursty announce traffic at the chain limit — is the regression
+// test in test_scenario_regression.cpp.)
+TEST(ScenarioPathology, FlashCrowdsErodeBatcherAdvantage) {
+  const ScenarioGen uniform(make_scenario_config(Shape::Uniform, 2048, 42));
+  const ScenarioGen crowd(make_scenario_config(Shape::FlashCrowd, 2048, 42));
+  const Dag du = uniform.build_core_dag();
+  const Dag dc = crowd.build_core_dag();
+  EXPECT_LT(batcher_makespan(uniform, du, 1024),
+            flatcomb_makespan(uniform, du, 1024));
+  EXPECT_GT(batcher_makespan(crowd, dc, 1024),
+            flatcomb_makespan(crowd, dc, 1024));
+}
+
+// The sweep's crossover is real: at the small end of the grid flat combining
+// wins (batch setup dominates), at the large end BATCHER wins (parallel BOP
+// dominates), so a crossover P exists between them.
+TEST(ScenarioCrossover, UniformCrossoverExistsOnTheSweepGrid) {
+  const ScenarioGen gen(make_scenario_config(Shape::Uniform, 2048, 42));
+  const Dag core = gen.build_core_dag();
+  EXPECT_GT(batcher_makespan(gen, core, 16), flatcomb_makespan(gen, core, 16));
+  EXPECT_LT(batcher_makespan(gen, core, 1024),
+            flatcomb_makespan(gen, core, 1024));
+}
+
+}  // namespace
+}  // namespace batcher::sim

@@ -18,6 +18,10 @@ how CI gates only the deterministic simulation metrics (sim_makespan/*)
 while throughput metrics, which are machine-dependent, stay informational.
 --report-only prints the full comparison and always exits 0.
 
+A gated baseline metric that is absent from the candidate report fails the
+gate with a message naming the missing metric(s): losing a metric is a
+coverage regression even when nothing got slower.
+
 Usage:
     python3 tools/bench_compare.py --baseline bench/results/BENCH_counter.json \
         --candidate bench-out/BENCH_counter.json \
@@ -29,7 +33,9 @@ import json
 import sys
 
 HIGHER_BETTER_UNITS = {"1/s"}
-LOWER_BETTER_UNITS = {"ns", "us", "s", "steps"}
+# "workers" is the crossover-point unit of BENCH_sim_scenarios: the smallest
+# simulated P at which BATCHER durably beats a rival — smaller is better.
+LOWER_BETTER_UNITS = {"ns", "us", "s", "steps", "workers"}
 
 
 def load_metrics(path):
@@ -86,6 +92,7 @@ def main():
         return any(name.startswith(p) for p in args.metric)
 
     gate_failures = 0
+    missing_gated = []
     rows = 0
     for name in sorted(set(base) | set(cand)):
         if name not in base:
@@ -94,7 +101,7 @@ def main():
         if name not in cand:
             print(f"  MISSING  {name} (baseline {base[name][0]:g})")
             if gated(name) and not args.report_only:
-                gate_failures += 1
+                missing_gated.append(name)
             continue
         bval, bunit = base[name]
         cval, cunit = cand[name]
@@ -109,13 +116,23 @@ def main():
         if status == "worse" and gated(name):
             gate_failures += 1
 
-    if rows == 0:
+    if rows == 0 and not missing_gated:
         print("no comparable metrics found")
     if args.report_only:
         return 0
+    failed = False
+    if missing_gated:
+        # Name every absent metric: a gated baseline metric the candidate no
+        # longer reports is a coverage regression, not a slowdown, and the
+        # failure message must say which metric vanished.
+        print(f"FAIL: {len(missing_gated)} gated baseline metric(s) missing "
+              f"from candidate: " + ", ".join(missing_gated))
+        failed = True
     if gate_failures > 0:
         print(f"FAIL: {gate_failures} gated metric(s) regressed beyond "
               f"{args.tolerance:.0%}")
+        failed = True
+    if failed:
         return 1
     print("PASS: no gated regressions")
     return 0

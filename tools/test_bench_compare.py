@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Stdlib unit tests for tools/bench_compare.py.
+
+Run directly (python3 tools/test_bench_compare.py) or via ctest, which
+registers it as tools/bench_compare.  No third-party deps: the module under
+test is loaded by path with importlib and exercised through its main() with
+patched argv, asserting on exit codes and printed output.
+"""
+
+import contextlib
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def load_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", os.path.join(TOOLS_DIR, "bench_compare.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def make_report(path, metrics):
+    """metrics: list of (name, value, unit)."""
+    report = {
+        "schema_version": 1,
+        "name": "unit",
+        "smoke": True,
+        "config": {},
+        "metrics": [{"name": n, "value": v, "unit": u}
+                    for (n, v, u) in metrics],
+        "batcher_stats": [],
+        "scheduler_stats": [],
+        "ops_processed_total": 0,
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f)
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.module = load_module()
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def run_compare(self, base_metrics, cand_metrics, extra_args=()):
+        """Returns (exit_code, captured_stdout)."""
+        base = os.path.join(self.tmp.name, "BENCH_base.json")
+        cand = os.path.join(self.tmp.name, "BENCH_cand.json")
+        make_report(base, base_metrics)
+        make_report(cand, cand_metrics)
+        argv = ["bench_compare.py", "--baseline", base, "--candidate", cand,
+                *extra_args]
+        out = io.StringIO()
+        old_argv = sys.argv
+        sys.argv = argv
+        try:
+            with contextlib.redirect_stdout(out):
+                code = self.module.main()
+        finally:
+            sys.argv = old_argv
+        return code, out.getvalue()
+
+    def test_unchanged_metrics_pass(self):
+        code, out = self.run_compare(
+            [("sim_makespan/A/P=4", 100, "steps")],
+            [("sim_makespan/A/P=4", 100, "steps")])
+        self.assertEqual(code, 0)
+        self.assertIn("PASS", out)
+
+    def test_regression_beyond_tolerance_fails(self):
+        code, out = self.run_compare(
+            [("sim_makespan/A/P=4", 100, "steps")],
+            [("sim_makespan/A/P=4", 150, "steps")],
+            extra_args=["--tolerance", "0.05"])
+        self.assertEqual(code, 1)
+        self.assertIn("WORSE", out)
+        self.assertIn("regressed", out)
+
+    def test_regression_within_tolerance_passes(self):
+        code, _ = self.run_compare(
+            [("sim_makespan/A/P=4", 100, "steps")],
+            [("sim_makespan/A/P=4", 104, "steps")],
+            extra_args=["--tolerance", "0.05"])
+        self.assertEqual(code, 0)
+
+    def test_missing_gated_metric_fails_naming_the_metric(self):
+        # The headline behaviour: a gated baseline metric absent from the
+        # candidate must fail with a message that names it — not a KeyError,
+        # and not a message claiming something "regressed".
+        code, out = self.run_compare(
+            [("sim_makespan/A/P=4", 100, "steps"),
+             ("sim_makespan/B/P=4", 100, "steps")],
+            [("sim_makespan/A/P=4", 100, "steps")])
+        self.assertEqual(code, 1)
+        self.assertIn("missing from candidate", out)
+        self.assertIn("sim_makespan/B/P=4", out)
+        self.assertNotIn("regressed", out)
+
+    def test_missing_ungated_metric_passes(self):
+        code, out = self.run_compare(
+            [("sim_makespan/A/P=4", 100, "steps"),
+             ("mops/throughput", 5.0, "1/s")],
+            [("sim_makespan/A/P=4", 100, "steps")],
+            extra_args=["--metric", "sim_makespan/"])
+        self.assertEqual(code, 0)
+        self.assertIn("MISSING", out)  # still reported, just not gated
+
+    def test_missing_gated_metric_report_only_passes(self):
+        code, _ = self.run_compare(
+            [("sim_makespan/A/P=4", 100, "steps")],
+            [],
+            extra_args=["--report-only"])
+        self.assertEqual(code, 0)
+
+    def test_metric_prefix_restricts_gating(self):
+        # The throughput regression is outside the gated prefix: report-only.
+        code, out = self.run_compare(
+            [("sim_makespan/A/P=4", 100, "steps"), ("mops/x", 10.0, "1/s")],
+            [("sim_makespan/A/P=4", 100, "steps"), ("mops/x", 1.0, "1/s")],
+            extra_args=["--metric", "sim_makespan/"])
+        self.assertEqual(code, 0)
+        self.assertIn("WORSE", out)
+
+    def test_crossover_workers_unit_is_lower_better(self):
+        # A crossover point moving to larger P means BATCHER stopped winning
+        # at the smaller P — that is a gated regression.
+        code, out = self.run_compare(
+            [("crossover/UNIFORM/batcher_beats_flatcomb", 64, "workers")],
+            [("crossover/UNIFORM/batcher_beats_flatcomb", 256, "workers")],
+            extra_args=["--metric", "crossover/"])
+        self.assertEqual(code, 1)
+        self.assertIn("WORSE", out)
+        # ...and moving to smaller P is an improvement, not a failure.
+        code, out = self.run_compare(
+            [("crossover/UNIFORM/batcher_beats_flatcomb", 256, "workers")],
+            [("crossover/UNIFORM/batcher_beats_flatcomb", 64, "workers")],
+            extra_args=["--metric", "crossover/"])
+        self.assertEqual(code, 0)
+        self.assertIn("BETTER", out)
+
+    def test_new_metric_is_informational(self):
+        code, out = self.run_compare(
+            [("sim_makespan/A/P=4", 100, "steps")],
+            [("sim_makespan/A/P=4", 100, "steps"),
+             ("sim_makespan/A/P=8", 60, "steps")])
+        self.assertEqual(code, 0)
+        self.assertIn("NEW", out)
+
+
+if __name__ == "__main__":
+    unittest.main()
