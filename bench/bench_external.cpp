@@ -1,0 +1,200 @@
+// T7-external — robustness counters and throughput of the deadline-aware,
+// overload-shedding ExternalDomain (DESIGN.md §13).
+//
+// Three sections:
+//
+//   1. timeout: try_submit against a domain whose pump never runs — every op
+//      publishes, expires, and revokes itself.  ops_timed_out is an exact,
+//      machine-independent count (no pump exists to win the claim race), so
+//      external/ops_timed_out gates CI via bench_compare --exact.
+//   2. shed+retry: the backlog is pre-filled to shed_threshold by blocked
+//      submitters, then further submissions are refused before publication.
+//      ops_shed and retries_attempted are exact counts for the same reason —
+//      a full backlog with no pump can never drain mid-call.
+//   3. round-trip: a served domain under client threads, reported as Mops/s
+//      (machine-dependent, report-only) with its quiescent external_stats
+//      row, whose ops_served == ops_succeeded + ops_failed + ops_timed_out
+//      identity the report validator enforces.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "batcher/external.hpp"
+#include "bench/common.hpp"
+#include "ds/batched_counter.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace {
+namespace bench = batcher::bench;
+using batcher::DomainClosed;
+using batcher::DomainOverloaded;
+using batcher::ExternalDomain;
+using batcher::OpTimedOut;
+using batcher::RetryPolicy;
+using batcher::Stopwatch;
+
+constexpr std::uint64_t kTimeoutOps = 32;
+constexpr std::size_t kBacklog = 4;      // shed_threshold = pre-filled depth
+constexpr std::uint64_t kShedDirect = 32;
+constexpr unsigned kRetryCalls = 4;
+constexpr unsigned kMaxRetries = 3;
+
+// 1. Every try_submit against a pump-less domain times out deterministically.
+void run_timeout_section(bench::Report& report) {
+  batcher::rt::Scheduler sched(2);
+  batcher::ds::BatchedCounter counter(sched);
+  ExternalDomain domain(sched, counter, /*max_threads=*/1);
+  std::thread client([&] {
+    for (std::uint64_t i = 0; i < kTimeoutOps; ++i) {
+      batcher::ds::BatchedCounter::Op op;
+      op.delta = 1;
+      try {
+        domain.try_submit(0, op);
+      } catch (const OpTimedOut&) {
+      }
+    }
+  });
+  client.join();
+  bench::row("%-22s %8llu ops timed out (expected %llu)", "timeout:",
+             static_cast<unsigned long long>(domain.ops_timed_out()),
+             static_cast<unsigned long long>(kTimeoutOps));
+  report.metric("external/ops_timed_out",
+                static_cast<double>(domain.ops_timed_out()), "count");
+  report.external_stats("timeout", domain.stats());
+}
+
+// 2. A pre-filled backlog sheds further submissions and drives the retry
+// policy to exhaustion — both counts are exact.
+void run_shed_section(bench::Report& report) {
+  batcher::rt::Scheduler sched(2);
+  batcher::ds::BatchedCounter counter(sched);
+  ExternalDomain::Options options;
+  options.shed_threshold = kBacklog;
+  ExternalDomain domain(sched, counter, /*max_threads=*/kBacklog + 1, options);
+
+  // Fill the backlog: kBacklog threads publish and block (no pump runs).
+  std::vector<std::thread> blocked;
+  for (std::size_t t = 0; t < kBacklog; ++t) {
+    blocked.emplace_back([&, t] {
+      batcher::ds::BatchedCounter::Op op;
+      op.delta = 1;
+      try {
+        domain.submit(t, op);
+      } catch (const DomainClosed&) {
+      }
+    });
+  }
+  while (domain.pending_depth() < kBacklog) std::this_thread::yield();
+
+  // Direct sheds: refused before publication, every time.
+  std::thread shedder([&] {
+    for (std::uint64_t i = 0; i < kShedDirect; ++i) {
+      batcher::ds::BatchedCounter::Op op;
+      op.delta = 1;
+      try {
+        domain.try_submit(kBacklog, op);
+      } catch (const DomainOverloaded&) {
+      }
+    }
+    // Retry-policy sheds: each call burns its full retry budget.
+    RetryPolicy policy;
+    policy.seed = 42;
+    policy.max_retries = kMaxRetries;
+    policy.base_spins = 16;
+    for (unsigned c = 0; c < kRetryCalls; ++c) {
+      batcher::ds::BatchedCounter::Op op;
+      op.delta = 1;
+      try {
+        domain.submit_with_retry(kBacklog, op, policy);
+      } catch (const DomainOverloaded&) {
+      }
+    }
+  });
+  shedder.join();
+  domain.shutdown();  // unblocks the backlog threads with DomainClosed
+  for (auto& th : blocked) th.join();
+
+  const std::uint64_t expected_shed =
+      kShedDirect + std::uint64_t{kRetryCalls} * (kMaxRetries + 1);
+  const std::uint64_t expected_retries =
+      std::uint64_t{kRetryCalls} * kMaxRetries;
+  bench::row("%-22s %8llu ops shed (expected %llu)", "shed:",
+             static_cast<unsigned long long>(domain.ops_shed()),
+             static_cast<unsigned long long>(expected_shed));
+  bench::row("%-22s %8llu retries attempted (expected %llu)", "retry:",
+             static_cast<unsigned long long>(domain.retries_attempted()),
+             static_cast<unsigned long long>(expected_retries));
+  report.metric("external/ops_shed", static_cast<double>(domain.ops_shed()),
+                "count");
+  report.metric("external/retries_attempted",
+                static_cast<double>(domain.retries_attempted()), "count");
+  report.external_stats("shed", domain.stats());
+}
+
+// 3. Served round trips: machine-dependent throughput, report-only.
+void run_roundtrip_section(bench::Report& report) {
+  const unsigned kClients = 4;
+  const std::int64_t kPer = bench::scaled(20000, 2000);
+  batcher::rt::Scheduler sched(4);
+  batcher::ds::BatchedCounter counter(sched);
+  ExternalDomain domain(sched, counter, kClients);
+
+  std::atomic<unsigned> finished{0};
+  std::vector<std::thread> clients;
+  Stopwatch sw;
+  for (unsigned t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::int64_t i = 0; i < kPer; ++i) {
+        batcher::ds::BatchedCounter::Op op;
+        op.delta = 1;
+        // A generous deadline: exercises the submit_until path without
+        // expecting timeouts (any that do occur stay inside the identity).
+        try {
+          domain.submit_until(t, op,
+                              std::chrono::steady_clock::now() +
+                                  std::chrono::seconds(30));
+        } catch (const OpTimedOut&) {
+        }
+      }
+      if (finished.fetch_add(1) + 1 == kClients) domain.shutdown();
+    });
+  }
+  sched.run([&] { domain.serve(); });
+  for (auto& th : clients) th.join();
+  const double secs = sw.elapsed_seconds();
+
+  const std::int64_t total = static_cast<std::int64_t>(kClients) * kPer;
+  const double throughput = bench::mops(total, secs);
+  bench::row("%-22s %8.3f Mops/s (%u clients x %lld ops, %llu batches)",
+             "round-trip:", throughput, kClients,
+             static_cast<long long>(kPer),
+             static_cast<unsigned long long>(domain.batches_served()));
+  report.metric("external/mops", throughput * 1e6, "1/s");
+  report.metric("external/batches_served",
+                static_cast<double>(domain.batches_served()), "count");
+  report.external_stats("roundtrip", domain.stats());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("T7-external",
+                "ExternalDomain robustness: deadline timeouts, overload "
+                "shedding, retry policy, served round trips (DESIGN.md §13)");
+  bench::Report report("external");
+  report.config("timeout_ops", kTimeoutOps);
+  report.config("shed_threshold", static_cast<std::uint64_t>(kBacklog));
+  report.config("shed_direct", kShedDirect);
+  report.config("retry_calls", kRetryCalls);
+  report.config("max_retries", kMaxRetries);
+  bench::TraceScope trace(report);
+
+  run_timeout_section(report);
+  run_shed_section(report);
+  run_roundtrip_section(report);
+
+  report.write();
+  return 0;
+}

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "batcher/batcher.hpp"
+#include "batcher/external.hpp"
 #include "runtime/stats.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
@@ -168,6 +169,13 @@ class Report {
     scheduler_stats_.push_back({std::move(label), st});
   }
 
+  // Record an ExternalDomain's quiescent counter snapshot; the validator
+  // enforces ops_served == ops_succeeded + ops_failed + ops_timed_out on
+  // every row.
+  void external_stats(std::string label, const ExternalStats& st) {
+    external_stats_.push_back({std::move(label), st});
+  }
+
   std::uint64_t ops_processed_total() const { return ops_processed_total_; }
 
   // Serializes and writes BENCH_<name>.json (finishing the attached
@@ -211,6 +219,7 @@ class Report {
   std::vector<Metric> metrics_;
   std::vector<std::pair<std::string, BatcherStats>> batcher_stats_;
   std::vector<std::pair<std::string, rt::StatsSnapshot>> scheduler_stats_;
+  std::vector<std::pair<std::string, ExternalStats>> external_stats_;
   std::uint64_t ops_processed_total_ = 0;
 
   TraceScope* trace_scope_ = nullptr;
@@ -327,6 +336,22 @@ inline bool Report::write() {
     w.kv("frames_freed", st.frames_freed);
     w.kv("remote_frees", st.remote_frees);
     w.kv("slab_refills", st.slab_refills);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("external_stats").begin_array();
+  for (const auto& [label, st] : external_stats_) {
+    w.begin_object();
+    w.kv("label", std::string_view(label));
+    w.kv("ops_served", st.ops_served);
+    w.kv("ops_succeeded", st.ops_succeeded);
+    w.kv("ops_failed", st.ops_failed);
+    w.kv("ops_timed_out", st.ops_timed_out);
+    w.kv("ops_shed", st.ops_shed);
+    w.kv("batches_served", st.batches_served);
+    w.kv("batches_failed", st.batches_failed);
+    w.kv("retries_attempted", st.retries_attempted);
     w.end_object();
   }
   w.end_array();

@@ -45,6 +45,9 @@ const char* point_name(hooks::HookPoint p) {
     case P::kAnnouncePush: return "announce-push";
     case P::kAnnounceClaim: return "announce-claim";
     case P::kLaunchChained: return "launch-chained";
+    case P::kExternalSubmit: return "external-submit";
+    case P::kExternalRevoke: return "external-revoke";
+    case P::kExternalClaim: return "external-claim";
   }
   return "?";
 }
@@ -354,6 +357,17 @@ void InvariantAuditor::on_event(const rt::hooks::HookEvent& event) {
       break;
     case P::kStatusDoneToFree:
       check_status_edge(event, Status::Done, Status::Free);
+      break;
+
+    // ExternalDomain ingress events: the subject is an external (non-worker)
+    // thread, so `event.worker` is kNoWorker for submit/revoke and a pump
+    // worker for claim — neither maps onto the per-worker trapped-op model
+    // above (the external slot array is indexed by tid, not worker id).
+    // These points exist for the perturber and FaultSchedule to widen the
+    // revoke race window; the auditor only counts them.
+    case P::kExternalSubmit:
+    case P::kExternalRevoke:
+    case P::kExternalClaim:
       break;
   }
 }

@@ -17,14 +17,37 @@ void StallWatchdog::flag(const void* domain, unsigned worker,
                          std::uint64_t elapsed, std::string what) {
   // mu_ is held by the caller.
   stall_count_.fetch_add(1, std::memory_order_relaxed);
-  if (reports_.size() >= kMaxReports) return;
   StallReport report;
   report.domain = domain;
   report.worker = worker;
   report.events_elapsed = elapsed;
   report.what = std::move(what);
   if (model_ != nullptr) report.model_dump = model_->state_dump();
+  // Escalation is never capped: even past kMaxReports a wedged domain must
+  // still reach its handler.
+  if (handler_) pending_escalations_.push_back(report);
+  if (reports_.size() >= kMaxReports) return;
   reports_.push_back(std::move(report));
+}
+
+std::vector<StallReport> StallWatchdog::take_pending_escalations() {
+  // mu_ is held by the caller.
+  std::vector<StallReport> pending;
+  pending.swap(pending_escalations_);
+  return pending;
+}
+
+void StallWatchdog::dispatch_escalations(std::vector<StallReport> pending) {
+  // mu_ is released: the handler typically quarantines a domain, which walks
+  // status edges and emits hooks that re-enter on_event on this very thread.
+  // handler_ is written only from quiesced points (see header), so the
+  // unlocked reads here do not race an install.
+  for (const StallReport& report : pending) handler_(report);
+}
+
+void StallWatchdog::set_escalation_handler(EscalationHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handler_ = std::move(handler);
 }
 
 void StallWatchdog::scan(std::uint64_t now_events,
@@ -83,6 +106,8 @@ void StallWatchdog::on_event(const rt::hooks::HookEvent& event) {
       event.point == P::kBatchifyExit;
   if (!tracks_state && now % kScanPeriod != 0) return;
 
+  std::vector<StallReport> pending;
+  {
   std::lock_guard<std::mutex> lock(mu_);
   const Clock::time_point now_clock =
       options_.wall_budget_ms != 0 ? Clock::now() : Clock::time_point{};
@@ -133,11 +158,19 @@ void StallWatchdog::on_event(const rt::hooks::HookEvent& event) {
       break;
   }
   scan(now, now_clock);
+  pending = take_pending_escalations();
+  }
+  if (!pending.empty()) dispatch_escalations(std::move(pending));
 }
 
 void StallWatchdog::check_now() {
-  std::lock_guard<std::mutex> lock(mu_);
-  scan(events_.load(std::memory_order_relaxed), Clock::now());
+  std::vector<StallReport> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    scan(events_.load(std::memory_order_relaxed), Clock::now());
+    pending = take_pending_escalations();
+  }
+  if (!pending.empty()) dispatch_escalations(std::move(pending));
 }
 
 void StallWatchdog::reset() {
@@ -147,6 +180,7 @@ void StallWatchdog::reset() {
   domains_.clear();
   for (auto& tw : traps_) tw = TrapWatch{};
   reports_.clear();
+  pending_escalations_.clear();
 }
 
 bool StallWatchdog::stalled() const {

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -63,8 +64,20 @@ class StallWatchdog final : public rt::hooks::ScheduleObserver {
   void on_event(const rt::hooks::HookEvent& event) override;
 
   // Evaluates the wall-clock budgets immediately (from any thread) — the
-  // escape hatch for fully silent deadlocks where no events flow.
+  // escape hatch for fully silent deadlocks where no events flow.  Wire it
+  // into ExternalDomain::Options::stall_probe so the threads a wedged pump
+  // blocks are the ones that detect the wedge.
   void check_now();
+
+  // Escalation seam (DESIGN.md §13): each newly flagged stall invokes the
+  // handler exactly once, *outside* the watchdog's lock and on whichever
+  // thread detected it (an emitting worker inside on_event, or a check_now
+  // caller).  The intended handler quarantines the wedged domain —
+  // ExternalDomain::quarantine fails its records through legal edges — so
+  // the handler may emit hooks and re-enter this watchdog freely.  Install
+  // before events flow, or from a quiesced point; pass nullptr to clear.
+  using EscalationHandler = std::function<void(const StallReport&)>;
+  void set_escalation_handler(EscalationHandler handler);
 
   // Forget all tracked state and reports (e.g. between sweep seeds).  Call
   // only while no scheduler can emit.
@@ -102,6 +115,10 @@ class StallWatchdog final : public rt::hooks::ScheduleObserver {
   void flag(const void* domain, unsigned worker, std::uint64_t elapsed,
             std::string what);
   void scan(std::uint64_t now_events, Clock::time_point now_clock);
+  // Moves out the stalls flagged since the last drain; mu_ must be held.
+  std::vector<StallReport> take_pending_escalations();
+  // Runs the handler on each report; call with mu_ released.
+  void dispatch_escalations(std::vector<StallReport> pending);
 
   const Options options_;
   const InvariantAuditor* const model_;  // optional, not owned
@@ -111,6 +128,8 @@ class StallWatchdog final : public rt::hooks::ScheduleObserver {
   std::unordered_map<const void*, DomainWatch> domains_;
   std::vector<TrapWatch> traps_;
   std::vector<StallReport> reports_;
+  EscalationHandler handler_;
+  std::vector<StallReport> pending_escalations_;
 };
 
 }  // namespace batcher::audit

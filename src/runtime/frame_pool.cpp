@@ -1,6 +1,27 @@
 #include "runtime/frame_pool.hpp"
 
+#include <new>
+
+#include "runtime/schedule_hooks.hpp"
+
 namespace batcher::rt {
+
+namespace {
+
+// Allocation-failure injection point, shared by the two paths that touch the
+// global allocator (slab refill and the pool-less/oversized fallback).  The
+// chaos engine arms `test_faults().throw_bad_alloc` to prove a real
+// std::bad_alloc from the Nth allocation rides the task-frame exception
+// machinery like any other task failure.  Compiles away without BATCHER_AUDIT.
+inline void maybe_inject_bad_alloc() {
+#if BATCHER_AUDIT
+  if (hooks::fire(hooks::test_faults().throw_bad_alloc)) [[unlikely]] {
+    throw std::bad_alloc{};
+  }
+#endif
+}
+
+}  // namespace
 
 FramePool::~FramePool() {
   // Runs after the owning thread's last use (the Scheduler joins its threads
@@ -34,6 +55,7 @@ FramePool::FreeNode* FramePool::allocate_slow(int c) {
 FramePool::FreeNode* FramePool::refill(int c) {
   const std::size_t block = kClassSizes[c];
   const std::size_t count = kSlabBytes / block;
+  maybe_inject_bad_alloc();
   char* slab = static_cast<char*>(::operator new(kSlabBytes));
   slabs_.push_back(slab);
   FreeNode* head = local_[c];
@@ -53,6 +75,7 @@ FramePool::FreeNode* FramePool::refill(int c) {
 }
 
 void* FramePool::global_allocate(std::size_t bytes, std::size_t align) {
+  maybe_inject_bad_alloc();
   if (align <= kFrameAlign) {
     char* raw = static_cast<char*>(::operator new(sizeof(FrameHeader) + bytes));
     ::new (raw) FrameHeader{nullptr, 0,

@@ -50,6 +50,18 @@ enum class HookPoint : std::uint8_t {
   kAnnounceClaim,   // the launcher claimed the announce list (one exchange)
   kLaunchChained,   // launcher starts another launch under the same flag hold
                     // (value = chain index, >= 1)
+  // ExternalDomain (batcher/external.hpp) ingress-path events.  The subject
+  // is an external (non-worker) thread for submit/revoke — worker is
+  // kNoWorker and `value` carries the external tid — and the pump's worker
+  // for claim.  Each is emitted immediately *before* the status transition it
+  // announces, so a perturbing observer can stall a thread exactly inside the
+  // three-way revoke race window (deadline revoke vs pump claim vs exit
+  // drain).
+  kExternalSubmit,  // external thread about to publish its record (Pending)
+  kExternalRevoke,  // external thread about to CAS Pending -> Free
+                    // (value = tid; deque field unused)
+  kExternalClaim,   // pump (or quarantine/drain) about to CAS
+                    // Pending -> Executing (value = tid)
 };
 
 inline constexpr unsigned kNoWorker = ~0u;
@@ -120,6 +132,11 @@ struct TestFaults {
   std::atomic<std::int64_t> throw_in_bop{0};        // before ds.run_batch
   std::atomic<std::int64_t> throw_in_core_task{0};  // joined core task frames
   std::atomic<std::int64_t> throw_in_collect{0};    // per collected slot
+  // FramePool allocation-failure injection: the Nth slab refill or global
+  // fallback allocation throws std::bad_alloc (not InjectedFault — the point
+  // is to exercise the real allocator-failure type through the task-frame
+  // exception machinery).  Armed by FaultSchedule's kBadAlloc action.
+  std::atomic<std::int64_t> throw_bad_alloc{0};
   std::atomic<std::uint32_t> slow_launcher_spins{0};
 
   void reset() {
@@ -127,6 +144,7 @@ struct TestFaults {
     throw_in_bop.store(0, std::memory_order_relaxed);
     throw_in_core_task.store(0, std::memory_order_relaxed);
     throw_in_collect.store(0, std::memory_order_relaxed);
+    throw_bad_alloc.store(0, std::memory_order_relaxed);
     slow_launcher_spins.store(0, std::memory_order_relaxed);
   }
 };

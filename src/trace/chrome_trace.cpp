@@ -164,6 +164,18 @@ std::string chrome_trace_json(const Trace& trace, ChromeTraceOptions options) {
           w.kv("name", "flag CAS lost " + domain_label(r.a16));
           w.end_object();
           break;
+        case EventId::kOpTimeout:
+          event_header(w, "i", tid, rel_us(r.ts_ns, trace.t0_ns));
+          w.kv("s", "t");
+          w.kv("name", "op timeout " + domain_label(r.a16));
+          w.end_object();
+          break;
+        case EventId::kOpShed:
+          event_header(w, "i", tid, rel_us(r.ts_ns, trace.t0_ns));
+          w.kv("s", "t");
+          w.kv("name", "op shed " + domain_label(r.a16));
+          w.end_object();
+          break;
         case EventId::kFrameSlabRefill:
           event_header(w, "i", tid, rel_us(r.ts_ns, trace.t0_ns));
           w.kv("s", "t");

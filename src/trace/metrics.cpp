@@ -156,6 +156,12 @@ MetricsReport build_metrics(const Trace& trace) {
         case EventId::kFrameRemoteFree:
           ++m.frame_remote_frees;
           break;
+        case EventId::kOpTimeout:
+          ++m.ops_timed_out;
+          break;
+        case EventId::kOpShed:
+          ++m.ops_shed;
+          break;
         case EventId::kNone:
           break;
       }
@@ -211,6 +217,8 @@ void MetricsReport::to_json(json::Writer& w) const {
   w.kv("announce_pushes", announce_pushes);
   w.kv("chained_launches", chained_launches);
   w.kv("flag_cas_failures", flag_cas_failures);
+  w.kv("ops_timed_out", ops_timed_out);
+  w.kv("ops_shed", ops_shed);
   w.kv("unmatched_edges", unmatched_edges);
   w.key("batch_size_distribution").begin_array();
   for (std::uint64_t n : batch_size_hist) w.value(n);

@@ -53,6 +53,8 @@ struct MetricsReport {
   std::uint64_t announce_pushes = 0;     // kAnnouncePush count (§11)
   std::uint64_t chained_launches = 0;    // kLaunchChained count (§11)
   std::uint64_t flag_cas_failures = 0;   // kFlagCasFail count
+  std::uint64_t ops_timed_out = 0;       // kOpTimeout count (external §13)
+  std::uint64_t ops_shed = 0;            // kOpShed count (external §13)
   std::uint64_t unmatched_edges = 0;
 
   // Latency distributions (nanoseconds).

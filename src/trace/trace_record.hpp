@@ -35,6 +35,12 @@ namespace batcher::trace {
 //                           closes the flag-held window kFlagWon opened
 //                           (kLaunchExit no longer implies a reopen: a
 //                           chained launch keeps the flag)
+//   kOpTimeout              a16 = domain id; an external submit revoked its
+//                           still-pending record at its deadline (the ring is
+//                           the submitting thread's)
+//   kOpShed                 a16 = domain id; an external submit was refused
+//                           before publication because pending depth was at
+//                           the domain's shed threshold
 enum class EventId : std::uint16_t {
   kNone = 0,
   kTaskBegin,
@@ -53,6 +59,8 @@ enum class EventId : std::uint16_t {
   kFlagCasFail,
   kLaunchChained,
   kFlagReopen,
+  kOpTimeout,
+  kOpShed,
 };
 
 inline constexpr std::uint16_t kStealKindBatch = 1;  // kSteal a16 bit 0

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <set>
 #include <thread>
@@ -9,8 +10,11 @@
 
 #include "batcher/external.hpp"
 #include "ds/batched_counter.hpp"
+#include "ds/batched_hashmap.hpp"
+#include "ds/batched_pq.hpp"
 #include "ds/batched_skiplist.hpp"
 #include "runtime/scheduler.hpp"
+#include "support/backoff.hpp"
 
 namespace batcher {
 namespace {
@@ -150,6 +154,300 @@ TEST(ExternalDomain, ServeStartedAfterOpsWerePublished) {
   sched.run([&] { domain.serve(); });
   external.join();
   EXPECT_EQ(counter.value_unsafe(), 1);
+}
+
+// --- Deadlines & cancellation (DESIGN.md §13) -------------------------------
+
+TEST(ExternalDeadline, TimesOutWhenPumpNeverClaimsAndDomainStaysOpen) {
+  rt::Scheduler sched(2);
+  ds::BatchedCounter counter(sched);
+  ExternalDomain domain(sched, counter, 1);
+
+  // Phase 1: no pump exists, so the deadline always wins the revoke CAS.
+  std::thread external([&] {
+    ds::BatchedCounter::Op op;
+    op.delta = 1;
+    EXPECT_THROW(
+        domain.submit_until(0, op,
+                            std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(1)),
+        OpTimedOut);
+  });
+  external.join();
+  EXPECT_EQ(domain.ops_timed_out(), 1u);
+  EXPECT_EQ(domain.ops_served(), 1u);
+  EXPECT_EQ(counter.value_unsafe(), 0);  // revoked before any batch saw it
+
+  // Phase 2: a timeout is not a shutdown — the same domain still serves.
+  std::thread second([&] {
+    ds::BatchedCounter::Op op;
+    op.delta = 5;
+    domain.submit(0, op);
+    EXPECT_EQ(op.result, 5);
+    domain.shutdown();
+  });
+  sched.run([&] { domain.serve(); });
+  second.join();
+  EXPECT_EQ(counter.value_unsafe(), 5);
+  EXPECT_EQ(domain.ops_succeeded(), 1u);
+  EXPECT_EQ(domain.ops_served(), 2u);
+}
+
+TEST(ExternalDeadline, TrySubmitCountsEveryExpiredOpExactly) {
+  rt::Scheduler sched(2);
+  ds::BatchedCounter counter(sched);
+  ExternalDomain domain(sched, counter, 1);
+  constexpr std::uint64_t kOps = 8;
+  std::thread external([&] {
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      ds::BatchedCounter::Op op;
+      op.delta = 1;
+      EXPECT_THROW(domain.try_submit(0, op), OpTimedOut);
+    }
+  });
+  external.join();
+  EXPECT_EQ(domain.ops_timed_out(), kOps);
+  EXPECT_EQ(domain.ops_served(), kOps);
+  EXPECT_EQ(domain.ops_succeeded(), 0u);
+  EXPECT_EQ(domain.ops_failed(), 0u);
+  EXPECT_EQ(counter.value_unsafe(), 0);
+}
+
+TEST(ExternalDeadline, ClaimedOpCompletesPastItsDeadline) {
+  // Once the pump wins the claim CAS the deadline no longer applies: the op
+  // rides its batch to completion even when the batch finishes late.
+  rt::Scheduler sched(2);
+  struct SlowAdd final : BatchedStructure {
+    std::atomic<bool> entered{false};
+    std::atomic<bool> release{false};
+    std::int64_t sum = 0;
+    void run_batch(OpRecordBase* const* ops, std::size_t count) override {
+      entered.store(true, std::memory_order_release);
+      while (!release.load(std::memory_order_acquire)) cpu_relax();
+      for (std::size_t i = 0; i < count; ++i) {
+        auto* op = static_cast<ds::BatchedCounter::Op*>(ops[i]);
+        sum += op->delta;
+        op->result = sum;
+      }
+    }
+  } slow;
+  ExternalDomain domain(sched, slow, 1);
+
+  // Generous claim budget: the pump starts immediately and claims in
+  // microseconds, then the releaser deliberately holds the batch until the
+  // deadline has passed.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  std::thread external([&] {
+    ds::BatchedCounter::Op op;
+    op.delta = 7;
+    domain.submit_until(0, op, deadline);  // must not throw
+    EXPECT_EQ(op.result, 7);
+    domain.shutdown();
+  });
+  std::thread releaser([&] {
+    while (!slow.entered.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    while (std::chrono::steady_clock::now() <
+           deadline + std::chrono::milliseconds(5)) {
+      std::this_thread::yield();
+    }
+    slow.release.store(true, std::memory_order_release);
+  });
+  sched.run([&] { domain.serve(); });
+  external.join();
+  releaser.join();
+  EXPECT_EQ(domain.ops_timed_out(), 0u);
+  EXPECT_EQ(domain.ops_succeeded(), 1u);
+  EXPECT_EQ(slow.sum, 7);
+}
+
+// --- Overload shedding & retry ----------------------------------------------
+
+TEST(ExternalShed, BacklogAtThresholdRefusesBeforePublish) {
+  rt::Scheduler sched(2);
+  ds::BatchedCounter counter(sched);
+  ExternalDomain::Options opt;
+  opt.shed_threshold = 2;
+  ExternalDomain domain(sched, counter, 3, opt);
+
+  // Fill the backlog to the threshold: two submitters publish and block
+  // (no pump runs, so the depth cannot drain mid-test).
+  std::vector<std::thread> blocked;
+  for (std::size_t t = 0; t < 2; ++t) {
+    blocked.emplace_back([&, t] {
+      ds::BatchedCounter::Op op;
+      op.delta = 1;
+      EXPECT_THROW(domain.submit(t, op), DomainClosed);
+    });
+  }
+  while (domain.pending_depth() < 2) std::this_thread::yield();
+
+  std::thread shedder([&] {
+    for (int i = 0; i < 5; ++i) {
+      ds::BatchedCounter::Op op;
+      op.delta = 1;
+      EXPECT_THROW(domain.submit(2, op), DomainOverloaded);
+    }
+  });
+  shedder.join();
+  EXPECT_EQ(domain.ops_shed(), 5u);
+  EXPECT_EQ(domain.pending_depth(), 2u);  // shed ops were never published
+
+  domain.shutdown();
+  for (auto& th : blocked) th.join();
+  EXPECT_EQ(domain.ops_failed(), 2u);
+  EXPECT_EQ(domain.ops_served(), 2u);  // shed ops sit outside the identity
+  EXPECT_EQ(counter.value_unsafe(), 0);
+}
+
+TEST(ExternalShed, RetryPolicyOutlastsTransientOverload) {
+  rt::Scheduler sched(2);
+  ds::BatchedCounter counter(sched);
+  ExternalDomain::Options opt;
+  opt.shed_threshold = 1;
+  ExternalDomain domain(sched, counter, 2, opt);
+
+  std::thread occupier([&] {
+    ds::BatchedCounter::Op op;
+    op.delta = 1;
+    domain.submit(0, op);  // holds the backlog at the threshold until served
+    EXPECT_EQ(op.result, 1);
+  });
+  while (domain.pending_depth() < 1) std::this_thread::yield();
+
+  std::thread retrier([&] {
+    RetryPolicy policy;
+    policy.seed = 7;
+    policy.max_retries = 1u << 20;  // effectively: until the backlog drains
+    policy.base_spins = 16;
+    ds::BatchedCounter::Op op;
+    op.delta = 1;
+    domain.submit_with_retry(1, op, policy);
+    EXPECT_EQ(op.result, 2);  // published only after the occupier resolved
+    domain.shutdown();
+  });
+  // Hold the pump until the retrier has been shed at least once, so the
+  // backoff-and-retry path is genuinely exercised.
+  while (domain.ops_shed() == 0) std::this_thread::yield();
+  sched.run([&] { domain.serve(); });
+  occupier.join();
+  retrier.join();
+  EXPECT_GE(domain.retries_attempted(), 1u);
+  EXPECT_GE(domain.ops_shed(), 1u);
+  EXPECT_EQ(domain.ops_succeeded(), 2u);
+  EXPECT_EQ(counter.value_unsafe(), 2);
+}
+
+// --- serve() fairness -------------------------------------------------------
+
+TEST(ExternalServe, RotatingScanServesHighTidUnderSkewedLoad) {
+  // Regression for scan-from-zero starvation: with batch_cap=1 and low tids
+  // resubmitting the instant they are served, a fixed scan start would
+  // revisit the low slots (almost) exclusively; the rotating start resumes
+  // after the last examined slot, so every pending tid is served once per
+  // rotation and the high tid finishes in bounded time.
+  rt::Scheduler sched(2);
+  ds::BatchedCounter counter(sched);
+  constexpr std::size_t kThreads = 4;
+  ExternalDomain domain(sched, counter, kThreads, /*batch_cap=*/1);
+
+  std::atomic<bool> high_done{false};
+  std::vector<std::thread> spammers;
+  for (std::size_t t = 0; t + 1 < kThreads; ++t) {
+    spammers.emplace_back([&, t] {
+      while (!high_done.load(std::memory_order_acquire)) {
+        ds::BatchedCounter::Op op;
+        op.delta = 1;
+        try {
+          domain.submit(t, op);
+        } catch (const DomainClosed&) {
+          return;
+        }
+      }
+    });
+  }
+  constexpr std::int64_t kHighOps = 200;
+  std::thread high([&] {
+    for (std::int64_t i = 0; i < kHighOps; ++i) {
+      ds::BatchedCounter::Op op;
+      op.delta = 1;
+      domain.submit(kThreads - 1, op);
+    }
+    high_done.store(true, std::memory_order_release);
+    domain.shutdown();
+  });
+  sched.run([&] { domain.serve(); });
+  high.join();
+  for (auto& th : spammers) th.join();
+
+  const ExternalStats st = domain.stats();
+  EXPECT_EQ(st.ops_served, st.ops_succeeded + st.ops_failed + st.ops_timed_out);
+  EXPECT_GE(st.ops_succeeded, static_cast<std::uint64_t>(kHighOps));
+  EXPECT_EQ(counter.value_unsafe(),
+            static_cast<std::int64_t>(st.ops_succeeded));
+}
+
+// --- Multi-domain composition -----------------------------------------------
+
+TEST(ExternalMultiDomain, HashmapAndPqServeTogetherBothShutdownOrders) {
+  constexpr int kClients = 2;
+  constexpr std::int64_t kPer = 400;
+  for (int order = 0; order < 2; ++order) {
+    rt::Scheduler sched(4);
+    ds::BatchedHashMap map(sched);
+    ds::BatchedPriorityQueue pq(sched);
+    ExternalDomain dmap(sched, map, kClients);
+    ExternalDomain dpq(sched, pq, kClients);
+
+    std::atomic<int> done{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kClients; ++t) {
+      pool.emplace_back([&, t] {
+        for (std::int64_t i = 0; i < kPer; ++i) {
+          ds::BatchedHashMap::Op mop;
+          mop.kind = ds::BatchedHashMap::Kind::Update;
+          mop.key = i % 17;
+          mop.value = 1;
+          dmap.submit(static_cast<std::size_t>(t), mop);
+          ds::BatchedPriorityQueue::Op qop;
+          qop.kind = ds::BatchedPriorityQueue::Kind::Insert;
+          qop.key = t * kPer + i;
+          dpq.submit(static_cast<std::size_t>(t), qop);
+        }
+        if (done.fetch_add(1) + 1 == kClients) {
+          // Both shutdown orders: each pump must exit independently of the
+          // other domain's state.
+          if (order == 0) {
+            dmap.shutdown();
+            dpq.shutdown();
+          } else {
+            dpq.shutdown();
+            dmap.shutdown();
+          }
+        }
+      });
+    }
+    sched.run([&] {
+      rt::parallel_invoke([&] { dmap.serve(); }, [&] { dpq.serve(); });
+    });
+    for (auto& th : pool) th.join();
+
+    EXPECT_EQ(dmap.ops_succeeded(),
+              static_cast<std::uint64_t>(kClients * kPer))
+        << "order " << order;
+    EXPECT_EQ(dpq.ops_succeeded(), static_cast<std::uint64_t>(kClients * kPer))
+        << "order " << order;
+    EXPECT_EQ(pq.size_unsafe(), static_cast<std::size_t>(kClients * kPer));
+    std::int64_t total = 0;
+    for (std::int64_t k = 0; k < 17; ++k) {
+      total += map.get_unsafe(k).value_or(0);
+    }
+    EXPECT_EQ(total, kClients * kPer) << "order " << order;
+    EXPECT_TRUE(map.check_invariants());
+    EXPECT_TRUE(pq.check_invariants());
+  }
 }
 
 }  // namespace

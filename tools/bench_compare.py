@@ -22,6 +22,14 @@ A gated baseline metric that is absent from the candidate report fails the
 gate with a message naming the missing metric(s): losing a metric is a
 coverage regression even when nothing got slower.
 
+--exact PREFIX (repeatable) gates metrics whose name starts with PREFIX on
+*exact equality* regardless of unit: these are deterministic counts (e.g.
+the external-domain robustness counters external/ops_timed_out and
+external/ops_shed), where a change in either direction means the protocol
+resolved ops differently, not that something got faster or slower.  An
+--exact metric missing from the candidate fails the gate like a missing
+gated metric.
+
 Usage:
     python3 tools/bench_compare.py --baseline bench/results/BENCH_counter.json \
         --candidate bench-out/BENCH_counter.json \
@@ -76,6 +84,10 @@ def main():
     parser.add_argument("--metric", action="append", default=[],
                         help="gate only metrics whose name starts with this "
                              "prefix (repeatable); others are report-only")
+    parser.add_argument("--exact", action="append", default=[],
+                        help="gate metrics whose name starts with this prefix "
+                             "on exact equality (repeatable); direction and "
+                             "tolerance do not apply")
     parser.add_argument("--report-only", action="store_true",
                         help="never fail, just print the comparison")
     args = parser.parse_args()
@@ -91,7 +103,11 @@ def main():
             return True
         return any(name.startswith(p) for p in args.metric)
 
+    def exact(name):
+        return any(name.startswith(p) for p in args.exact)
+
     gate_failures = 0
+    exact_failures = 0
     missing_gated = []
     rows = 0
     for name in sorted(set(base) | set(cand)):
@@ -100,12 +116,20 @@ def main():
             continue
         if name not in cand:
             print(f"  MISSING  {name} (baseline {base[name][0]:g})")
-            if gated(name) and not args.report_only:
+            if (gated(name) or exact(name)) and not args.report_only:
                 missing_gated.append(name)
             continue
         bval, bunit = base[name]
         cval, cunit = cand[name]
         unit = bunit or cunit
+        if exact(name):
+            matches = bval == cval
+            tag = "ok" if matches else "DIFF"
+            print(f"  {tag:<8} {name}: {bval:g} -> {cval:g} (exact)")
+            rows += 1
+            if not matches:
+                exact_failures += 1
+            continue
         status, rel = classify(name, bval, cval, unit, args.tolerance)
         tag = {"better": "BETTER", "same": "ok", "worse": "WORSE",
                "info": "info"}[status]
@@ -131,6 +155,10 @@ def main():
     if gate_failures > 0:
         print(f"FAIL: {gate_failures} gated metric(s) regressed beyond "
               f"{args.tolerance:.0%}")
+        failed = True
+    if exact_failures > 0:
+        print(f"FAIL: {exact_failures} exact-match metric(s) differ from "
+              f"baseline")
         failed = True
     if failed:
         return 1

@@ -146,6 +146,59 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(code, 0)
         self.assertIn("BETTER", out)
 
+    def test_exact_metric_equal_passes(self):
+        # Robustness counters gate on equality: identical counts pass even
+        # though the "count" unit has no gating direction.
+        code, out = self.run_compare(
+            [("external/ops_timed_out", 32, "count")],
+            [("external/ops_timed_out", 32, "count")],
+            extra_args=["--exact", "external/ops_"])
+        self.assertEqual(code, 0)
+        self.assertIn("(exact)", out)
+        self.assertIn("PASS", out)
+
+    def test_exact_metric_differs_fails_either_direction(self):
+        # A deterministic count moving in *either* direction is a failure —
+        # fewer timeouts than baseline still means the protocol resolved ops
+        # differently.
+        for cand_value in (16, 64):
+            code, out = self.run_compare(
+                [("external/ops_timed_out", 32, "count")],
+                [("external/ops_timed_out", cand_value, "count")],
+                extra_args=["--exact", "external/ops_"])
+            self.assertEqual(code, 1)
+            self.assertIn("DIFF", out)
+            self.assertIn("exact-match metric(s) differ", out)
+
+    def test_exact_prefix_does_not_gate_other_metrics(self):
+        # The throughput regression is outside the exact prefix and no
+        # --metric gate is set alongside it that covers it... --metric
+        # defaults to gate-everything, so pass an unrelated --metric too.
+        code, out = self.run_compare(
+            [("external/ops_shed", 8, "count"), ("mops/x", 10.0, "1/s")],
+            [("external/ops_shed", 8, "count"), ("mops/x", 1.0, "1/s")],
+            extra_args=["--exact", "external/ops_",
+                        "--metric", "sim_makespan/"])
+        self.assertEqual(code, 0)
+        self.assertIn("WORSE", out)
+
+    def test_exact_metric_missing_fails(self):
+        code, out = self.run_compare(
+            [("external/ops_shed", 8, "count")],
+            [],
+            extra_args=["--exact", "external/ops_",
+                        "--metric", "sim_makespan/"])
+        self.assertEqual(code, 1)
+        self.assertIn("missing from candidate", out)
+        self.assertIn("external/ops_shed", out)
+
+    def test_exact_metric_report_only_passes(self):
+        code, _ = self.run_compare(
+            [("external/ops_shed", 8, "count")],
+            [("external/ops_shed", 9, "count")],
+            extra_args=["--exact", "external/ops_", "--report-only"])
+        self.assertEqual(code, 0)
+
     def test_new_metric_is_informational(self):
         code, out = self.run_compare(
             [("sim_makespan/A/P=4", 100, "steps")],

@@ -114,6 +114,29 @@ def reconcile(report, errors):
                 f"{path}: slab_refills ({st['slab_refills']}) with zero "
                 f"frames_allocated (refills happen only on allocation)")
 
+    for i, st in enumerate(report.get("external_stats", [])):
+        path = f"$.external_stats[{i}]"
+        # Every published record resolves exactly one way (DESIGN.md §13):
+        # success, failure (batch error / shutdown / quarantine), or a
+        # deadline revocation.  Shed ops were never published and sit outside
+        # the identity.
+        resolved = (st["ops_succeeded"] + st["ops_failed"]
+                    + st["ops_timed_out"])
+        if st["ops_served"] != resolved:
+            errors.append(
+                f"{path}: ops_served ({st['ops_served']}) != ops_succeeded + "
+                f"ops_failed + ops_timed_out ({st['ops_succeeded']} + "
+                f"{st['ops_failed']} + {st['ops_timed_out']})")
+        if st["batches_served"] > st["ops_served"]:
+            errors.append(
+                f"{path}: batches_served ({st['batches_served']}) > "
+                f"ops_served ({st['ops_served']}) — a served batch holds at "
+                f"least one op")
+        if st["batches_failed"] > st["batches_served"]:
+            errors.append(
+                f"{path}: batches_failed ({st['batches_failed']}) > "
+                f"batches_served ({st['batches_served']})")
+
     total = report.get("ops_processed_total", 0)
     trace = report.get("trace")
     if trace is None:
