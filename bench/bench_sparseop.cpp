@@ -38,8 +38,11 @@ const char* policy_name(Batcher::SetupPolicy policy) {
 
 // One policy's scheduler + counter, kept alive across interleaved reps.
 struct Variant {
-  explicit Variant(unsigned workers, Batcher::SetupPolicy policy)
-      : policy(policy), sched(workers), counter(sched, 0, policy) {}
+  Variant(unsigned workers, Batcher::SetupPolicy policy,
+          batcher::rt::StatsSnapshot* stats_sink)
+      : policy(policy), sched(workers), counter(sched, 0, policy) {
+    sched.export_final_stats(stats_sink);
+  }
 
   // One rep: kLanes lanes of sequential increments, the other P - kLanes
   // workers idle — the sparse-op regime.
@@ -79,37 +82,50 @@ int main() {
   bench::row("%-6s %-12s %12s %10s %10s %10s", "P", "policy", "ops/s",
              "batches", "empty", "chained");
   for (unsigned p : {4u, 8u, 16u, 32u}) {
-    Variant variants[] = {
-        Variant(p, Batcher::SetupPolicy::Announce),
-        Variant(p, Batcher::SetupPolicy::Sequential),
-        Variant(p, Batcher::SetupPolicy::Parallel),
-    };
-    for (int rep = 0; rep < kReps; ++rep) {
-      for (Variant& v : variants) v.rep();
-    }
-    const std::int64_t total = static_cast<std::int64_t>(kLanes) *
-                               kOpsPerLane * kReps;
-    for (Variant& v : variants) {
-      if (v.counter.value_unsafe() != total) {
-        std::printf("  !! counter mismatch (%s)\n", policy_name(v.policy));
+    // Filled when each variant's scheduler joins its workers (end of the
+    // inner scope); the per-P scheduler_stats rows — including the bound
+    // ledger's measured work/span — are emitted after that point so the
+    // frame-pool and critical-path totals are final.
+    batcher::rt::StatsSnapshot final_stats[3];
+    std::string labels[3];
+    {
+      Variant variants[] = {
+          Variant(p, Batcher::SetupPolicy::Announce, &final_stats[0]),
+          Variant(p, Batcher::SetupPolicy::Sequential, &final_stats[1]),
+          Variant(p, Batcher::SetupPolicy::Parallel, &final_stats[2]),
+      };
+      for (int rep = 0; rep < kReps; ++rep) {
+        for (Variant& v : variants) v.rep();
       }
-      const batcher::BatcherStats st = v.counter.batcher().stats();
-      const double ops_per_s =
-          v.seconds > 0 ? static_cast<double>(total) / v.seconds : 0.0;
-      bench::row("%-6u %-12s %12.0f %10llu %10llu %10llu", p,
-                 policy_name(v.policy), ops_per_s,
-                 static_cast<unsigned long long>(st.batches_launched),
-                 static_cast<unsigned long long>(st.empty_batches),
-                 static_cast<unsigned long long>(st.chained_launches));
-      const std::string suffix =
-          std::string("/") + policy_name(v.policy) + "/P=" + std::to_string(p);
-      report.metric("ops_per_s" + suffix, ops_per_s, "1/s");
-      report.metric("batches_per_op" + suffix,
-                    static_cast<double>(st.batches_launched) /
-                        static_cast<double>(total));
-      report.batcher_stats(policy_name(v.policy) +
-                               ("/P=" + std::to_string(p)),
-                           st);
+      const std::int64_t total = static_cast<std::int64_t>(kLanes) *
+                                 kOpsPerLane * kReps;
+      int i = 0;
+      for (Variant& v : variants) {
+        if (v.counter.value_unsafe() != total) {
+          std::printf("  !! counter mismatch (%s)\n", policy_name(v.policy));
+        }
+        const batcher::BatcherStats st = v.counter.batcher().stats();
+        const double ops_per_s =
+            v.seconds > 0 ? static_cast<double>(total) / v.seconds : 0.0;
+        bench::row("%-6u %-12s %12.0f %10llu %10llu %10llu", p,
+                   policy_name(v.policy), ops_per_s,
+                   static_cast<unsigned long long>(st.batches_launched),
+                   static_cast<unsigned long long>(st.empty_batches),
+                   static_cast<unsigned long long>(st.chained_launches));
+        const std::string suffix = std::string("/") + policy_name(v.policy) +
+                                   "/P=" + std::to_string(p);
+        report.metric("ops_per_s" + suffix, ops_per_s, "1/s");
+        report.metric("batches_per_op" + suffix,
+                      static_cast<double>(st.batches_launched) /
+                          static_cast<double>(total));
+        report.batcher_stats(policy_name(v.policy) +
+                                 ("/P=" + std::to_string(p)),
+                             st);
+        labels[i++] = policy_name(v.policy) + ("/P=" + std::to_string(p));
+      }
+    }
+    for (int i = 0; i < 3; ++i) {
+      report.scheduler_stats(labels[i], final_stats[i]);
     }
   }
   bench::note("announce collect touches only announced slots, so its launch "

@@ -14,7 +14,9 @@
 //   * BatcherStats / scheduler StatsSnapshot records (with the op-count
 //     identities intact, so downstream tooling can reconcile),
 //   * when $BATCHER_TRACE is set, the drained trace's MetricsReport plus a
-//     Chrome trace file `trace_<name>.json` next to the report.
+//     Chrome trace file `trace_<name>.json` next to the report, and a
+//     "bound_ledger" section with the online work/span ledger and the
+//     measured Theorem 1 terms (T1/P + Tinf + n*sigma/P + s*sigma).
 //
 // Environment knobs:
 //   BATCHER_BENCH_OUT    output directory for BENCH_*.json / trace_*.json
@@ -39,6 +41,7 @@
 #include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/timing.hpp"
+#include "trace/bound_ledger.hpp"
 #include "trace/chrome_trace.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
@@ -226,6 +229,8 @@ class Report {
   bool traced_ = false;
   std::string trace_file_;
   trace::MetricsReport trace_metrics_;
+  trace::ledger::LedgerSnapshot ledger_;
+  std::uint64_t trace_wall_ns_ = 0;
 };
 
 // Records a TraceSession spanning the bench when $BATCHER_TRACE is set; a
@@ -258,6 +263,19 @@ class TraceScope {
     const trace::Trace& tr = session_->stop();
     report_.traced_ = true;
     report_.trace_metrics_ = trace::build_metrics(tr);
+    // The bound ledger accrued alongside the same session (it was reset at
+    // session start and stops accruing at stop); snapshot it into the report
+    // together with the session wall time so Report::write can evaluate the
+    // Theorem 1 terms against the same window.
+    report_.ledger_ = trace::ledger::snapshot();
+    report_.trace_wall_ns_ = tr.t1_ns > tr.t0_ns ? tr.t1_ns - tr.t0_ns : 0;
+    // Exact-gateable coverage metrics: a nonzero drop count or a changed
+    // run count means the trace no longer observes what the baseline did.
+    report_.metric("trace/records_dropped",
+                   static_cast<double>(report_.trace_metrics_.dropped_records),
+                   "count");
+    report_.metric("ledger/runs", static_cast<double>(report_.ledger_.runs),
+                   "count");
     report_.trace_file_ = "trace_" + report_.name_ + ".json";
     const std::string path = out_dir() + "/" + report_.trace_file_;
     if (trace::write_chrome_trace(tr, path)) {
@@ -336,6 +354,12 @@ inline bool Report::write() {
     w.kv("frames_freed", st.frames_freed);
     w.kv("remote_frees", st.remote_frees);
     w.kv("slab_refills", st.slab_refills);
+    w.kv("work_ns", st.work_ns);
+    w.kv("span_ns", st.span_ns);
+    w.kv("span_tasks", st.span_tasks);
+    w.kv("runs_measured", st.runs_measured);
+    w.kv("longest_run_span_ns", st.longest_run_span_ns);
+    w.kv("longest_run_span_tasks", st.longest_run_span_tasks);
     w.end_object();
   }
   w.end_array();
@@ -363,6 +387,84 @@ inline bool Report::write() {
     w.kv("file", std::string_view(trace_file_));
     w.key("metrics");
     trace_metrics_.to_json(w);
+    w.end_object();
+
+    // Theorem 1 bound ledger: online work/span totals, per-domain batched-op
+    // cost histograms by size bucket, and the measured bound terms
+    // T1/P + Tinf + n*sigma/P + s*sigma evaluated over the traced window.
+    const std::uint64_t threads = trace_metrics_.attribution.worker_threads;
+    std::uint64_t sum_bop_wall = 0;
+    std::uint64_t sum_bop_span = 0;
+    for (const auto& d : ledger_.domains) {
+      sum_bop_wall += d.sum_bop_wall_ns;
+      sum_bop_span += d.sum_bop_span_ns;
+    }
+    w.key("bound_ledger").begin_object();
+    w.kv("wall_ns", trace_wall_ns_);
+    w.kv("worker_threads", threads);
+    w.kv("work_ns", ledger_.work_ns);
+    w.kv("strands", ledger_.strands);
+    w.kv("runs", ledger_.runs);
+    w.kv("span_ns_total", ledger_.span_ns_total);
+    w.kv("span_tasks_total", ledger_.span_tasks_total);
+    w.kv("longest_run_span_ns", ledger_.longest_run_span_ns);
+    w.kv("longest_run_span_tasks", ledger_.longest_run_span_tasks);
+    w.key("terms").begin_object();
+    {
+      const double p = threads > 0 ? static_cast<double>(threads) : 1.0;
+      const double t1_div_p = static_cast<double>(ledger_.work_ns) / p;
+      const double t_inf = static_cast<double>(ledger_.longest_run_span_ns);
+      const double n_sigma_div_p = static_cast<double>(sum_bop_wall) / p;
+      const double s_sigma = static_cast<double>(sum_bop_span);
+      const double bound = t1_div_p + t_inf + n_sigma_div_p + s_sigma;
+      w.kv("t1_div_p_ns", t1_div_p);
+      w.kv("t_inf_ns", t_inf);
+      w.kv("n_sigma_div_p_ns", n_sigma_div_p);
+      w.kv("s_sigma_ns", s_sigma);
+      w.kv("predicted_bound_ns", bound);
+      // wall / bound: Theorem 1 says this is O(1); watching it drift across
+      // commits is the point of keeping the ledger in every report.
+      w.kv("bound_ratio",
+           bound > 0.0 ? static_cast<double>(trace_wall_ns_) / bound : 0.0);
+    }
+    w.end_object();
+    w.key("domains").begin_array();
+    for (const auto& d : ledger_.domains) {
+      w.begin_object();
+      w.kv("domain", std::uint64_t{d.domain});
+      w.kv("batches", d.batches);
+      w.kv("ops", d.ops);
+      w.kv("sum_bop_wall_ns", d.sum_bop_wall_ns);
+      w.kv("sum_bop_span_ns", d.sum_bop_span_ns);
+      // One latency histogram per batch-size bucket — the s(n) evidence.
+      // Keys name the bucket's inclusive upper bound; empty buckets are
+      // omitted.
+      const auto size_histograms = [&](const trace::LatencyHistogram* hists) {
+        w.begin_object();
+        for (std::size_t b = 0; b < trace::ledger::kSizeBuckets; ++b) {
+          if (hists[b].count() == 0) continue;
+          char key[16];
+          if (b + 1 < trace::ledger::kSizeBuckets) {
+            std::snprintf(key, sizeof key, "le_%llu",
+                          static_cast<unsigned long long>(
+                              trace::ledger::size_bucket_max(b)));
+          } else {
+            std::snprintf(key, sizeof key, "gt_%llu",
+                          static_cast<unsigned long long>(
+                              trace::ledger::size_bucket_max(b - 1)));
+          }
+          w.key(key);
+          trace::histogram_to_json(hists[b], w);
+        }
+        w.end_object();
+      };
+      w.key("bop_wall_by_size");
+      size_histograms(d.bop_wall_by_size);
+      w.key("bop_span_by_size");
+      size_histograms(d.bop_span_by_size);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_object();

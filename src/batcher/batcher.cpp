@@ -6,6 +6,7 @@
 #include "runtime/api.hpp"
 #include "runtime/schedule_hooks.hpp"
 #include "support/backoff.hpp"
+#include "trace/bound_ledger.hpp"
 #include "trace/trace.hpp"
 
 namespace batcher {
@@ -73,6 +74,21 @@ void Batcher::batchify(OpRecordBase& op) {
     trace::emit(w->id(), trace::EventId::kOpSubmit, trace_id_);
   }
   slot.op = &op;
+  // Bound ledger: publish this op's path-so-far with the slot (the launcher
+  // folds the batch's max into its launch strand after collect), then pause —
+  // the whole trapped loop below is other strands' time: helped batch tasks
+  // and any launch we run open scopes of their own over the paused state.
+  if (trace::enabled()) [[unlikely]] {
+    const trace::ledger::PathPoint path = trace::ledger::strand_now();
+    slot.submit_path_ns = path.ns;
+    slot.submit_path_tasks = path.tasks;
+    // Clear any done path left from a previous session: if this op's
+    // completion pass runs with tracing off it writes nothing, and resuming
+    // from a stale path would fold foreign nanoseconds into this session.
+    slot.done_path_ns = 0;
+    slot.done_path_tasks = 0;
+    trace::ledger::strand_pause();
+  }
   // Emitted before the release store: a launcher can only observe (and report
   // on) this slot after the store, so the observer sees free->pending first.
   hooks::emit({hooks::HookPoint::kStatusFreeToPending, w->id(),
@@ -162,6 +178,12 @@ void Batcher::batchify(OpRecordBase& op) {
     }
   }
 
+  // Bound ledger: resume the op's strand from the completion pass's path —
+  // the Done acquire above ordered the done_path_* writes before these reads.
+  if (trace::enabled()) [[unlikely]] {
+    trace::ledger::strand_resume(
+        {slot.done_path_ns, slot.done_path_tasks});
+  }
   // done -> free: only the owning worker makes this transition (§4).
   hooks::emit({hooks::HookPoint::kStatusDoneToFree, w->id(),
                rt::TaskKind::Core, w->current_kind(), this});
@@ -259,6 +281,13 @@ void Batcher::launch_batch() {
   for (std::size_t chain = 0;;) {
     bool chain_again = false;
     {
+      // Bound ledger: each launch of the chain is a strand.  It starts empty
+      // (the launcher's own core strand is paused in batchify) and, once the
+      // batch is collected, folds in the longest submit path — the launch
+      // depends on every op it carries.  Constructed before the guard so the
+      // guard's failure completions still run under a live scope.
+      const bool led = trace::enabled();
+      trace::ledger::StrandScope lscope({0, 0}, led);
       BatchGuard guard(*this, launcher);
       try {
         const std::size_t count = announce ? collect_announce()
@@ -272,6 +301,23 @@ void Batcher::launch_batch() {
         }
         BATCHER_ASSERT(count <= sched_.num_workers(),
                        "Invariant 2 violated: batch larger than P");
+        if (led && count > 0) [[unlikely]] {
+          // Executing status marks exactly this batch's slots (the previous
+          // batch carried all of its own to Done before the flag reopened);
+          // a Θ(P) scan is fine on a trace-gated path.
+          trace::ledger::PathPoint dep;
+          for (const Slot& s : slots_) {
+            if (s.status.load(std::memory_order_relaxed) !=
+                OpStatus::Executing) {
+              continue;
+            }
+            if (s.submit_path_ns > dep.ns) dep.ns = s.submit_path_ns;
+            if (s.submit_path_tasks > dep.tasks) {
+              dep.tasks = s.submit_path_tasks;
+            }
+          }
+          trace::ledger::strand_fold(dep);
+        }
 #if BATCHER_AUDIT
         // Slow-launcher fault: stretch the window in which the batch flag is
         // held, for StallWatchdog tests.
@@ -287,7 +333,27 @@ void Batcher::launch_batch() {
             throw hooks::InjectedFault("injected fault: BOP threw");
           }
 #endif
+          std::uint64_t bop_wall0 = 0;
+          trace::ledger::PathPoint bop_path0;
+          if (led) [[unlikely]] {
+            bop_wall0 = trace::now_ns();
+            bop_path0 = trace::ledger::strand_now();
+          }
           ds_.run_batch(working_.data(), count);
+          if (led) [[unlikely]] {
+            // Path sampled before the wall read (mirroring wall-before-path
+            // on entry) so the span window nests inside the wall window and
+            // span <= wall holds exactly, not just up to clock-read skew.
+            const trace::ledger::PathPoint bop_path1 =
+                trace::ledger::strand_now();
+            const std::uint64_t bop_wall1 = trace::now_ns();
+            // s(n) evidence: one sample per clean non-empty BOP — batch size
+            // n, wall time, and measured span (path growth across the call).
+            trace::ledger::note_batch(
+                trace_id_, count,
+                bop_wall1 >= bop_wall0 ? bop_wall1 - bop_wall0 : 0,
+                bop_path1.ns - bop_path0.ns);
+          }
           if (trace::enabled()) [[unlikely]] {
             trace::emit(launcher, trace::EventId::kBopDone, trace_id_,
                         static_cast<std::uint32_t>(count));
@@ -415,10 +481,19 @@ std::size_t Batcher::collect(bool parallel) {
 }
 
 std::size_t Batcher::complete(bool parallel, const std::exception_ptr& error) {
+  const bool led = trace::enabled();
   std::atomic<std::size_t> flipped{0};  // parallel flips bump concurrently
   transition_slots<OpStatus::Executing, OpStatus::Done>(
       parallel, [&](std::size_t, Slot& s) {
         if (error != nullptr) s.op->set_error(error);
+        if (led) [[unlikely]] {
+          // Whatever thread flips the slot, its current path reaches this
+          // completion node; the Done release store publishes it with the
+          // result, and the trapped owner resumes from it.
+          const trace::ledger::PathPoint path = trace::ledger::strand_now();
+          s.done_path_ns = path.ns;
+          s.done_path_tasks = path.tasks;
+        }
         flipped.fetch_add(1, std::memory_order_relaxed);
       });
   return flipped.load(std::memory_order_relaxed);
@@ -459,9 +534,15 @@ std::size_t Batcher::collect_announce() {
 std::size_t Batcher::complete_claimed(const std::exception_ptr& error) {
   BATCHER_DASSERT(claimed_rest_ == nullptr,
                   "clean completion implies the claim walk finished");
+  const bool led = trace::enabled();
   for (std::size_t i = 0; i < claimed_count_; ++i) {
     Slot* s = claimed_[i];
     if (error != nullptr) s->op->set_error(error);
+    if (led) [[unlikely]] {
+      const trace::ledger::PathPoint path = trace::ledger::strand_now();
+      s->done_path_ns = path.ns;
+      s->done_path_tasks = path.tasks;
+    }
     hooks::emit({hooks::HookPoint::kStatusExecutingToDone, s->owner,
                  rt::TaskKind::Batch, rt::TaskKind::Batch, this});
     // Release publishes BOP results (and any recorded error) to the
@@ -474,12 +555,18 @@ std::size_t Batcher::complete_claimed(const std::exception_ptr& error) {
 }
 
 std::size_t Batcher::fail_claimed(const std::exception_ptr& error) {
+  const bool led = trace::enabled();
   // Already-collected slots are Executing: record the error and flip them
   // to Done exactly like a clean completion would.
   std::size_t flipped = 0;
   for (std::size_t i = 0; i < claimed_count_; ++i) {
     Slot* s = claimed_[i];
     s->op->set_error(error);
+    if (led) [[unlikely]] {
+      const trace::ledger::PathPoint path = trace::ledger::strand_now();
+      s->done_path_ns = path.ns;
+      s->done_path_tasks = path.tasks;
+    }
     hooks::emit({hooks::HookPoint::kStatusExecutingToDone, s->owner,
                  rt::TaskKind::Batch, rt::TaskKind::Batch, this});
     s->status.store(OpStatus::Done, std::memory_order_release);
@@ -496,6 +583,11 @@ std::size_t Batcher::fail_claimed(const std::exception_ptr& error) {
     // may resume, re-announce, and overwrite announce_next.
     Slot* next = s->announce_next;
     s->op->set_error(error);
+    if (led) [[unlikely]] {
+      const trace::ledger::PathPoint path = trace::ledger::strand_now();
+      s->done_path_ns = path.ns;
+      s->done_path_tasks = path.tasks;
+    }
     hooks::emit({hooks::HookPoint::kStatusPendingToExecuting, s->owner,
                  rt::TaskKind::Batch, rt::TaskKind::Batch, this});
     s->status.store(OpStatus::Executing, std::memory_order_relaxed);

@@ -166,6 +166,16 @@ class Batcher {
     // exchange; the claim walk always reads it before flipping the slot to
     // a state the owner could resume from, so a plain pointer suffices.
     Slot* announce_next = nullptr;
+    // Bound-ledger path handoff (trace/bound_ledger.hpp).  The owner writes
+    // submit_path_* before its Pending release store (launcher reads after
+    // the acquire that observed Pending); the completion pass writes
+    // done_path_* before the Done release store (owner reads after the
+    // acquire that observed Done).  The LAUNCHBATCH dependency edges thus
+    // ride the existing status protocol with no extra synchronization.
+    std::uint64_t submit_path_ns = 0;
+    std::uint64_t submit_path_tasks = 0;
+    std::uint64_t done_path_ns = 0;
+    std::uint64_t done_path_tasks = 0;
   };
 
   // RAII completion of one LAUNCHBATCH (DESIGN.md §8): the constructor

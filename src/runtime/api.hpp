@@ -14,6 +14,8 @@
 #include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
 #include "runtime/worker.hpp"
+#include "trace/bound_ledger.hpp"
+#include "trace/trace.hpp"
 
 namespace batcher::rt {
 
@@ -35,14 +37,39 @@ void parallel_invoke(F0&& f0, F1&& f1) {
     return;
   }
   JoinCounter join(1);
-  Task* child = make_task(std::forward<F1>(f1), &join, w->current_kind());
+  // Bound ledger (trace/bound_ledger.hpp): while a TraceSession is active the
+  // spawned arm carries a strand of its own — rooted at the spawner's current
+  // path — and folds its finished path into the join, where the spawner picks
+  // it up after the wait.  The inline arm is a serial continuation and stays
+  // on the spawner's open strand.  With tracing off this is one relaxed load.
+  const bool led = trace::enabled();
+  Task* child;
+  if (led) [[unlikely]] {
+    child = make_task(
+        [fn = std::decay_t<F1>(std::forward<F1>(f1)),
+         base = trace::ledger::strand_now(), &join]() mutable {
+          trace::ledger::StrandScope scope(base, trace::enabled());
+          fn();
+          const trace::ledger::PathPoint path = scope.finish();
+          join.fold_span(path.ns, path.tasks);
+        },
+        &join, w->current_kind());
+  } else {
+    child = make_task(std::forward<F1>(f1), &join, w->current_kind());
+  }
   w->push(child);
   try {
     f0();
   } catch (...) {
     join.capture(std::current_exception());
   }
+  // Time spent blocked at the join belongs to whoever we help, not to this
+  // strand; the child's folded path re-enters ours when we resume.
+  if (led) [[unlikely]] trace::ledger::strand_pause();
   w->wait(join);
+  if (led) [[unlikely]] {
+    trace::ledger::strand_resume({join.span_ns(), join.span_tasks()});
+  }
   join.rethrow_if_failed();
 }
 

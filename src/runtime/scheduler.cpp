@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "support/config.hpp"
+#include "trace/bound_ledger.hpp"
+#include "trace/trace.hpp"
 
 namespace batcher::rt {
 
@@ -80,8 +82,20 @@ void Scheduler::run(std::function<void()> root) {
         // Structured constructs join before propagating, so by the time an
         // exception reaches this frame every descendant has completed; the
         // handshake below publishes the error to the run() caller.
+        //
+        // The root is where a run's critical path starts: under an active
+        // TraceSession it opens the run's root strand, and the path left in
+        // the strand when fn() returns — every join having folded the
+        // longest child path back in — is this run's measured T∞.
+        const bool led = trace::enabled();
+        trace::ledger::StrandScope lscope({0, 0}, led);
         try {
           fn();
+          if (led) [[unlikely]] {
+            const trace::ledger::PathPoint span = lscope.finish();
+            note_root_span(span.ns, span.tasks);
+            trace::ledger::note_run(span);
+          }
         } catch (...) {
           root_error_ = std::current_exception();
         }
@@ -109,14 +123,41 @@ void Scheduler::run(std::function<void()> root) {
   }
 }
 
+void Scheduler::note_root_span(std::uint64_t span_ns,
+                               std::uint64_t span_tasks) {
+  runs_measured_.bump();
+  span_ns_.bump(span_ns);
+  span_tasks_.bump(span_tasks);
+  auto fold = [](std::atomic<std::uint64_t>& cell, std::uint64_t v) {
+    std::uint64_t cur = cell.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  };
+  fold(longest_run_span_ns_, span_ns);
+  fold(longest_run_span_tasks_, span_tasks);
+}
+
 StatsSnapshot Scheduler::total_stats() const {
   StatsSnapshot total;
   for (const auto& w : workers_) total += w->stats();
+  total.span_ns = span_ns_.get();
+  total.span_tasks = span_tasks_.get();
+  total.runs_measured = runs_measured_.get();
+  total.longest_run_span_ns =
+      longest_run_span_ns_.load(std::memory_order_relaxed);
+  total.longest_run_span_tasks =
+      longest_run_span_tasks_.load(std::memory_order_relaxed);
   return total;
 }
 
 void Scheduler::reset_stats() {
   for (auto& w : workers_) w->stats().reset();
+  runs_measured_.reset();
+  span_ns_.reset();
+  span_tasks_.reset();
+  longest_run_span_ns_.store(0, std::memory_order_relaxed);
+  longest_run_span_tasks_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace batcher::rt

@@ -75,9 +75,19 @@ class Scheduler {
 
   void worker_thread(unsigned index);
   void note_root_done();
+  void note_root_span(std::uint64_t span_ns, std::uint64_t span_tasks);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+
+  // Bound-ledger per-run root spans (measured T∞), accrued by the root
+  // wrapper when a run completes cleanly under an active TraceSession.
+  // Folded into StatsSnapshot by total_stats().
+  Counter runs_measured_;
+  Counter span_ns_;
+  Counter span_tasks_;
+  std::atomic<std::uint64_t> longest_run_span_ns_{0};
+  std::atomic<std::uint64_t> longest_run_span_tasks_{0};
 
   StatsSnapshot* final_stats_sink_ = nullptr;
 

@@ -69,6 +69,11 @@ struct WorkerStats {
   Counter remote_frees;         // frames returned by a non-owner thread
   Counter slab_refills;         // slabs carved (the only global allocations)
 
+  // Measured T1 contribution: nanoseconds of strand segments closed on this
+  // worker's thread (trace/bound_ledger.hpp).  Only accrues while a
+  // TraceSession is active — zero in untraced runs.
+  Counter work_ns;
+
   void reset() {
     tasks_executed.reset();
     core_steal_attempts.reset();
@@ -79,6 +84,7 @@ struct WorkerStats {
     frames_freed.reset();
     remote_frees.reset();
     slab_refills.reset();
+    work_ns.reset();
   }
 };
 
@@ -94,6 +100,16 @@ struct StatsSnapshot {
   std::uint64_t remote_frees = 0;
   std::uint64_t slab_refills = 0;
 
+  // Bound-ledger quantities (zero when the run was untraced).  work_ns sums
+  // worker-thread strand time (measured T1); the span fields come from the
+  // scheduler's per-run root spans (measured T∞), not from WorkerStats.
+  std::uint64_t work_ns = 0;
+  std::uint64_t span_ns = 0;
+  std::uint64_t span_tasks = 0;
+  std::uint64_t runs_measured = 0;
+  std::uint64_t longest_run_span_ns = 0;
+  std::uint64_t longest_run_span_tasks = 0;
+
   StatsSnapshot& operator+=(const WorkerStats& w) {
     tasks_executed += w.tasks_executed.get();
     core_steal_attempts += w.core_steal_attempts.get();
@@ -104,6 +120,7 @@ struct StatsSnapshot {
     frames_freed += w.frames_freed.get();
     remote_frees += w.remote_frees.get();
     slab_refills += w.slab_refills.get();
+    work_ns += w.work_ns.get();
     return *this;
   }
 

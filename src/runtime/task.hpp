@@ -76,6 +76,22 @@ class JoinCounter {
     return failed_.load(std::memory_order_acquire);
   }
 
+  // Bound-ledger span fold: a finishing child max-folds its path (in ns and
+  // in task frames — each component independently) into the join, and the
+  // spawner resumes its own strand from the folded values.  Relaxed is
+  // enough: the finish()/done() release/acquire pair that hands the join
+  // back to the spawner already orders these writes before the reads.
+  void fold_span(std::uint64_t ns, std::uint64_t tasks) noexcept {
+    fold_max(span_ns_, ns);
+    fold_max(span_tasks_, tasks);
+  }
+  std::uint64_t span_ns() const noexcept {
+    return span_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t span_tasks() const noexcept {
+    return span_tasks_.load(std::memory_order_relaxed);
+  }
+
   // Rethrows the captured exception, if any.  Call only after done().
   void rethrow_if_failed() {
     if (failed()) {
@@ -86,10 +102,20 @@ class JoinCounter {
   }
 
  private:
+  static void fold_max(std::atomic<std::uint64_t>& cell,
+                       std::uint64_t v) noexcept {
+    std::uint64_t cur = cell.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
   std::atomic<std::int64_t> count_;
   std::atomic<bool> claimed_{false};  // elects the error_ writer, nothing more
   std::atomic<bool> failed_{false};   // readers' flag; publishes error_
   std::exception_ptr error_;
+  std::atomic<std::uint64_t> span_ns_{0};     // max child path folded in
+  std::atomic<std::uint64_t> span_tasks_{0};
 };
 
 // Type-erased task frame.  Uses a function-pointer vtable-of-two instead of a

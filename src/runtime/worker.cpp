@@ -2,6 +2,7 @@
 
 #include "runtime/scheduler.hpp"
 #include "support/backoff.hpp"
+#include "trace/bound_ledger.hpp"
 #include "trace/trace.hpp"
 
 namespace batcher::rt {
@@ -91,6 +92,13 @@ Task* Worker::steal_alternating() {
 
 void Worker::wait(JoinCounter& join) {
   const TaskKind waiting_kind = kind_;
+  // The caller's strand is paused (parallel_invoke) for this whole window:
+  // any time not inside a helped task's own kTaskBegin/End pair is steal
+  // attempts and backoff, which attribution charges to the steal bucket.
+  const bool traced = trace::enabled();
+  if (traced) [[unlikely]] {
+    trace::emit(id_, trace::EventId::kJoinWaitBegin);
+  }
   Backoff backoff;
   while (!join.done()) {
     // Drain our own deque for the dag we are part of first: those tasks are
@@ -114,6 +122,9 @@ void Worker::wait(JoinCounter& join) {
       backoff.pause();
     }
   }
+  if (traced) [[unlikely]] {
+    trace::emit(id_, trace::EventId::kJoinWaitEnd);
+  }
 }
 
 bool Worker::help_batch_once() {
@@ -127,6 +138,12 @@ bool Worker::help_batch_once() {
 void Worker::main_loop() {
   t_current_worker = this;
   FramePool::set_tls(&frame_pool_);
+  // Strand segments closed on this thread accrue measured T1 into this
+  // worker's stats block for the rest of the thread's life.
+  trace::ledger::set_thread_work_sink(&stats_.work_ns);
+  if (trace::enabled()) [[unlikely]] {
+    trace::emit(id_, trace::EventId::kWorkerStart);
+  }
   Backoff backoff;
   while (!sched_->stopping()) {
     if (!sched_->run_active()) {
@@ -136,6 +153,9 @@ void Worker::main_loop() {
       // the frame counts batched during the run, so all-parked snapshots
       // satisfy frames_allocated == frames_freed exactly.
       frame_pool_.flush_stats();
+      if (trace::enabled()) [[unlikely]] {
+        trace::emit(id_, trace::EventId::kParkBegin);
+      }
       std::unique_lock<std::mutex> lock(sched_->mutex_);
       ++sched_->parked_workers_;
       sched_->caller_cv_.notify_all();
@@ -143,6 +163,10 @@ void Worker::main_loop() {
         return sched_->stopping() || sched_->run_active();
       });
       --sched_->parked_workers_;
+      lock.unlock();
+      if (trace::enabled()) [[unlikely]] {
+        trace::emit(id_, trace::EventId::kParkEnd);
+      }
       continue;
     }
     hooks::emit({hooks::HookPoint::kWorkerLoop, id_, TaskKind::Core, kind_});
@@ -160,6 +184,10 @@ void Worker::main_loop() {
   // The stop flag can interrupt the loop without another park, so flush once
   // more: the scheduler's destructor reads stats after joining this thread.
   frame_pool_.flush_stats();
+  if (trace::enabled()) [[unlikely]] {
+    trace::emit(id_, trace::EventId::kWorkerExit);
+  }
+  trace::ledger::set_thread_work_sink(nullptr);
   FramePool::set_tls(nullptr);
   t_current_worker = nullptr;
 }

@@ -1,0 +1,236 @@
+#include "trace/bound_ledger.hpp"
+
+#include <bit>
+
+#include "trace/trace.hpp"
+
+namespace batcher::trace::ledger {
+
+namespace {
+
+struct DomainCells {
+  rt::Counter batches;
+  rt::Counter ops;
+  rt::Counter sum_bop_wall_ns;
+  rt::Counter sum_bop_span_ns;
+  LatencyHistogram bop_wall_by_size[kSizeBuckets];
+  LatencyHistogram bop_span_by_size[kSizeBuckets];
+
+  void reset() {
+    batches.reset();
+    ops.reset();
+    sum_bop_wall_ns.reset();
+    sum_bop_span_ns.reset();
+    for (auto& h : bop_wall_by_size) h.reset();
+    for (auto& h : bop_span_by_size) h.reset();
+  }
+};
+
+struct GlobalCells {
+  rt::Counter work_ns;
+  rt::Counter strands;
+  rt::Counter runs;
+  rt::Counter span_ns_total;
+  rt::Counter span_tasks_total;
+  std::atomic<std::uint64_t> longest_run_span_ns{0};
+  std::atomic<std::uint64_t> longest_run_span_tasks{0};
+  // Lazily allocated, never freed: domain ids are dense and bounded, and a
+  // cell allocated once serves every Batcher that ever reuses its id.
+  std::array<std::atomic<DomainCells*>, kMaxLedgerDomains> domains{};
+};
+
+GlobalCells& cells() {
+  static GlobalCells g;  // immortal, like the trace registry
+  return g;
+}
+
+DomainCells* domain_cells(std::uint16_t id) {
+  GlobalCells& g = cells();
+  const std::size_t slot = id < kMaxLedgerDomains ? id : kMaxLedgerDomains - 1;
+  DomainCells* d = g.domains[slot].load(std::memory_order_acquire);
+  if (d != nullptr) return d;
+  auto* fresh = new DomainCells();
+  DomainCells* expected = nullptr;
+  if (g.domains[slot].compare_exchange_strong(expected, fresh,
+                                              std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;  // lost the race; the winner's cell is the canonical one
+  return expected;
+}
+
+void fold_max(std::atomic<std::uint64_t>& cell, std::uint64_t v) {
+  std::uint64_t cur = cell.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !cell.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+void close_segment() {
+  StrandState& s = t_strand;
+  if (!s.active || !s.open) return;
+  s.open = false;
+  // A segment still open when the session stops is dropped whole: the
+  // offline attribution is clamped to [t0, t1], so counting the pre-stop
+  // part here without knowing t1 would let work_ns exceed useful_ns.
+  // Undercounting keeps every ledger inequality one-sided and true.
+  if (!enabled()) return;
+  const std::uint64_t now = now_ns();
+  const std::uint64_t elapsed =
+      now >= s.seg_start_ns ? now - s.seg_start_ns : 0;
+  s.path_ns += elapsed;
+  if (elapsed == 0) return;
+  cells().work_ns.bump(elapsed);
+  if (t_work_sink != nullptr) t_work_sink->bump(elapsed);
+}
+
+}  // namespace detail
+
+PathPoint strand_now() {
+  const detail::StrandState& s = detail::t_strand;
+  if (!s.active) return {};
+  std::uint64_t ns = s.path_ns;
+  if (s.open) {
+    const std::uint64_t now = now_ns();
+    if (now > s.seg_start_ns) ns += now - s.seg_start_ns;
+  }
+  return {ns, s.path_tasks};
+}
+
+void strand_pause() { detail::close_segment(); }
+
+void strand_resume(PathPoint dep) {
+  detail::StrandState& s = detail::t_strand;
+  if (!s.active || s.open) return;
+  if (dep.ns > s.path_ns) s.path_ns = dep.ns;
+  if (dep.tasks > s.path_tasks) s.path_tasks = dep.tasks;
+  s.seg_start_ns = now_ns();
+  s.open = true;
+}
+
+void strand_fold(PathPoint dep) {
+  detail::StrandState& s = detail::t_strand;
+  if (!s.active) return;
+  detail::close_segment();
+  if (dep.ns > s.path_ns) s.path_ns = dep.ns;
+  if (dep.tasks > s.path_tasks) s.path_tasks = dep.tasks;
+  s.seg_start_ns = now_ns();
+  s.open = true;
+}
+
+StrandScope::StrandScope(PathPoint base, bool armed) : armed_(armed) {
+  if (!armed_) return;
+  saved_ = detail::t_strand;
+  detail::StrandState& s = detail::t_strand;
+  s.path_ns = base.ns;
+  s.path_tasks = base.tasks + 1;  // this strand is one more node on the path
+  s.seg_start_ns = now_ns();
+  s.open = true;
+  s.active = true;
+  note_strand();
+}
+
+StrandScope::~StrandScope() {
+  if (!armed_) return;
+  if (!finished_) detail::close_segment();
+  detail::t_strand = saved_;
+}
+
+PathPoint StrandScope::finish() {
+  if (!armed_) return {};
+  if (!finished_) {
+    detail::close_segment();
+    finished_ = true;
+  }
+  return {detail::t_strand.path_ns, detail::t_strand.path_tasks};
+}
+
+// --------------------------------------------------------------------------
+
+std::size_t size_bucket_of(std::size_t batch_size) {
+  if (batch_size <= 1) return 0;
+  const std::size_t w = static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(batch_size - 1)));
+  return w < kSizeBuckets ? w : kSizeBuckets - 1;
+}
+
+std::uint64_t size_bucket_max(std::size_t bucket) {
+  if (bucket + 1 >= kSizeBuckets) return ~std::uint64_t{0};
+  return std::uint64_t{1} << bucket;
+}
+
+void note_run(PathPoint span) {
+  if (!enabled()) return;
+  GlobalCells& g = cells();
+  g.runs.bump();
+  g.span_ns_total.bump(span.ns);
+  g.span_tasks_total.bump(span.tasks);
+  fold_max(g.longest_run_span_ns, span.ns);
+  fold_max(g.longest_run_span_tasks, span.tasks);
+}
+
+void note_batch(std::uint16_t domain, std::size_t batch_size,
+                std::uint64_t wall_ns, std::uint64_t span_ns) {
+  if (!enabled()) return;
+  DomainCells* d = domain_cells(domain);
+  d->batches.bump();
+  d->ops.bump(batch_size);
+  d->sum_bop_wall_ns.bump(wall_ns);
+  d->sum_bop_span_ns.bump(span_ns);
+  const std::size_t bucket = size_bucket_of(batch_size);
+  d->bop_wall_by_size[bucket].add(wall_ns);
+  d->bop_span_by_size[bucket].add(span_ns);
+}
+
+void note_strand() { cells().strands.bump(); }
+
+LedgerSnapshot snapshot() {
+  GlobalCells& g = cells();
+  LedgerSnapshot out;
+  out.work_ns = g.work_ns.get();
+  out.strands = g.strands.get();
+  out.runs = g.runs.get();
+  out.span_ns_total = g.span_ns_total.get();
+  out.span_tasks_total = g.span_tasks_total.get();
+  out.longest_run_span_ns =
+      g.longest_run_span_ns.load(std::memory_order_relaxed);
+  out.longest_run_span_tasks =
+      g.longest_run_span_tasks.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kMaxLedgerDomains; ++i) {
+    const DomainCells* d = g.domains[i].load(std::memory_order_acquire);
+    if (d == nullptr || d->batches.get() == 0) continue;
+    DomainSnapshot ds;
+    ds.domain = static_cast<std::uint16_t>(i);
+    ds.batches = d->batches.get();
+    ds.ops = d->ops.get();
+    ds.sum_bop_wall_ns = d->sum_bop_wall_ns.get();
+    ds.sum_bop_span_ns = d->sum_bop_span_ns.get();
+    for (std::size_t b = 0; b < kSizeBuckets; ++b) {
+      ds.bop_wall_by_size[b] = d->bop_wall_by_size[b];
+      ds.bop_span_by_size[b] = d->bop_span_by_size[b];
+    }
+    out.domains.push_back(std::move(ds));
+  }
+  return out;
+}
+
+void reset() {
+  GlobalCells& g = cells();
+  g.work_ns.reset();
+  g.strands.reset();
+  g.runs.reset();
+  g.span_ns_total.reset();
+  g.span_tasks_total.reset();
+  g.longest_run_span_ns.store(0, std::memory_order_relaxed);
+  g.longest_run_span_tasks.store(0, std::memory_order_relaxed);
+  for (auto& slot : g.domains) {
+    DomainCells* d = slot.load(std::memory_order_acquire);
+    if (d != nullptr) d->reset();
+  }
+}
+
+}  // namespace batcher::trace::ledger

@@ -1,0 +1,179 @@
+// Theorem 1 bound ledger: online work/span accounting for the running
+// computation, gated — like every trace emission point — on the single
+// relaxed load behind `trace::enabled()`.
+//
+// The paper bounds completion time by O(T1/P + T∞ + n·σ/P + s·σ).  The
+// trace layer's histograms measure *latencies* of protocol edges; this file
+// measures the *terms of the bound itself*:
+//
+//   T1 (work)   every strand (task closure, LAUNCHBATCH body, scheduler
+//               root) accrues its executed nanoseconds into a per-worker
+//               counter and a session-global cell.  Measured T1 is the sum.
+//   T∞ (span)   each strand carries a critical-path accumulator: it starts
+//               from the longest path into it (captured at the spawn point),
+//               grows additively while the strand executes, and folds
+//               max-wise into its join when it finishes.  A scheduler run's
+//               root path at completion is that run's measured span.  The
+//               accumulator is kept twice — in nanoseconds and in task
+//               count.  The nanosecond span is the real Theorem 1 term; the
+//               task-count span is schedule-invariant for a fixed dag, which
+//               is what tests assert across perturbed schedules.
+//   s(n)·σ      per batching domain, every clean non-empty BOP records its
+//               batch size, wall time and measured span into histograms
+//               keyed by batch-size bucket, so "is s(n) really O(lg n)?" is
+//               answerable from any traced run.
+//
+// Strand discipline (why segments never double-count): at most one strand is
+// *open* per thread at any instant.  A new strand only starts where the
+// enclosing one is paused — Worker::wait pauses before helping, batchify
+// pauses for the whole trapped loop, and the scheduling loops have no strand
+// at all.  Serial continuations stay on the parent's open strand; only
+// spawned closures, batch launches and scheduler roots get strands of their
+// own.
+//
+// Everything here is thread-local or relaxed-atomic; with tracing off the
+// runtime never calls in (call sites guard with `trace::enabled()`), so the
+// disabled cost stays the one load + branch the trace layer already pays.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/stats.hpp"
+#include "trace/histogram.hpp"
+#include "trace/trace_clock.hpp"
+
+namespace batcher::trace::ledger {
+
+// A point on some path through the dag: length in executed nanoseconds and
+// in task frames.  The two components are independent weightings of the same
+// dag — each folds max-wise on its own at joins.
+struct PathPoint {
+  std::uint64_t ns = 0;
+  std::uint64_t tasks = 0;
+};
+
+namespace detail {
+
+// The calling thread's current strand.  `open` means a segment is accruing
+// (seg_start_ns holds its start); `active` means a strand is installed at
+// all — scheduling loops between tasks have none.
+struct StrandState {
+  std::uint64_t path_ns = 0;
+  std::uint64_t path_tasks = 0;
+  std::uint64_t seg_start_ns = 0;
+  bool open = false;
+  bool active = false;
+};
+
+inline thread_local StrandState t_strand;
+
+// Per-thread work sink: the owning worker's stats cell, installed by
+// Worker::main_loop so segment closes accrue measured T1 per scheduler as
+// well as into the session-global cell.  Null on non-worker threads.
+inline thread_local rt::Counter* t_work_sink = nullptr;
+
+void close_segment();  // accrue the open segment into path + work cells
+
+}  // namespace detail
+
+// Installed by Worker::main_loop (and cleared on exit).
+inline void set_thread_work_sink(rt::Counter* sink) {
+  detail::t_work_sink = sink;
+}
+
+// The current strand's path including its open segment; zero when none.
+// Safe on any thread — a completion pass running inside a spawned child
+// reads the child's own path, which is a valid path to that dag node.
+PathPoint strand_now();
+
+// Closes the open segment (work accrues) without finishing the strand; used
+// before blocking at a join or trapping in batchify, where elapsed time is
+// somebody else's to account.
+void strand_pause();
+
+// Reopens a paused strand, max-folding `dep` (a join's folded child span, or
+// a batch's completion path) into the path first.
+void strand_resume(PathPoint dep);
+
+// Max-folds `dep` into the running strand without pausing it (the open
+// segment is closed and immediately reopened so elapsed time is preserved).
+void strand_fold(PathPoint dep);
+
+// RAII strand.  Constructing with armed=false is a complete no-op, so call
+// sites can hoist the `trace::enabled()` decision.  The scope saves the
+// thread's previous strand state (which the caller must already have
+// paused) and restores it on destruction — including on unwind, where the
+// still-open segment is closed so a throwing closure's work still counts.
+class StrandScope {
+ public:
+  StrandScope(PathPoint base, bool armed);
+  ~StrandScope();
+  StrandScope(const StrandScope&) = delete;
+  StrandScope& operator=(const StrandScope&) = delete;
+
+  // Closes the segment and returns the strand's final path.  Idempotent;
+  // the destructor then only restores the saved state.
+  PathPoint finish();
+
+ private:
+  detail::StrandState saved_;
+  bool armed_;
+  bool finished_ = false;
+};
+
+// --------------------------------------------------------------------------
+// Session-global cells.  Reset by TraceSession construction (trace.cpp), so
+// a snapshot after a session describes exactly that session's window.
+
+inline constexpr std::size_t kSizeBuckets = 8;
+inline constexpr std::size_t kMaxLedgerDomains = 256;  // mirrors trace ids
+
+// Batch-size bucket: 1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, 65+.
+std::size_t size_bucket_of(std::size_t batch_size);
+// Inclusive upper bound of a size bucket (UINT64_MAX for the last).
+std::uint64_t size_bucket_max(std::size_t bucket);
+
+// A completed scheduler run's root span.  No-op while tracing is disabled.
+void note_run(PathPoint span);
+
+// One clean, non-empty BOP: batch size, wall nanoseconds and measured span
+// of the run_batch call.  No-op while tracing is disabled.
+void note_batch(std::uint16_t domain, std::size_t batch_size,
+                std::uint64_t wall_ns, std::uint64_t span_ns);
+
+// Bumped once per strand (root, spawned closure, or launch).
+void note_strand();
+
+struct DomainSnapshot {
+  std::uint16_t domain = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t ops = 0;               // Σ batch sizes = n carried by BOPs
+  std::uint64_t sum_bop_wall_ns = 0;   // Σ wall(run_batch): the s·σ proxy
+  std::uint64_t sum_bop_span_ns = 0;   // Σ measured span(run_batch)
+  LatencyHistogram bop_wall_by_size[kSizeBuckets];
+  LatencyHistogram bop_span_by_size[kSizeBuckets];
+};
+
+struct LedgerSnapshot {
+  std::uint64_t work_ns = 0;     // measured T1 across the session
+  std::uint64_t strands = 0;     // strands opened (≈ instrumented tasks)
+  std::uint64_t runs = 0;        // completed scheduler runs measured
+  std::uint64_t span_ns_total = 0;        // Σ per-run measured T∞
+  std::uint64_t span_tasks_total = 0;
+  std::uint64_t longest_run_span_ns = 0;  // max per-run measured T∞
+  std::uint64_t longest_run_span_tasks = 0;
+  std::vector<DomainSnapshot> domains;    // domains with ≥1 recorded batch
+};
+
+// Copies the global cells.  Valid any time; meaningful after a session has
+// stopped (cells are reset when the next one starts).
+LedgerSnapshot snapshot();
+
+// Zeroes every global cell.  Called by TraceSession's constructor before it
+// publishes enabled=true; tests may call it directly.
+void reset();
+
+}  // namespace batcher::trace::ledger

@@ -35,6 +35,35 @@ void metadata(json::Writer& w, std::uint64_t tid, const std::string& name) {
   w.end_object();
 }
 
+void process_metadata(json::Writer& w) {
+  event_header(w, "M", 0, 0.0);
+  w.kv("name", "process_name");
+  w.key("args").begin_object().kv("name", "batcher").end_object();
+  w.end_object();
+}
+
+// One sample of a Perfetto counter track ("C" event).  Counters are keyed by
+// (pid, name); Perfetto draws a step function through the samples.
+void counter_sample(json::Writer& w, const std::string& name, double ts_us,
+                    std::uint64_t value) {
+  w.begin_object();
+  w.kv("ph", "C");
+  w.kv("pid", kPid);
+  w.kv("ts", ts_us);
+  w.kv("name", name);
+  w.key("args").begin_object().kv("value", value).end_object();
+  w.end_object();
+}
+
+// A pending-depth or workers-working change, merged across threads and
+// replayed in global time order so the counters are exact.
+struct CounterEvent {
+  std::uint64_t ts_ns;
+  std::uint16_t domain;  // pending-depth counters; kNoCounterDomain = working
+  std::int32_t delta;
+};
+constexpr std::uint16_t kNoCounterDomain = 0xffff;
+
 // A slice opened on a worker track, awaiting its end event.
 struct OpenSlice {
   EventId opened_by;
@@ -70,13 +99,18 @@ std::string chrome_trace_json(const Trace& trace, ChromeTraceOptions options) {
   w.kv("displayTimeUnit", "ms");
   w.key("traceEvents").begin_array();
 
+  process_metadata(w);
+
   std::vector<DomainEvent> domain_events;
   std::vector<std::uint16_t> domains_seen;
+  std::vector<CounterEvent> counter_events;
 
   for (const TraceThread& thread : trace.threads) {
     const std::uint64_t tid = thread.serial;
-    std::string name = "worker " + std::to_string(thread.worker_id) +
-                       " (thread " + std::to_string(thread.serial) + ")";
+    const std::string name =
+        thread.worker_id == kNoWorkerId
+            ? "external-tid-" + std::to_string(thread.serial)
+            : "worker-" + std::to_string(thread.worker_id);
     metadata(w, tid, name);
 
     std::vector<OpenSlice> stack;
@@ -103,13 +137,16 @@ std::string chrome_trace_json(const Trace& trace, ChromeTraceOptions options) {
         case EventId::kTaskBegin:
           begin_slice(EventId::kTaskBegin,
                       r.a16 == 0 ? "task:core" : "task:batch", r.ts_ns);
+          counter_events.push_back({r.ts_ns, kNoCounterDomain, +1});
           break;
         case EventId::kTaskEnd:
           end_slice(EventId::kTaskBegin, r.ts_ns);
+          counter_events.push_back({r.ts_ns, kNoCounterDomain, -1});
           break;
         case EventId::kOpSubmit:
           begin_slice(EventId::kOpSubmit, "op wait " + domain_label(r.a16),
                       r.ts_ns);
+          counter_events.push_back({r.ts_ns, r.a16, +1});
           break;
         case EventId::kOpResume:
           end_slice(EventId::kOpSubmit, r.ts_ns);
@@ -129,8 +166,14 @@ std::string chrome_trace_json(const Trace& trace, ChromeTraceOptions options) {
           w.end_object();
           break;
         }
-        case EventId::kLaunchEnter:
         case EventId::kCollected:
+          if (r.a32 > 0) {
+            counter_events.push_back(
+                {r.ts_ns, r.a16, -static_cast<std::int32_t>(r.a32)});
+          }
+          domain_events.push_back({r.ts_ns, r.a16, event, r.a32});
+          break;
+        case EventId::kLaunchEnter:
         case EventId::kBopDone:
           domain_events.push_back({r.ts_ns, r.a16, event, r.a32});
           break;
@@ -169,6 +212,7 @@ std::string chrome_trace_json(const Trace& trace, ChromeTraceOptions options) {
           w.kv("s", "t");
           w.kv("name", "op timeout " + domain_label(r.a16));
           w.end_object();
+          counter_events.push_back({r.ts_ns, r.a16, -1});
           break;
         case EventId::kOpShed:
           event_header(w, "i", tid, rel_us(r.ts_ns, trace.t0_ns));
@@ -189,6 +233,30 @@ std::string chrome_trace_json(const Trace& trace, ChromeTraceOptions options) {
           event_header(w, "i", tid, rel_us(r.ts_ns, trace.t0_ns));
           w.kv("s", "t");
           w.kv("name", "remote free (class " + std::to_string(r.a16) + ")");
+          w.end_object();
+          break;
+        case EventId::kParkBegin:
+          begin_slice(EventId::kParkBegin, "parked", r.ts_ns);
+          break;
+        case EventId::kParkEnd:
+          end_slice(EventId::kParkBegin, r.ts_ns);
+          break;
+        case EventId::kJoinWaitBegin:
+          // One per parallel_invoke on the spawner's thread; high volume, so
+          // gated with the other flood-prone events.
+          if (!options.include_steal_misses) break;
+          begin_slice(EventId::kJoinWaitBegin, "join wait", r.ts_ns);
+          break;
+        case EventId::kJoinWaitEnd:
+          if (!options.include_steal_misses) break;
+          end_slice(EventId::kJoinWaitBegin, r.ts_ns);
+          break;
+        case EventId::kWorkerStart:
+        case EventId::kWorkerExit:
+          event_header(w, "i", tid, rel_us(r.ts_ns, trace.t0_ns));
+          w.kv("s", "t");
+          w.kv("name", event == EventId::kWorkerStart ? "worker start"
+                                                      : "worker exit");
           w.end_object();
           break;
         case EventId::kNone:
@@ -282,6 +350,31 @@ std::string chrome_trace_json(const Trace& trace, ChromeTraceOptions options) {
         break;
       default:
         break;
+    }
+  }
+
+  // Counter tracks: replay the merged, time-sorted deltas into step
+  // functions.  Depths are clamped at zero — a dropped +1 must not wedge a
+  // counter negative for the rest of the render.
+  std::stable_sort(counter_events.begin(), counter_events.end(),
+                   [](const CounterEvent& a, const CounterEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  std::vector<std::int64_t> pending_depth(256, 0);
+  std::int64_t working = 0;
+  for (const CounterEvent& e : counter_events) {
+    const double ts_us = rel_us(e.ts_ns, trace.t0_ns);
+    if (e.domain == kNoCounterDomain) {
+      working += e.delta;
+      if (working < 0) working = 0;
+      counter_sample(w, "workers working", ts_us,
+                     static_cast<std::uint64_t>(working));
+    } else if (e.domain < pending_depth.size()) {
+      std::int64_t& depth = pending_depth[e.domain];
+      depth += e.delta;
+      if (depth < 0) depth = 0;
+      counter_sample(w, "pending " + domain_label(e.domain), ts_us,
+                     static_cast<std::uint64_t>(depth));
     }
   }
 

@@ -3,13 +3,20 @@
 //
 // Track layout:
 //   * one track per traced thread (tid = registration serial), named
-//     "worker <id>", carrying task slices ("task:core"/"task:batch"),
-//     batchify wait slices ("op wait d<N>"), flag-held slices, and
-//     steal-hit instants;
+//     "worker-<id>" — or "external-tid-<serial>" for non-worker submitters —
+//     carrying task slices ("task:core"/"task:batch"), batchify wait slices
+//     ("op wait d<N>"), flag-held slices, park slices, and steal-hit
+//     instants;
 //   * one track per batching domain (tid = 1000000 + domain id), named
 //     "batcher d<N>", carrying a "batch[k]" slice per launch with nested
 //     collect/run/complete phase slices.  Invariant 1 (one launch at a time
-//     per domain) is what makes a single track per domain well-formed.
+//     per domain) is what makes a single track per domain well-formed;
+//   * counter tracks ("C" events): "pending d<N>" — each domain's in-flight
+//     op depth (+1 at kOpSubmit, -batch at kCollected, -1 at kOpTimeout) —
+//     and "workers working", the number of threads inside a task slice.
+//     Both are replayed over the globally time-sorted record stream, so the
+//     counters Perfetto draws are exact, not per-thread approximations.
+// The process is named "batcher" via process_name metadata.
 //
 // Timestamps are microseconds relative to the session start, with nanosecond
 // fractions preserved.  Unbalanced begin/end pairs (possible when the ring

@@ -1,6 +1,7 @@
 #include "trace/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace batcher::trace {
 
@@ -31,6 +32,130 @@ std::uint64_t delta(std::uint64_t from, std::uint64_t to) {
   return to >= from ? to - from : 0;
 }
 
+// Attribution state machine: the innermost open window decides the bucket.
+enum class Bucket : std::uint8_t { Steal, Useful, Trapped, FlagWait, Parked };
+
+struct BucketFrame {
+  Bucket bucket;
+  EventId opened_by;
+};
+
+// Decomposes one worker thread's records into the five attribution buckets.
+// Clamping every timestamp into [t0, t1] keeps the partition exact even if a
+// record carries a timestamp from just outside the session window.
+struct AttributionReplay {
+  MetricsReport::Attribution& a;
+  std::uint64_t t0;
+  std::uint64_t t1;
+  std::vector<BucketFrame> stack;
+  std::uint64_t cursor;
+  bool closed = false;
+  bool degraded = false;
+
+  AttributionReplay(MetricsReport::Attribution& attribution, std::uint64_t t0_ns,
+                    std::uint64_t t1_ns, std::uint64_t window_start)
+      : a(attribution), t0(t0_ns), t1(t1_ns), cursor(clamp(window_start)) {}
+
+  std::uint64_t clamp(std::uint64_t ts) const {
+    return ts < t0 ? t0 : (ts > t1 ? t1 : ts);
+  }
+
+  std::uint64_t& cell(Bucket b) {
+    switch (b) {
+      case Bucket::Useful: return a.useful_ns;
+      case Bucket::Trapped: return a.trapped_ns;
+      case Bucket::FlagWait: return a.flag_wait_ns;
+      case Bucket::Parked: return a.parked_ns;
+      case Bucket::Steal: break;
+    }
+    return a.steal_ns;
+  }
+
+  void advance_to(std::uint64_t ts) {
+    ts = clamp(ts);
+    const std::uint64_t d = delta(cursor, ts);
+    cursor = ts;
+    if (d == 0) return;
+    cell(stack.empty() ? Bucket::Steal : stack.back().bucket) += d;
+    a.attributed_ns += d;
+  }
+
+  void push(Bucket b, EventId by) { stack.push_back({b, by}); }
+
+  // Pops the topmost frame opened by `by`.  A required pop that finds
+  // nothing means a drop ate the opening record.
+  void pop(EventId by, bool required) {
+    for (std::size_t i = stack.size(); i > 0; --i) {
+      if (stack[i - 1].opened_by == by) {
+        if (i != stack.size()) degraded = true;  // drop stranded inner frames
+        stack.resize(i - 1);
+        return;
+      }
+    }
+    if (required) degraded = true;
+  }
+
+  void on_record(const TraceRecord& r) {
+    if (closed) return;
+    advance_to(r.ts_ns);
+    switch (static_cast<EventId>(r.event)) {
+      case EventId::kTaskBegin:
+        push(Bucket::Useful, EventId::kTaskBegin);
+        break;
+      case EventId::kTaskEnd:
+        pop(EventId::kTaskBegin, /*required=*/true);
+        break;
+      case EventId::kJoinWaitBegin:
+        push(Bucket::Steal, EventId::kJoinWaitBegin);
+        break;
+      case EventId::kJoinWaitEnd:
+        pop(EventId::kJoinWaitBegin, /*required=*/true);
+        break;
+      case EventId::kOpSubmit:
+        push(Bucket::Trapped, EventId::kOpSubmit);
+        break;
+      case EventId::kOpResume:
+        pop(EventId::kOpSubmit, /*required=*/true);
+        break;
+      case EventId::kFlagWon:
+        push(Bucket::FlagWait, EventId::kFlagWon);
+        break;
+      case EventId::kFlagReopen:
+        pop(EventId::kFlagWon, /*required=*/true);
+        break;
+      case EventId::kCollected:
+        // Empty batches skip the BOP entirely: no useful window to open.
+        if (r.a32 > 0) push(Bucket::Useful, EventId::kCollected);
+        break;
+      case EventId::kBopDone:
+        pop(EventId::kCollected, /*required=*/true);
+        break;
+      case EventId::kLaunchExit:
+        // A failed launch never reaches kBopDone; close its BOP window here.
+        // Clean launches already popped it, so this pop is best-effort.
+        pop(EventId::kCollected, /*required=*/false);
+        break;
+      case EventId::kParkBegin:
+        push(Bucket::Parked, EventId::kParkBegin);
+        break;
+      case EventId::kParkEnd:
+        pop(EventId::kParkBegin, /*required=*/true);
+        break;
+      case EventId::kWorkerExit:
+        closed = true;  // window ends here, not at t1
+        break;
+      default:
+        break;  // counting events carry no attribution state
+    }
+  }
+
+  // A session stop mid-slice legitimately leaves frames open (charged to
+  // their bucket up to t1); only pop mismatches mark the replay degraded.
+  void finish() {
+    if (!closed) advance_to(t1);
+  }
+};
+
 }  // namespace
 
 MetricsReport build_metrics(const Trace& trace) {
@@ -38,10 +163,33 @@ MetricsReport build_metrics(const Trace& trace) {
   m.total_records = trace.total_records();
   m.dropped_records = trace.dropped_records();
   m.wall_seconds = trace.wall_seconds();
+  if (m.dropped_records > 0) {
+    // Overwritten ring records strand pairing edges and attribution frames;
+    // downstream consumers see pairing_degraded, but say it loudly too.
+    std::fprintf(stderr,
+                 "[trace] warning: %llu trace records dropped (ring "
+                 "overwrite); derived metrics are degraded — raise "
+                 "BATCHER_TRACE_RING\n",
+                 static_cast<unsigned long long>(m.dropped_records));
+    m.pairing_degraded = true;
+  }
 
   for (const TraceThread& thread : trace.threads) {
     ThreadPairing p;
+    const bool is_worker = thread.worker_id != kNoWorkerId;
+    // Worker threads that started before the session have no kWorkerStart
+    // record; their accountable window opens at t0.
+    std::uint64_t window_start = trace.t0_ns;
+    if (!thread.records.empty() &&
+        static_cast<EventId>(thread.records.front().event) ==
+            EventId::kWorkerStart) {
+      window_start = thread.records.front().ts_ns;
+    }
+    AttributionReplay attr(m.attribution, trace.t0_ns, trace.t1_ns,
+                           window_start);
+    if (is_worker) ++m.attribution.worker_threads;
     for (const TraceRecord& r : thread.records) {
+      if (is_worker) attr.on_record(r);
       switch (static_cast<EventId>(r.event)) {
         case EventId::kTaskBegin:
           break;  // slices are an export concern; counts come from kTaskEnd
@@ -162,11 +310,22 @@ MetricsReport build_metrics(const Trace& trace) {
         case EventId::kOpShed:
           ++m.ops_shed;
           break;
+        case EventId::kWorkerStart:
+        case EventId::kWorkerExit:
+        case EventId::kParkBegin:
+        case EventId::kParkEnd:
+        case EventId::kJoinWaitBegin:
+        case EventId::kJoinWaitEnd:
+          break;  // attribution events; consumed by AttributionReplay above
         case EventId::kNone:
           break;
       }
     }
     m.unmatched_edges += p.open_edges();
+    if (is_worker) {
+      attr.finish();
+      if (attr.degraded) m.pairing_degraded = true;
+    }
   }
   return m;
 }
@@ -220,6 +379,16 @@ void MetricsReport::to_json(json::Writer& w) const {
   w.kv("ops_timed_out", ops_timed_out);
   w.kv("ops_shed", ops_shed);
   w.kv("unmatched_edges", unmatched_edges);
+  w.kv("pairing_degraded", pairing_degraded);
+  w.key("worker_attribution").begin_object();
+  w.kv("worker_threads", attribution.worker_threads);
+  w.kv("attributed_ns", attribution.attributed_ns);
+  w.kv("useful_ns", attribution.useful_ns);
+  w.kv("steal_ns", attribution.steal_ns);
+  w.kv("trapped_ns", attribution.trapped_ns);
+  w.kv("flag_wait_ns", attribution.flag_wait_ns);
+  w.kv("parked_ns", attribution.parked_ns);
+  w.end_object();
   w.key("batch_size_distribution").begin_array();
   for (std::uint64_t n : batch_size_hist) w.value(n);
   w.end_array();

@@ -19,6 +19,26 @@
 // overflow can strand an open edge; those are counted in unmatched_edges
 // rather than silently skewing a histogram.
 //
+// build_metrics additionally decomposes every *worker* thread's accountable
+// window — [kWorkerStart, kWorkerExit], clamped to [t0, t1] — into five
+// buckets that partition it exactly (worker_attribution):
+//
+//   useful     inside a task (kTaskBegin..kTaskEnd) or a BOP run
+//              (kCollected..kBopDone on the launcher)
+//   steal      the main scheduling loop and join waits (kJoinWaitBegin..End):
+//              steal attempts, deque probes, backoff
+//   trapped    the batchify trapped loop (kOpSubmit..kOpResume) net of the
+//              nested buckets above
+//   flag_wait  holding the batch flag (kFlagWon..kFlagReopen) net of nested
+//              buckets: collect, complete, chain management
+//   parked     between runs (kParkBegin..kParkEnd)
+//
+// The decomposition is a per-thread state stack (innermost event wins), so
+//   useful + steal + trapped + flag_wait + parked == attributed_ns
+// holds exactly, and attributed_ns <= worker_threads * wall by construction
+// — the online bound ledger (bound_ledger.hpp) is validated against these.
+// Dropped records can strand the stack; `pairing_degraded` says so.
+//
 // The derived quantities at the bottom are the paper's: measured batch-size
 // distribution (checked against Invariant 2's P bound by callers that know
 // P), the alternating-steal parity split, and batches per second.
@@ -56,6 +76,21 @@ struct MetricsReport {
   std::uint64_t ops_timed_out = 0;       // kOpTimeout count (external §13)
   std::uint64_t ops_shed = 0;            // kOpShed count (external §13)
   std::uint64_t unmatched_edges = 0;
+
+  // Where P * wall went: the five-bucket decomposition described above.
+  struct Attribution {
+    std::uint64_t worker_threads = 0;  // rings with a real worker id
+    std::uint64_t attributed_ns = 0;   // Σ accountable window lengths
+    std::uint64_t useful_ns = 0;
+    std::uint64_t steal_ns = 0;
+    std::uint64_t trapped_ns = 0;
+    std::uint64_t flag_wait_ns = 0;
+    std::uint64_t parked_ns = 0;
+  };
+  Attribution attribution;
+  // True when ring drops (or the stack mismatches they cause) degraded the
+  // pairing replay; histogram and attribution values are then lower bounds.
+  bool pairing_degraded = false;
 
   // Latency distributions (nanoseconds).
   LatencyHistogram op_latency;

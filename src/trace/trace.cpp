@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "support/config.hpp"
+#include "trace/bound_ledger.hpp"
 
 namespace batcher::trace {
 
@@ -110,6 +111,9 @@ TraceSession::TraceSession(Options options) {
     prune_dead_rings(reg);
     for (auto& h : reg.rings) h->ring.reset();
   }
+  // The bound ledger's cells cover exactly one session window: zero them
+  // before enabled=true publishes so the first strand lands on clean cells.
+  ledger::reset();
   trace_.t0_ns = now_ns();
   detail::g_enabled.store(true, std::memory_order_release);
 }

@@ -41,6 +41,18 @@ namespace batcher::trace {
 //   kOpShed                 a16 = domain id; an external submit was refused
 //                           before publication because pending depth was at
 //                           the domain's shed threshold
+//   kWorkerStart            worker thread entered its main loop (emitted only
+//                           when a session is already active at thread start;
+//                           the attribution replay starts this thread's
+//                           accountable window here instead of at t0)
+//   kWorkerExit             worker thread left its main loop — closes the
+//                           accountable window
+//   kParkBegin / kParkEnd   the between-runs park on the scheduler's condition
+//                           variable (attribution bucket: parked)
+//   kJoinWaitBegin / kJoinWaitEnd
+//                           Worker::wait blocked at a join, helping/stealing
+//                           (attribution bucket: steal-attempt; the tasks it
+//                           helps with open their own kTaskBegin windows)
 enum class EventId : std::uint16_t {
   kNone = 0,
   kTaskBegin,
@@ -61,6 +73,12 @@ enum class EventId : std::uint16_t {
   kFlagReopen,
   kOpTimeout,
   kOpShed,
+  kWorkerStart,
+  kWorkerExit,
+  kParkBegin,
+  kParkEnd,
+  kJoinWaitBegin,
+  kJoinWaitEnd,
 };
 
 inline constexpr std::uint16_t kStealKindBatch = 1;  // kSteal a16 bit 0

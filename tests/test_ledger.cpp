@@ -1,0 +1,318 @@
+// Tests for the Theorem 1 bound ledger (src/trace/bound_ledger).
+//
+// Three layers:
+//   1. Off-path guarantees: with no session active, strand scopes and batch
+//      notes accrue nothing — the ledger stays zero.
+//   2. Live-session measurement on a real scheduler: work/span ordering
+//      (span <= work, run span <= session wall), per-domain s(n) evidence
+//      reconciling with BatcherStats, the worker attribution partition
+//      closing exactly to attributed_ns inside P * wall, and the task-count
+//      span being a pure dag property (identical across repeated runs).
+//   3. The same closure and invariance under the audit perturber across 500
+//      distinct seeded schedules (only with BATCHER_AUDIT hooks compiled in):
+//      nanosecond measurements move with the schedule, but the accounting
+//      identities and the task-count span must not.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "audit/audit_session.hpp"
+#include "audit/schedule_perturber.hpp"
+#include "batcher/batcher.hpp"
+#include "ds/batched_counter.hpp"
+#include "runtime/api.hpp"
+#include "runtime/schedule_hooks.hpp"
+#include "runtime/scheduler.hpp"
+#include "trace/bound_ledger.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace batcher {
+namespace {
+
+namespace hooks = rt::hooks;
+using audit::AuditSession;
+using audit::SchedulePerturber;
+namespace ledger = trace::ledger;
+
+#define REQUIRE_LIVE_HOOKS()                                               \
+  do {                                                                     \
+    if (!hooks::kEnabled) {                                                \
+      GTEST_SKIP() << "BATCHER_AUDIT hooks not compiled into this build";  \
+    }                                                                      \
+  } while (0)
+
+// A fixed fork-join dag with no batched ops: parallel_for with an explicit
+// grain splits deterministically, so its task-count span is a property of
+// (n, grain) alone — the invariance half of the sweep below.
+void run_pure_dag(rt::Scheduler& sched, std::int64_t n) {
+  std::atomic<std::int64_t> sum{0};
+  sched.run([&] {
+    rt::parallel_for(
+        0, n, [&](std::int64_t i) { sum.fetch_add(i, std::memory_order_relaxed); },
+        /*grain=*/1);
+  });
+  ASSERT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+struct Measured {
+  BatcherStats batcher;
+  rt::StatsSnapshot sched;
+  trace::MetricsReport metrics;
+  ledger::LedgerSnapshot led;
+  std::uint64_t wall_ns = 0;
+};
+
+// Counter increments on a scheduler constructed *inside* the session, so
+// every worker's kWorkerStart/kWorkerExit bounds its attribution window.
+Measured run_traced_counter(unsigned workers, std::int64_t ops,
+                            std::int64_t grain) {
+  trace::TraceSession::Options opt;
+  opt.ring_capacity = std::size_t{1} << 16;
+  trace::TraceSession session(opt);
+  Measured out;
+  {
+    rt::Scheduler sched(workers);
+    sched.export_final_stats(&out.sched);
+    ds::BatchedCounter counter(sched);
+    sched.run([&] {
+      rt::parallel_for(0, ops, [&](std::int64_t) { counter.increment(1); },
+                       grain);
+    });
+    EXPECT_EQ(counter.value_unsafe(), ops);
+    out.batcher = counter.batcher().stats();
+  }
+  out.led = ledger::snapshot();
+  const trace::Trace& tr = session.stop();
+  out.wall_ns = tr.t1_ns > tr.t0_ns ? tr.t1_ns - tr.t0_ns : 0;
+  out.metrics = trace::build_metrics(tr);
+  return out;
+}
+
+// The accounting identities every traced session must satisfy; `m` may span
+// more workers than one scheduler (the sweep runs two per session).
+void expect_ledger_closes(const Measured& r) {
+  const trace::MetricsReport::Attribution& attr = r.metrics.attribution;
+
+  ASSERT_EQ(r.metrics.dropped_records, 0u) << "ring overflowed; grow capacity";
+  EXPECT_FALSE(r.metrics.pairing_degraded);
+
+  // The five buckets partition each worker's window by construction, so the
+  // closure is exact, and every window fits inside the session.
+  EXPECT_EQ(attr.useful_ns + attr.steal_ns + attr.trapped_ns +
+                attr.flag_wait_ns + attr.parked_ns,
+            attr.attributed_ns);
+  EXPECT_LE(attr.attributed_ns, attr.worker_threads * r.wall_ns);
+
+  // Span is a max over paths through the summed segments; a run's critical
+  // path cannot outlast the session that contained it.
+  EXPECT_LE(r.led.span_ns_total, r.led.work_ns);
+  EXPECT_LE(r.led.longest_run_span_ns, r.wall_ns);
+  EXPECT_LE(r.led.longest_run_span_tasks, r.led.span_tasks_total);
+
+  // The scheduler-side counters are a view of the same strands: worker sinks
+  // see a subset of global ledger work, and per-run folds obey the same
+  // ordering the validator enforces on every BENCH_*.json row.
+  EXPECT_LE(r.sched.work_ns, r.led.work_ns);
+  EXPECT_LE(r.sched.span_ns, r.sched.work_ns);
+  EXPECT_LE(r.sched.longest_run_span_ns, r.sched.span_ns);
+  EXPECT_LE(r.sched.longest_run_span_tasks, r.sched.span_tasks);
+}
+
+// --- 1. Off-path guarantees -------------------------------------------------
+
+TEST(LedgerDisabled, NothingAccruesWithoutASession) {
+  ASSERT_FALSE(trace::enabled());
+  ledger::reset();
+  {
+    rt::Scheduler sched(2);
+    ds::BatchedCounter counter(sched);
+    sched.run([&] {
+      rt::parallel_for(0, 256, [&](std::int64_t) { counter.increment(1); },
+                       /*grain=*/2);
+    });
+    EXPECT_EQ(counter.value_unsafe(), 256);
+  }
+  const ledger::LedgerSnapshot led = ledger::snapshot();
+  EXPECT_EQ(led.work_ns, 0u);
+  EXPECT_EQ(led.strands, 0u);
+  EXPECT_EQ(led.runs, 0u);
+  EXPECT_EQ(led.span_ns_total, 0u);
+  EXPECT_EQ(led.span_tasks_total, 0u);
+  EXPECT_TRUE(led.domains.empty());
+}
+
+TEST(LedgerSizeBuckets, PowerOfTwoEdges) {
+  EXPECT_EQ(ledger::size_bucket_of(1), 0u);
+  EXPECT_EQ(ledger::size_bucket_of(2), 1u);
+  EXPECT_EQ(ledger::size_bucket_of(3), 2u);
+  EXPECT_EQ(ledger::size_bucket_of(4), 2u);
+  EXPECT_EQ(ledger::size_bucket_of(5), 3u);
+  EXPECT_EQ(ledger::size_bucket_of(64), 6u);
+  EXPECT_EQ(ledger::size_bucket_of(65), 7u);
+  EXPECT_EQ(ledger::size_bucket_of(100000), 7u);
+  for (std::size_t b = 0; b + 1 < ledger::kSizeBuckets; ++b) {
+    EXPECT_LT(ledger::size_bucket_max(b), ledger::size_bucket_max(b + 1));
+  }
+}
+
+// --- 2. Live-session measurement --------------------------------------------
+
+TEST(LedgerLive, CounterWorkloadMeasuresWorkSpanAndDomains) {
+  const Measured r = run_traced_counter(/*workers=*/4, /*ops=*/2048,
+                                        /*grain=*/4);
+  expect_ledger_closes(r);
+
+  EXPECT_GT(r.led.work_ns, 0u);
+  EXPECT_GT(r.led.span_ns_total, 0u);
+  EXPECT_EQ(r.led.runs, 1u);
+  EXPECT_GT(r.led.strands, 0u);
+  EXPECT_EQ(r.led.longest_run_span_ns, r.led.span_ns_total);
+  EXPECT_EQ(r.sched.runs_measured, 1u);
+  EXPECT_GT(r.sched.work_ns, 0u);
+
+  // Exactly one domain (the counter), whose s(n) evidence reconciles with
+  // BatcherStats: one sample per clean non-empty BOP, op totals intact.
+  ASSERT_EQ(r.led.domains.size(), 1u);
+  const ledger::DomainSnapshot& d = r.led.domains[0];
+  EXPECT_EQ(d.batches, r.batcher.clean_nonempty_batches);
+  EXPECT_EQ(d.ops, r.batcher.ops_processed);
+  std::uint64_t wall_sum = 0, span_sum = 0, sample_count = 0;
+  for (std::size_t b = 0; b < ledger::kSizeBuckets; ++b) {
+    wall_sum += d.bop_wall_by_size[b].sum_ns();
+    span_sum += d.bop_span_by_size[b].sum_ns();
+    sample_count += d.bop_wall_by_size[b].count();
+    EXPECT_EQ(d.bop_wall_by_size[b].count(), d.bop_span_by_size[b].count())
+        << "size bucket " << b;
+  }
+  EXPECT_EQ(wall_sum, d.sum_bop_wall_ns);
+  EXPECT_EQ(span_sum, d.sum_bop_span_ns);
+  EXPECT_EQ(sample_count, d.batches);
+  // A batch's measured span is a dependent chain inside its wall window.
+  EXPECT_LE(d.sum_bop_span_ns, d.sum_bop_wall_ns);
+}
+
+TEST(LedgerLive, AttributionPartitionHasUsefulTime) {
+  const Measured r = run_traced_counter(/*workers=*/4, /*ops=*/1024,
+                                        /*grain=*/2);
+  expect_ledger_closes(r);
+  EXPECT_EQ(r.metrics.attribution.worker_threads, 4u);
+  EXPECT_GT(r.metrics.attribution.attributed_ns, 0u);
+  EXPECT_GT(r.metrics.attribution.useful_ns, 0u);
+  // The online ledger only accrues inside traced useful/flag windows, so it
+  // can never exceed that offline time by more than clock-read slack.
+  const std::uint64_t offline =
+      r.metrics.attribution.useful_ns + r.metrics.attribution.flag_wait_ns;
+  EXPECT_LE(r.led.work_ns,
+            offline + offline / 50 + 10'000'000u);
+}
+
+TEST(LedgerLive, SpanTasksIsADagPropertyAcrossRepeats) {
+  // Same pure dag, five runs: wall-clock spans differ, task-count spans are
+  // a function of the dag alone.
+  std::uint64_t expected = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    trace::TraceSession::Options opt;
+    opt.ring_capacity = std::size_t{1} << 16;
+    trace::TraceSession session(opt);
+    rt::StatsSnapshot stats;
+    {
+      rt::Scheduler sched(4);
+      sched.export_final_stats(&stats);
+      ASSERT_NO_FATAL_FAILURE(run_pure_dag(sched, 64));
+    }
+    session.stop();
+    ASSERT_EQ(stats.runs_measured, 1u) << "rep " << rep;
+    ASSERT_GT(stats.span_tasks, 0u) << "rep " << rep;
+    if (rep == 0) {
+      expected = stats.span_tasks;
+    } else {
+      ASSERT_EQ(stats.span_tasks, expected) << "rep " << rep;
+    }
+  }
+}
+
+TEST(LedgerLive, BackToBackSessionsResetTheLedger) {
+  const Measured a = run_traced_counter(2, 512, 2);
+  const Measured b = run_traced_counter(2, 512, 2);
+  expect_ledger_closes(a);
+  expect_ledger_closes(b);
+  // The second session measured only the second run.
+  EXPECT_EQ(a.led.runs, 1u);
+  EXPECT_EQ(b.led.runs, 1u);
+  ASSERT_EQ(b.led.domains.size(), 1u);
+  EXPECT_EQ(b.led.domains[0].ops, 512u);
+}
+
+// --- 3. Closure under the audit perturber -----------------------------------
+
+TEST(LedgerPerturbedSweep, AccountingClosesAcross500Schedules) {
+  REQUIRE_LIVE_HOOKS();
+  constexpr unsigned kWorkers = 4;
+  constexpr std::uint64_t kSeeds = 500;
+
+  SchedulePerturber::Options opts;
+  opts.yield_one_in = 96;
+  opts.pause_one_in = 8;
+  opts.max_pause_spins = 32;
+  AuditSession audit(kWorkers, 0, opts);
+  audit.install();
+
+  std::uint64_t expected_span_tasks = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    audit.reseed(seed);
+    trace::TraceSession::Options topt;
+    topt.ring_capacity = std::size_t{1} << 16;
+    trace::TraceSession session(topt);
+    Measured r;
+    rt::StatsSnapshot pure;
+    {
+      // Scheduler 1: the fixed fork-join dag whose task-count span must be
+      // identical across every perturbed schedule.
+      rt::Scheduler sched(kWorkers);
+      sched.export_final_stats(&pure);
+      ASSERT_NO_FATAL_FAILURE(run_pure_dag(sched, 64));
+    }
+    {
+      // Scheduler 2: batched ops, so the sweep also covers the batchify
+      // pause/resume handoff and launch dependency folds.
+      rt::Scheduler sched(kWorkers);
+      sched.export_final_stats(&r.sched);
+      ds::BatchedCounter counter(sched);
+      sched.run([&] {
+        rt::parallel_for(0, 48, [&](std::int64_t) { counter.increment(1); },
+                         /*grain=*/1);
+      });
+      ASSERT_EQ(counter.value_unsafe(), 48);
+      r.batcher = counter.batcher().stats();
+    }
+    r.led = ledger::snapshot();
+    const trace::Trace& tr = session.stop();
+    r.wall_ns = tr.t1_ns > tr.t0_ns ? tr.t1_ns - tr.t0_ns : 0;
+    r.metrics = trace::build_metrics(tr);
+
+    ASSERT_NO_FATAL_FAILURE(expect_ledger_closes(r)) << "seed " << seed;
+    // Both schedulers were born and joined inside the session: attribution
+    // must cover all 2 * kWorkers windows and close inside P * wall.
+    ASSERT_EQ(r.metrics.attribution.worker_threads, 2 * kWorkers)
+        << "seed " << seed;
+    // Schedule-invariance: the perturber reorders execution, not the dag.
+    ASSERT_EQ(pure.runs_measured, 1u) << "seed " << seed;
+    if (seed == 0) {
+      expected_span_tasks = pure.span_tasks;
+      ASSERT_GT(expected_span_tasks, 0u);
+    } else {
+      ASSERT_EQ(pure.span_tasks, expected_span_tasks)
+          << "seed " << seed << " (span_tasks must be a dag property)";
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "ledger closure failed at seed " << seed
+             << " (replay with this seed)";
+    }
+  }
+  audit.uninstall();
+}
+
+}  // namespace
+}  // namespace batcher

@@ -52,7 +52,29 @@ def load_metrics(path):
     metrics = {}
     for m in report.get("metrics", []):
         metrics[m["name"]] = (m["value"], m.get("unit", ""))
+    synthesize_histogram_metrics(report, metrics)
     return report.get("name", "?"), metrics
+
+
+def synthesize_histogram_metrics(report, metrics):
+    """Lifts trace histogram percentiles into gateable metric rows.
+
+    Each non-empty histogram under trace.metrics.histograms contributes
+    hist/<name>/p50_ns and hist/<name>/p99_ns (unit "ns", so lower-better),
+    letting --metric hist/ gate tail latencies the same way as ordinary
+    metric rows.  Histogram buckets are power-of-two, so any real percentile
+    shift is >= 2x — pair hist/ gating with a generous --tolerance.
+    """
+    hists = report.get("trace", {}).get("metrics", {}).get("histograms", {})
+    if not isinstance(hists, dict):
+        return
+    for hname, h in sorted(hists.items()):
+        if not isinstance(h, dict) or not h.get("count", 0):
+            continue
+        base = hname[:-3] if hname.endswith("_ns") else hname
+        for pct in ("p50_ns", "p99_ns"):
+            if pct in h:
+                metrics[f"hist/{base}/{pct}"] = (float(h[pct]), "ns")
 
 
 def classify(name, base, cand, unit, tolerance):

@@ -27,8 +27,8 @@ def load_module():
     return module
 
 
-def make_report(path, metrics):
-    """metrics: list of (name, value, unit)."""
+def make_report(path, metrics, histograms=None):
+    """metrics: list of (name, value, unit); histograms: trace histogram dict."""
     report = {
         "schema_version": 1,
         "name": "unit",
@@ -40,6 +40,8 @@ def make_report(path, metrics):
         "scheduler_stats": [],
         "ops_processed_total": 0,
     }
+    if histograms is not None:
+        report["trace"] = {"file": "", "metrics": {"histograms": histograms}}
     with open(path, "w", encoding="utf-8") as f:
         json.dump(report, f)
 
@@ -50,12 +52,13 @@ class BenchCompareTest(unittest.TestCase):
         self.tmp = tempfile.TemporaryDirectory()
         self.addCleanup(self.tmp.cleanup)
 
-    def run_compare(self, base_metrics, cand_metrics, extra_args=()):
+    def run_compare(self, base_metrics, cand_metrics, extra_args=(),
+                    base_hists=None, cand_hists=None):
         """Returns (exit_code, captured_stdout)."""
         base = os.path.join(self.tmp.name, "BENCH_base.json")
         cand = os.path.join(self.tmp.name, "BENCH_cand.json")
-        make_report(base, base_metrics)
-        make_report(cand, cand_metrics)
+        make_report(base, base_metrics, base_hists)
+        make_report(cand, cand_metrics, cand_hists)
         argv = ["bench_compare.py", "--baseline", base, "--candidate", cand,
                 *extra_args]
         out = io.StringIO()
@@ -198,6 +201,49 @@ class BenchCompareTest(unittest.TestCase):
             [("external/ops_shed", 9, "count")],
             extra_args=["--exact", "external/ops_", "--report-only"])
         self.assertEqual(code, 0)
+
+    def test_histogram_percentiles_are_synthesized_and_gateable(self):
+        # Trace histogram percentiles become hist/<name>/p50_ns rows with
+        # unit "ns" (lower-better), so --metric hist/ gates tail latency.
+        hist = {"op_submit_to_done_ns": {"count": 100, "p50_ns": 1024,
+                                         "p99_ns": 4096}}
+        worse = {"op_submit_to_done_ns": {"count": 100, "p50_ns": 1024,
+                                          "p99_ns": 65536}}
+        code, out = self.run_compare(
+            [], [], extra_args=["--metric", "hist/", "--tolerance", "3.0"],
+            base_hists=hist, cand_hists=worse)
+        self.assertEqual(code, 1)
+        self.assertIn("hist/op_submit_to_done/p99_ns", out)
+        self.assertIn("WORSE", out)
+        # Identical percentiles pass under the same gate.
+        code, out = self.run_compare(
+            [], [], extra_args=["--metric", "hist/", "--tolerance", "3.0"],
+            base_hists=hist, cand_hists=dict(hist))
+        self.assertEqual(code, 0)
+        self.assertIn("hist/op_submit_to_done/p50_ns", out)
+
+    def test_histogram_gone_from_candidate_fails_the_gate(self):
+        # Losing a gated histogram (e.g. the trace stopped recording ops) is
+        # a coverage regression, same as losing a plain gated metric.
+        hist = {"op_submit_to_done_ns": {"count": 100, "p50_ns": 1024,
+                                         "p99_ns": 4096}}
+        code, out = self.run_compare(
+            [], [], extra_args=["--metric", "hist/"],
+            base_hists=hist, cand_hists={})
+        self.assertEqual(code, 1)
+        self.assertIn("missing from candidate", out)
+        self.assertIn("hist/op_submit_to_done/p50_ns", out)
+
+    def test_empty_histogram_contributes_no_metrics(self):
+        # count == 0 means the percentiles are meaningless zeros; they must
+        # not become gateable rows that then "regress" when ops appear.
+        empty = {"op_submit_to_done_ns": {"count": 0, "p50_ns": 0,
+                                          "p99_ns": 0}}
+        code, out = self.run_compare(
+            [("mops/x", 1.0, "1/s")], [("mops/x", 1.0, "1/s")],
+            base_hists=empty, cand_hists=empty)
+        self.assertEqual(code, 0)
+        self.assertNotIn("hist/", out)
 
     def test_new_metric_is_informational(self):
         code, out = self.run_compare(

@@ -12,7 +12,14 @@ count must equal the sum of the recorded BatcherStats op counts (the
 "histograms reconcile exactly with Batcher::stats()" acceptance check), and
 every scheduler_stats row must satisfy the frame-pool identities
 (frames_allocated == frames_freed at a quiescent snapshot,
-remote_frees <= frames_freed).
+remote_frees <= frames_freed) and the span/work ordering
+(span_ns <= work_ns, longest_run_span_ns <= span_ns).  Reports carrying a
+bound_ledger section additionally prove the Theorem 1 accounting closes:
+the five attribution buckets sum exactly to attributed_ns, attributed time
+fits inside worker_threads * wall, the measured critical path fits inside
+the wall, total span fits inside total work, and — when no trace records
+were dropped — the ledger's online work_ns agrees with the trace's offline
+useful_ns to within instrumentation slack.
 
 Usage:
     python3 tools/validate_bench_json.py --schema bench/bench_report.schema.json \
@@ -113,6 +120,22 @@ def reconcile(report, errors):
             errors.append(
                 f"{path}: slab_refills ({st['slab_refills']}) with zero "
                 f"frames_allocated (refills happen only on allocation)")
+        # Span is a maximum over paths through the summed segments, so it can
+        # never exceed the work; the longest single run's span can never
+        # exceed the sum of per-run spans.
+        if st["span_ns"] > st["work_ns"]:
+            errors.append(
+                f"{path}: span_ns ({st['span_ns']}) > work_ns "
+                f"({st['work_ns']})")
+        if st["longest_run_span_ns"] > st["span_ns"]:
+            errors.append(
+                f"{path}: longest_run_span_ns ({st['longest_run_span_ns']}) "
+                f"> span_ns ({st['span_ns']})")
+        if st["longest_run_span_tasks"] > st["span_tasks"]:
+            errors.append(
+                f"{path}: longest_run_span_tasks "
+                f"({st['longest_run_span_tasks']}) > span_tasks "
+                f"({st['span_tasks']})")
 
     for i, st in enumerate(report.get("external_stats", [])):
         path = f"$.external_stats[{i}]"
@@ -137,6 +160,8 @@ def reconcile(report, errors):
                 f"{path}: batches_failed ({st['batches_failed']}) > "
                 f"batches_served ({st['batches_served']})")
 
+    reconcile_ledger(report, errors)
+
     total = report.get("ops_processed_total", 0)
     trace = report.get("trace")
     if trace is None:
@@ -153,6 +178,60 @@ def reconcile(report, errors):
         errors.append(
             f"$.trace.metrics.ops ({metrics['ops']}) != ops_processed_total "
             f"({total}) with zero dropped records")
+
+
+def reconcile_ledger(report, errors):
+    """Bound-ledger identities: the Theorem 1 accounting must close."""
+    ledger = report.get("bound_ledger")
+    trace = report.get("trace")
+    if ledger is None or trace is None:
+        return
+    metrics = trace["metrics"]
+    attr = metrics["worker_attribution"]
+    path = "$.trace.metrics.worker_attribution"
+
+    # The five buckets are an exact partition of each worker's attributed
+    # window — the replay charges every nanosecond to exactly one bucket.
+    buckets = (attr["useful_ns"] + attr["steal_ns"] + attr["trapped_ns"]
+               + attr["flag_wait_ns"] + attr["parked_ns"])
+    if buckets != attr["attributed_ns"]:
+        errors.append(
+            f"{path}: bucket sum ({buckets}) != attributed_ns "
+            f"({attr['attributed_ns']})")
+
+    # Each worker's window is clamped to the session, so total attributed
+    # time fits inside P * wall.
+    budget = attr["worker_threads"] * ledger["wall_ns"]
+    if attr["attributed_ns"] > budget:
+        errors.append(
+            f"{path}: attributed_ns ({attr['attributed_ns']}) > "
+            f"worker_threads * wall_ns ({budget})")
+
+    lpath = "$.bound_ledger"
+    # A run executes inside the session, so its critical path fits the wall.
+    if ledger["longest_run_span_ns"] > ledger["wall_ns"]:
+        errors.append(
+            f"{lpath}: longest_run_span_ns ({ledger['longest_run_span_ns']}) "
+            f"> wall_ns ({ledger['wall_ns']})")
+    if ledger["span_ns_total"] > ledger["work_ns"]:
+        errors.append(
+            f"{lpath}: span_ns_total ({ledger['span_ns_total']}) > work_ns "
+            f"({ledger['work_ns']})")
+
+    # Every ledger segment runs either inside a task slice (offline: useful)
+    # or on a launcher between flag acquisition and reopen (offline: the
+    # flag-wait bucket covers the collect phase the launch strand spans), so
+    # online work must fit inside useful + flag_wait.  Timestamps straddle a
+    # few instructions at pause/resume, hence the slack; a dropped record
+    # invalidates the offline side entirely.
+    if metrics["dropped_records"] == 0 and not metrics["pairing_degraded"]:
+        offline = attr["useful_ns"] + attr["flag_wait_ns"]
+        slack = offline * 0.02 + 10e6
+        if ledger["work_ns"] > offline + slack:
+            errors.append(
+                f"{lpath}: work_ns ({ledger['work_ns']}) exceeds traced "
+                f"useful_ns + flag_wait_ns ({offline}) beyond slack "
+                f"({slack:.0f})")
 
 
 def main():
