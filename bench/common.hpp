@@ -179,6 +179,14 @@ class Report {
     external_stats_.push_back({std::move(label), st});
   }
 
+  // Record a bench-owned latency histogram (e.g. per-request service
+  // latency).  Unlike the trace section this is emitted unconditionally —
+  // SLO percentiles must gate even when $BATCHER_TRACE is off.  The compare
+  // tool lifts each entry into hist/<name>/{p50_ns,p99_ns,p999_ns} rows.
+  void histogram(std::string name, const trace::LatencyHistogram& h) {
+    histograms_.push_back({std::move(name), h});
+  }
+
   std::uint64_t ops_processed_total() const { return ops_processed_total_; }
 
   // Serializes and writes BENCH_<name>.json (finishing the attached
@@ -223,6 +231,7 @@ class Report {
   std::vector<std::pair<std::string, BatcherStats>> batcher_stats_;
   std::vector<std::pair<std::string, rt::StatsSnapshot>> scheduler_stats_;
   std::vector<std::pair<std::string, ExternalStats>> external_stats_;
+  std::vector<std::pair<std::string, trace::LatencyHistogram>> histograms_;
   std::uint64_t ops_processed_total_ = 0;
 
   TraceScope* trace_scope_ = nullptr;
@@ -381,6 +390,15 @@ inline bool Report::write() {
   w.end_array();
 
   w.kv("ops_processed_total", ops_processed_total_);
+
+  if (!histograms_.empty()) {
+    w.key("histograms").begin_object();
+    for (const auto& [hname, h] : histograms_) {
+      w.key(hname);
+      trace::histogram_to_json(h, w);
+    }
+    w.end_object();
+  }
 
   if (traced_) {
     w.key("trace").begin_object();

@@ -211,74 +211,96 @@ class ExternalDomain {
     }
   }
 
+  // One pump step: scan the slot array once (from the rotating cursor),
+  // claim up to `batch_cap` pending records, and run them as one batch dag.
+  // Returns true when a batch was served, false when the scan found nothing.
+  //
+  // This is the unit a multi-domain front-end schedules: a pump task that
+  // owns several sharded domains round-robins pump_once() across them (see
+  // service::ShardRouter::serve), so K shards need far fewer than K workers.
+  // Invariant 1 discipline is unchanged — at most one thread may pump a
+  // given domain at a time (the scan cursor and scratch vectors are
+  // deliberately unsynchronized pump-only state).
+  bool pump_once() {
+    rt::Worker* w = rt::Worker::current();
+    BATCHER_ASSERT(w != nullptr, "pump_once() must run on a worker");
+    const std::size_t n = slots_.size();
+    working_.clear();
+    collected_.clear();
+    // Scan from a rotating start so high tids are not starved when the cap
+    // keeps filling from the same low slots: the next pass resumes after
+    // the last slot this pass examined.
+    std::size_t examined = 0;
+    for (std::size_t k = 0; k < n && working_.size() < batch_cap_; ++k) {
+      const std::size_t i =
+          scan_start_ + k >= n ? scan_start_ + k - n : scan_start_ + k;
+      Slot& slot = *slots_[i];
+      examined = k + 1;
+      if (slot.status.load(std::memory_order_acquire) != kPending) continue;
+      // CAS, not a plain store: a submitter observing shutdown — or its
+      // deadline — may revoke its record concurrently.
+      rt::hooks::emit({rt::hooks::HookPoint::kExternalClaim, w->id(),
+                       rt::TaskKind::Batch, rt::TaskKind::Batch, this, i});
+      std::uint8_t expected = kPending;
+      if (slot.status.compare_exchange_strong(expected, kExecuting,
+                                              std::memory_order_acq_rel)) {
+        working_.push_back(slot.op);
+        collected_.push_back(&slot);
+      }
+    }
+    scan_start_ = (scan_start_ + examined) % n;
+    if (working_.empty()) return false;
+    // Execute the BOP as a batch dag so idle workers help via their
+    // batch deques — the whole point of the bridge.  A throwing BOP
+    // fails exactly this batch's ops; the pump keeps serving.
+    try {
+      w->run_inline(rt::TaskKind::Batch, [&] {
+#if BATCHER_AUDIT
+        // Same fault point as Batcher's launch path: an armed
+        // throw_in_bop covers externally pumped batches too.
+        if (rt::hooks::fire(rt::hooks::test_faults().throw_in_bop)) {
+          throw rt::hooks::InjectedFault("injected fault: BOP threw");
+        }
+#endif
+        ds_.run_batch(working_.data(), working_.size());
+      });
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      for (Slot* slot : collected_) slot->op->set_error(error);
+      failed_batches_.fetch_add(1, std::memory_order_relaxed);
+    }
+    for (Slot* slot : collected_) {
+      slot->status.store(kDone, std::memory_order_release);
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // The pump's exit drain, callable once the domain is closed and its final
+  // scan came back empty: fails every record published between that scan and
+  // the submitters noticing the shutdown flag, so no submit can spin on a
+  // pump that has already left.  serve() calls it on exit; a multi-domain
+  // pump loop calls it per domain when pump_once() goes quiet after close.
+  void drain_closed() {
+    BATCHER_ASSERT(closed(), "drain_closed() requires a closed domain");
+    drain_pending(quarantined_.load(std::memory_order_acquire));
+  }
+
   // The pump: run this inside Scheduler::run (typically as the root task, or
   // spawned beside other work).  Serves batches until `shutdown` is called
   // and every published record has been applied (or failed with
   // DomainClosed by the exit drain).
   void serve() {
-    rt::Worker* w = rt::Worker::current();
-    BATCHER_ASSERT(w != nullptr, "serve() must run on a worker");
     Backoff backoff;
-    const std::size_t n = slots_.size();
     while (true) {
-      working_.clear();
-      collected_.clear();
-      // Scan from a rotating start so high tids are not starved when the cap
-      // keeps filling from the same low slots: the next pass resumes after
-      // the last slot this pass examined.
-      std::size_t examined = 0;
-      for (std::size_t k = 0; k < n && working_.size() < batch_cap_; ++k) {
-        const std::size_t i =
-            scan_start_ + k >= n ? scan_start_ + k - n : scan_start_ + k;
-        Slot& slot = *slots_[i];
-        examined = k + 1;
-        if (slot.status.load(std::memory_order_acquire) != kPending) continue;
-        // CAS, not a plain store: a submitter observing shutdown — or its
-        // deadline — may revoke its record concurrently.
-        rt::hooks::emit({rt::hooks::HookPoint::kExternalClaim, w->id(),
-                         rt::TaskKind::Batch, rt::TaskKind::Batch, this, i});
-        std::uint8_t expected = kPending;
-        if (slot.status.compare_exchange_strong(expected, kExecuting,
-                                                std::memory_order_acq_rel)) {
-          working_.push_back(slot.op);
-          collected_.push_back(&slot);
-        }
-      }
-      scan_start_ = (scan_start_ + examined) % n;
-      if (!working_.empty()) {
-        // Execute the BOP as a batch dag so idle workers help via their
-        // batch deques — the whole point of the bridge.  A throwing BOP
-        // fails exactly this batch's ops; the pump keeps serving.
-        try {
-          w->run_inline(rt::TaskKind::Batch, [&] {
-#if BATCHER_AUDIT
-            // Same fault point as Batcher's launch path: an armed
-            // throw_in_bop covers externally pumped batches too.
-            if (rt::hooks::fire(rt::hooks::test_faults().throw_in_bop)) {
-              throw rt::hooks::InjectedFault("injected fault: BOP threw");
-            }
-#endif
-            ds_.run_batch(working_.data(), working_.size());
-          });
-        } catch (...) {
-          const std::exception_ptr error = std::current_exception();
-          for (Slot* slot : collected_) slot->op->set_error(error);
-          failed_batches_.fetch_add(1, std::memory_order_relaxed);
-        }
-        for (Slot* slot : collected_) {
-          slot->status.store(kDone, std::memory_order_release);
-        }
-        batches_.fetch_add(1, std::memory_order_relaxed);
+      if (pump_once()) {
         backoff.reset();
         continue;
       }
       if (stop_.load(std::memory_order_acquire)) break;
       backoff.pause();
     }
-    // Exit drain: fail any record published between the last scan and the
-    // submitters noticing the shutdown flag, so no submit can spin on a
-    // pump that has already left.
-    drain_pending(quarantined_.load(std::memory_order_acquire));
+    drain_closed();
   }
 
   // Ask the pump to exit once the slot array drains, and bound every
@@ -383,10 +405,16 @@ class ExternalDomain {
     }
     if (closed()) throw_closed();
     // Shed before publishing: a refused op has no side effects, so the
-    // caller may retry freely.  The depth read is racy by design — the bound
-    // is a backlog limit, not an exact admission count.
-    if (shed_threshold_ != 0 &&
-        pending_depth_.load(std::memory_order_relaxed) >= shed_threshold_) {
+    // caller may retry freely.  Increment-then-verify, not check-then-act:
+    // a racy pre-check lets M concurrent submitters all observe
+    // depth < threshold and overshoot the backlog bound by up to M.  The
+    // fetch_add hands each submitter a serialized admission ticket `prev`;
+    // exactly those with prev < threshold keep their increment and publish,
+    // so the published depth never exceeds shed_threshold.
+    const std::size_t prev =
+        pending_depth_.fetch_add(1, std::memory_order_relaxed);
+    if (shed_threshold_ != 0 && prev >= shed_threshold_) {
+      pending_depth_.fetch_sub(1, std::memory_order_relaxed);
       ops_shed_.fetch_add(1, std::memory_order_relaxed);
       if (trace::enabled()) [[unlikely]] {
         trace::emit(trace::kNoWorkerId, trace::EventId::kOpShed, trace_id_);
@@ -400,7 +428,6 @@ class ExternalDomain {
     slot.op = &op;
     rt::hooks::emit({rt::hooks::HookPoint::kExternalSubmit, rt::hooks::kNoWorker,
                      rt::TaskKind::Batch, rt::TaskKind::Batch, this, tid});
-    pending_depth_.fetch_add(1, std::memory_order_relaxed);
     slot.status.store(kPending, std::memory_order_release);
     Backoff backoff;
     std::uint32_t spins = 0;

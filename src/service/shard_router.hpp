@@ -1,0 +1,229 @@
+// ShardRouter — the batched service front-end's routing layer (DESIGN.md §15).
+//
+// The paper's §8 sketch (ExternalDomain) bridges ONE structure to pthreaded
+// callers.  A service is K structures: several independent keyspaces (a
+// hash map, an index, a queue of work), each possibly replicated into shards
+// so one hot structure does not serialize the whole front-end.  ShardRouter
+// owns one ExternalDomain per shard over one shared scheduler and answers
+// two questions:
+//
+//  * Routing: which shard serves (group, key)?  A SplitMix64 finalizer over
+//    the key picks uniformly among the group's shards, so zipfian key skew
+//    is spread by hash, not by the raw key's arithmetic locality.  Routing
+//    is pure — same (group, key), same shard — so a client retrying after a
+//    shed lands on the same backlog it was shed from (the point of the
+//    bound), and tests can predict placements exactly.
+//
+//  * Pump scheduling: K shards must not cost K dedicated workers.  serve()
+//    spawns `pump_tasks` pump tasks (default: one per shard, capped at the
+//    worker count) via rt::parallel_for; pump task i round-robins
+//    ExternalDomain::pump_once() over the shards with index ≡ i mod
+//    pump_tasks.  A shard is pumped by exactly one task, preserving
+//    Invariant 1 per domain, while one worker can keep several lightly
+//    loaded shards live.  When a closed shard's scan comes back empty the
+//    owning pump runs its drain_closed() exactly once and retires it;
+//    serve() returns when every shard is drained.
+//
+// Submit-side semantics (deadlines, shedding, retry, quarantine) are
+// unchanged from ExternalDomain — the router only picks the domain.  The
+// per-shard resolution identity ops_served == ops_succeeded + ops_failed +
+// ops_timed_out therefore holds shard by shard, and total_stats() sums it.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "batcher/external.hpp"
+#include "runtime/api.hpp"
+#include "support/rng.hpp"
+
+namespace batcher::service {
+
+// Stateless SplitMix64 finalizer: one next() from a key-seeded stream.
+// Decorrelates shard choice from key arithmetic (k and k+1 land anywhere).
+inline std::uint64_t mix_key(std::uint64_t key) {
+  return SplitMix64(key).next();
+}
+
+class ShardRouter {
+ public:
+  struct Options {
+    // Client threads that may submit concurrently; becomes every shard
+    // domain's `max_threads` (client tid t uses slot t in every shard).
+    std::size_t max_threads = 1;
+    // Applied to every shard's ExternalDomain (batch_cap, shed_threshold,
+    // stall_probe).  Shedding is therefore a *per-shard* backlog bound.
+    ExternalDomain::Options domain;
+    // Pump tasks serve() spawns; 0 means min(num_shards, num_workers).
+    // Clamped to [1, min(num_shards, num_workers)]: more pumps than shards
+    // is waste, more than workers would leave shards unpumped until another
+    // pump task finishes — which is only at shutdown.
+    std::size_t pump_tasks = 0;
+  };
+
+  ShardRouter(rt::Scheduler& sched, Options options)
+      : sched_(sched), options_(std::move(options)) {}
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // Register one keyspace served by `shards` (≥1 structure replicas).
+  // Returns the group id used for routing.  Not thread-safe; call before
+  // serve().
+  std::size_t add_group(const std::vector<BatchedStructure*>& shards) {
+    BATCHER_ASSERT(!shards.empty(), "a shard group needs >= 1 structures");
+    const std::size_t group = groups_.size();
+    groups_.push_back({domains_.size(), shards.size()});
+    for (BatchedStructure* ds : shards) {
+      domains_.push_back(std::make_unique<ExternalDomain>(
+          sched_, *ds, options_.max_threads, options_.domain));
+    }
+    return group;
+  }
+
+  std::size_t num_shards() const { return domains_.size(); }
+  std::size_t num_groups() const { return groups_.size(); }
+  std::size_t group_begin(std::size_t group) const {
+    return groups_[group].begin;
+  }
+  std::size_t group_size(std::size_t group) const {
+    return groups_[group].count;
+  }
+
+  // Pure routing: the global shard index serving (group, key).
+  std::size_t shard_of(std::size_t group, std::int64_t key) const {
+    const Group& g = groups_[group];
+    return g.begin +
+           static_cast<std::size_t>(mix_key(static_cast<std::uint64_t>(key)) %
+                                    g.count);
+  }
+
+  ExternalDomain& domain(std::size_t shard) { return *domains_[shard]; }
+  const ExternalDomain& domain(std::size_t shard) const {
+    return *domains_[shard];
+  }
+  ExternalDomain& domain_for(std::size_t group, std::int64_t key) {
+    return *domains_[shard_of(group, key)];
+  }
+
+  // Routed submits: ExternalDomain's submit family, with the domain chosen
+  // by (group, key).  All of that layer's error contracts apply unchanged.
+  void submit(std::size_t group, std::int64_t key, std::size_t tid,
+              OpRecordBase& op) {
+    domain_for(group, key).submit(tid, op);
+  }
+  void submit_until(std::size_t group, std::int64_t key, std::size_t tid,
+                    OpRecordBase& op,
+                    std::chrono::steady_clock::time_point deadline) {
+    domain_for(group, key).submit_until(tid, op, deadline);
+  }
+  void submit_with_retry(std::size_t group, std::int64_t key, std::size_t tid,
+                         OpRecordBase& op, const RetryPolicy& policy) {
+    domain_for(group, key).submit_with_retry(tid, op, policy);
+  }
+
+  // The multi-shard pump.  Run inside Scheduler::run (as the root task);
+  // returns once every shard is shut down and drained.
+  void serve() {
+    const std::size_t shards = domains_.size();
+    BATCHER_ASSERT(shards != 0, "serve() with no shards");
+    std::size_t pumps = options_.pump_tasks != 0
+                            ? options_.pump_tasks
+                            : std::min<std::size_t>(shards,
+                                                    sched_.num_workers());
+    pumps = std::min({pumps, shards,
+                      static_cast<std::size_t>(sched_.num_workers())});
+    if (pumps == 0) pumps = 1;
+    // grain 1: each pump task is one long-lived index; idle workers steal
+    // the rest of the range while task 0 is already pumping.
+    rt::parallel_for(
+        std::int64_t{0}, static_cast<std::int64_t>(pumps),
+        [&](std::int64_t pump) { pump_loop(static_cast<std::size_t>(pump), pumps); },
+        /*grain=*/1);
+  }
+
+  // Close every shard: blocked submits fail with DomainClosed, the pumps
+  // drain and serve() returns.  Safe from any thread; idempotent.
+  void shutdown() {
+    for (auto& d : domains_) d->shutdown();
+  }
+
+  // Escalation for one wedged shard (see ExternalDomain::quarantine): the
+  // other shards keep serving — the blast radius of a wedged structure is
+  // its keyspace slice, not the whole front-end.
+  void quarantine(std::size_t shard, bool fail_claimed = false) {
+    domains_[shard]->quarantine(fail_claimed);
+  }
+
+  ExternalStats stats(std::size_t shard) const {
+    return domains_[shard]->stats();
+  }
+
+  // Sum of the per-shard snapshots; the resolution identity survives the sum.
+  ExternalStats total_stats() const {
+    ExternalStats total;
+    for (const auto& d : domains_) {
+      const ExternalStats s = d->stats();
+      total.ops_served += s.ops_served;
+      total.ops_succeeded += s.ops_succeeded;
+      total.ops_failed += s.ops_failed;
+      total.ops_timed_out += s.ops_timed_out;
+      total.ops_shed += s.ops_shed;
+      total.batches_served += s.batches_served;
+      total.batches_failed += s.batches_failed;
+      total.retries_attempted += s.retries_attempted;
+    }
+    return total;
+  }
+
+ private:
+  struct Group {
+    std::size_t begin = 0;  // first shard index
+    std::size_t count = 0;  // shards in this group
+  };
+
+  // Pump task `pump` of `pumps`: round-robin pump_once() over the owned
+  // shards until each is closed, scanned empty, and drained.
+  void pump_loop(std::size_t pump, std::size_t pumps) {
+    std::vector<ExternalDomain*> mine;
+    for (std::size_t d = pump; d < domains_.size(); d += pumps) {
+      mine.push_back(domains_[d].get());
+    }
+    std::vector<bool> drained(mine.size(), false);
+    std::size_t live = mine.size();
+    Backoff backoff;
+    while (live != 0) {
+      bool progress = false;
+      for (std::size_t j = 0; j < mine.size(); ++j) {
+        if (drained[j]) continue;
+        ExternalDomain& d = *mine[j];
+        if (d.pump_once()) {
+          progress = true;
+          continue;
+        }
+        // Empty scan on a closed shard: same exit condition as
+        // ExternalDomain::serve(), per shard.
+        if (d.closed()) {
+          d.drain_closed();
+          drained[j] = true;
+          --live;
+        }
+      }
+      if (progress) {
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+  }
+
+  rt::Scheduler& sched_;
+  Options options_;
+  std::vector<std::unique_ptr<ExternalDomain>> domains_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace batcher::service

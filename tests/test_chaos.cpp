@@ -37,6 +37,7 @@
 #include "runtime/api.hpp"
 #include "runtime/schedule_hooks.hpp"
 #include "runtime/scheduler.hpp"
+#include "service/shard_router.hpp"
 
 namespace batcher {
 namespace {
@@ -531,6 +532,213 @@ TEST(ChaosSweep, MultiDomainPerturbedSweepBothShutdownOrders) {
         << "seed " << seed << "\n" << session.watchdog().report();
   }
   session.uninstall();
+}
+
+// --- 4. Sharded front-end chaos ---------------------------------------------
+
+// Forwards events to the fault engine only; the sharded test asserts exact
+// counters rather than auditing the schedule model.
+struct FaultOnlyObserver final : hooks::ScheduleObserver {
+  FaultSchedule* faults;
+  void on_event(const HookEvent& event) override { faults->on_event(event); }
+};
+
+// Satellite of the service front-end PR: one seeded run where timeouts,
+// sheds, retries, and a quarantine ALL fire against a ShardRouter spanning a
+// two-shard hashmap group and a one-shard counter group.
+//
+// Phase A runs before any pump exists, so its counters are exact in every
+// build config: one try_submit timeout per shard, and an occupied
+// counter-shard backlog that sheds a bounded-retry prober exactly
+// max_retries + 1 times.  Phase B starts serve(), lets three clients race
+// all four submit kinds through the router while a seeded FaultSchedule
+// injects (in audit builds), quarantines the counter shard mid-run, and
+// shuts down.  Afterward every shard must satisfy the resolution identity
+// and the client-side ledger must account for every request it issued — a
+// lost request would break one or the other.
+TEST(ChaosSweep, ShardedFrontEndTimeoutsShedsRetriesAndQuarantine) {
+  constexpr unsigned kWorkers = 4;
+  constexpr std::size_t kClients = 3;
+  constexpr int kOpsPerClient = 24;
+  constexpr std::uint64_t kSeed = 2014;
+  // tids: clients use [0, kClients); the blocker and the prober get their own.
+  constexpr std::size_t kBlockerTid = kClients;
+  constexpr std::size_t kProberTid = kClients + 1;
+
+  rt::Scheduler sched(kWorkers);
+  ds::BatchedHashMap map_a(sched);
+  ds::BatchedHashMap map_b(sched);
+  ds::BatchedCounter counter(sched);
+  service::ShardRouter::Options ropt;
+  ropt.max_threads = kClients + 2;
+  ropt.domain.shed_threshold = 1;  // every shard sheds aggressively
+  service::ShardRouter router(sched, ropt);
+  const std::size_t g_map = router.add_group({&map_a, &map_b});
+  const std::size_t g_ctr = router.add_group({&counter});
+  const std::size_t ctr_shard = router.group_begin(g_ctr);
+
+  // --- Phase A: deterministic timeout / shed / retry counters (no pump) ---
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    ds::BatchedCounter::Op probe;  // the record type is irrelevant: it is
+    probe.delta = 0;               // revoked before any batch could run it
+    EXPECT_THROW(router.domain(s).try_submit(kProberTid, probe), OpTimedOut);
+    EXPECT_EQ(router.stats(s).ops_timed_out, 1u) << "shard " << s;
+  }
+  std::atomic<std::uint64_t> blocker_ok{0};
+  std::thread blocker([&] {
+    ds::BatchedCounter::Op op;
+    op.delta = 1;
+    try {
+      router.submit(g_ctr, 0, kBlockerTid, op);
+      blocker_ok.fetch_add(1);
+    } catch (...) {
+      // Quarantined before the pump got to it, or its batch drew an
+      // injected fault: resolved either way, just not successfully.
+    }
+  });
+  while (router.domain(ctr_shard).pending_depth() < 1) {
+    std::this_thread::yield();
+  }
+  {
+    RetryPolicy policy;
+    policy.seed = kSeed;
+    policy.max_retries = 2;
+    policy.base_spins = 16;
+    ds::BatchedCounter::Op op;
+    op.delta = 1;
+    EXPECT_THROW(router.submit_with_retry(g_ctr, 0, kProberTid, op, policy),
+                 DomainOverloaded);
+  }
+  {
+    const ExternalStats st = router.stats(ctr_shard);
+    EXPECT_EQ(st.ops_shed, 3u);           // max_retries + 1 attempts, all shed
+    EXPECT_EQ(st.retries_attempted, 2u);  // exactly the policy's budget
+  }
+
+  // --- Phase B: seeded chaos against the running front-end ---
+  FaultSchedule::Options fopt;
+  fopt.horizon_events = 1500;
+  fopt.external_tids = kClients;
+  FaultSchedule faults(kSeed, fopt);
+  FaultOnlyObserver observer;
+  observer.faults = &faults;
+  hooks::install_observer(&observer);
+
+  std::atomic<std::uint64_t> attempts{0}, ok{0}, failed{0}, timed{0}, shed{0};
+  std::atomic<std::uint64_t> ok_ctr{0};
+  std::atomic<bool> saw_bad_alloc{false};
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        if (faults.external_wedged(t)) break;
+        const bool to_ctr = i % 2 == 1;
+        const std::size_t group = to_ctr ? g_ctr : g_map;
+        const std::int64_t key = static_cast<std::int64_t>(t) * 101 + i * 7;
+        ds::BatchedCounter::Op cop;
+        cop.delta = 1;
+        ds::BatchedHashMap::Op mop;
+        mop.kind = ds::BatchedHashMap::Kind::Update;
+        mop.key = key;
+        mop.value = 1;
+        OpRecordBase& op =
+            to_ctr ? static_cast<OpRecordBase&>(cop) : mop;
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        try {
+          switch (i % 4) {
+            case 0:
+              router.submit(group, key, t, op);
+              break;
+            case 1:
+              router.submit_until(group, key, t, op,
+                                  std::chrono::steady_clock::now() +
+                                      std::chrono::microseconds(500));
+              break;
+            case 2:
+              router.domain_for(group, key).try_submit(t, op);
+              break;
+            default: {
+              RetryPolicy policy;
+              policy.seed = kSeed + t;
+              policy.max_retries = 2;
+              policy.base_spins = 16;
+              router.submit_with_retry(group, key, t, op, policy);
+              break;
+            }
+          }
+          ok.fetch_add(1, std::memory_order_relaxed);
+          if (to_ctr) ok_ctr.fetch_add(1, std::memory_order_relaxed);
+        } catch (const OpTimedOut&) {
+          timed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const DomainOverloaded&) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const DomainClosed&) {
+          // Quarantined counter shard or post-shutdown: resolved, failed.
+          failed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const hooks::InjectedFault&) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::bad_alloc&) {
+          saw_bad_alloc.store(true, std::memory_order_relaxed);
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread controller([&] {
+    // Quarantine the counter shard mid-run: once some traffic has flowed,
+    // or promptly if the chaos stalls the clients first.
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+    while (attempts.load(std::memory_order_relaxed) <
+               kClients * kOpsPerClient / 2 &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::yield();
+    }
+    router.quarantine(ctr_shard);
+    for (auto& c : clients) c.join();
+    router.shutdown();
+  });
+  try {
+    sched.run([&] { router.serve(); });
+  } catch (...) {
+    // An injected allocation fault can surface from the run itself; every
+    // submitter must still be unblocked.
+    for (std::size_t s = 0; s < router.num_shards(); ++s) {
+      router.quarantine(s);
+    }
+  }
+  controller.join();
+  blocker.join();
+  hooks::install_observer(nullptr);
+
+  // The quarantine fired: the counter shard is closed (shutdown closes the
+  // rest), and closed-ness is what rejected the late counter traffic above.
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    EXPECT_TRUE(router.domain(s).closed());
+  }
+
+  // No lost request, domain side: every shard's published records resolved
+  // exactly one way, chaos or not.
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    const ExternalStats st = router.stats(s);
+    ASSERT_EQ(st.ops_served,
+              st.ops_succeeded + st.ops_failed + st.ops_timed_out)
+        << "shard " << s << "\n" << faults.describe();
+  }
+  // No lost request, client side: every attempt resolved to exactly one
+  // outcome, and the domains' success count matches the clients' ledger
+  // plus the phase-A blocker (the only other successful submitter).
+  ASSERT_EQ(attempts.load(),
+            ok.load() + failed.load() + timed.load() + shed.load());
+  ASSERT_EQ(router.total_stats().ops_succeeded,
+            ok.load() + blocker_ok.load())
+      << faults.describe();
+  // An injected bad_alloc can abort a batch mid-application; only
+  // allocation-clean runs pin the exact structure state.
+  if (!saw_bad_alloc.load()) {
+    EXPECT_EQ(counter.value_unsafe(),
+              static_cast<std::int64_t>(ok_ctr.load() + blocker_ok.load()));
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "ds/batched_hashmap.hpp"
 #include "ds/batched_pq.hpp"
 #include "ds/batched_skiplist.hpp"
+#include "runtime/schedule_hooks.hpp"
 #include "runtime/scheduler.hpp"
 #include "support/backoff.hpp"
 
@@ -300,6 +301,110 @@ TEST(ExternalShed, BacklogAtThresholdRefusesBeforePublish) {
   EXPECT_EQ(domain.ops_failed(), 2u);
   EXPECT_EQ(domain.ops_served(), 2u);  // shed ops sit outside the identity
   EXPECT_EQ(counter.value_unsafe(), 0);
+}
+
+// In audit builds, force the shed race's adversarial interleaving instead of
+// hoping the OS provides it: kExternalSubmit fires inside the old
+// check-then-act window (after the shed gate, before publication), so
+// parking every submitter there until the whole storm has either parked or
+// shed reconstructs the worst case deterministically — under the old gate
+// all N submitters pass the depth check and park, then all N publish.
+// Under the fixed increment-then-verify gate admission is serialized before
+// the hook fires, so exactly shed_threshold submitters ever park and the
+// park condition still releases.  Without audit hooks the gate is inert and
+// the test pins the bound under free-running threads only.
+struct SubmitWindowGate final : rt::hooks::ScheduleObserver {
+  std::atomic<const ExternalDomain*> target{nullptr};
+  std::atomic<std::size_t> parked{0};
+  std::size_t storm = 0;
+  void on_event(const rt::hooks::HookEvent& e) override {
+    const ExternalDomain* d = target.load(std::memory_order_acquire);
+    if (e.point != rt::hooks::HookPoint::kExternalSubmit || e.domain != d) {
+      return;
+    }
+    parked.fetch_add(1, std::memory_order_acq_rel);
+    while (parked.load(std::memory_order_acquire) + d->ops_shed() <
+           storm) {
+      cpu_relax();
+    }
+  }
+};
+
+TEST(ExternalShed, ShedBoundExactUnderConcurrentSubmitters) {
+  // Regression for the shed check-then-act race: with a load-then-test gate,
+  // N submitters racing past an almost-full backlog could ALL read a depth
+  // below the threshold and publish, overshooting the bound by up to
+  // max_threads - 1.  The increment-then-verify fix hands each submitter a
+  // serialized admission ticket, so exactly `shed_threshold` ops publish and
+  // the rest shed — an exact count, not a bound, which is what this pins.
+  constexpr std::size_t kThreshold = 4;
+  constexpr std::size_t kStorm = 16;
+  SubmitWindowGate gate;
+  gate.storm = kStorm;
+  rt::hooks::install_observer(&gate);
+  for (int iter = 0; iter < 50; ++iter) {
+    rt::Scheduler sched(2);
+    ds::BatchedCounter counter(sched);
+    ExternalDomain::Options opt;
+    opt.shed_threshold = kThreshold;
+    ExternalDomain domain(sched, counter, kStorm, opt);
+    gate.parked.store(0, std::memory_order_relaxed);
+    gate.target.store(&domain, std::memory_order_release);
+
+    // Barrier-start the storm so all submitters hit the empty backlog at
+    // once: that is the window the old check-then-act gate lost.
+    std::atomic<std::size_t> ready{0};
+    std::atomic<bool> go{false};
+    std::atomic<std::size_t> published{0};
+    std::atomic<std::size_t> shed{0};
+    std::vector<std::thread> storm;
+    for (std::size_t t = 0; t < kStorm; ++t) {
+      storm.emplace_back([&, t] {
+        ds::BatchedCounter::Op op;
+        op.delta = 1;
+        ready.fetch_add(1);
+        while (!go.load(std::memory_order_acquire)) cpu_relax();
+        try {
+          domain.submit(t, op);  // blocks until shutdown fails it
+          ADD_FAILURE() << "submit resolved without a pump";
+        } catch (const DomainOverloaded&) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const DomainClosed&) {
+          published.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    while (ready.load() < kStorm) std::this_thread::yield();
+    go.store(true, std::memory_order_release);
+
+    // Wait for the exact stable state.  Intermediate states can transiently
+    // show pending_depth > threshold (a shedder between its fetch_add and
+    // the verify fetch_sub), so poll for quiescence, not a one-shot read.
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while ((domain.ops_shed() != kStorm - kThreshold ||
+            domain.pending_depth() != kThreshold) &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::yield();
+    }
+    EXPECT_EQ(domain.pending_depth(), kThreshold) << "iter " << iter;
+    EXPECT_EQ(domain.ops_shed(), kStorm - kThreshold) << "iter " << iter;
+
+    domain.shutdown();
+    for (auto& th : storm) th.join();
+    gate.target.store(nullptr, std::memory_order_release);
+    EXPECT_EQ(published.load(), kThreshold) << "iter " << iter;
+    EXPECT_EQ(shed.load(), kStorm - kThreshold) << "iter " << iter;
+    // The published ops failed at shutdown; shed ops never entered the
+    // served identity.
+    EXPECT_EQ(domain.ops_served(), kThreshold);
+    EXPECT_EQ(domain.ops_failed(), kThreshold);
+    EXPECT_EQ(counter.value_unsafe(), 0);
+    // A broken gate fails every iteration the same way; one report is
+    // enough (the overshoot path also eats the full quiescence timeout).
+    if (::testing::Test::HasFailure()) break;
+  }
+  rt::hooks::install_observer(nullptr);
 }
 
 TEST(ExternalShed, RetryPolicyOutlastsTransientOverload) {

@@ -1,0 +1,354 @@
+// Service front-end tests: ShardRouter routing/pumping and the open-loop
+// load generator (DESIGN.md §15).
+//
+// Registered under the "service/" ctest prefix.  The suite pins the three
+// contracts the bench relies on: routing is pure and in-bounds, serve()
+// keeps every shard live with fewer pump tasks than shards, and the
+// client-side ledger ok + failed + timed_out + shed == requests mirrors the
+// per-shard resolution identity so no request is lost between the two.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "ds/batched_counter.hpp"
+#include "ds/batched_hashmap.hpp"
+#include "runtime/scheduler.hpp"
+#include "service/load_gen.hpp"
+#include "service/shard_router.hpp"
+
+namespace batcher {
+namespace {
+
+using service::LoadGenConfig;
+using service::LoadGenStats;
+using service::Outcome;
+using service::ShardRouter;
+using service::SloResult;
+
+// --- routing ---------------------------------------------------------------
+
+TEST(ServiceRouter, RoutingIsPureInBoundsAndCoversShards) {
+  rt::Scheduler sched(1);
+  std::vector<std::unique_ptr<ds::BatchedCounter>> counters;
+  std::vector<BatchedStructure*> shards;
+  for (int i = 0; i < 4; ++i) {
+    counters.push_back(std::make_unique<ds::BatchedCounter>(sched));
+    shards.push_back(counters.back().get());
+  }
+  ShardRouter::Options opt;
+  opt.max_threads = 1;
+  ShardRouter router(sched, opt);
+  const std::size_t g0 = router.add_group({shards[0], shards[1], shards[2]});
+  const std::size_t g1 = router.add_group({shards[3]});
+
+  ASSERT_EQ(router.num_groups(), 2u);
+  ASSERT_EQ(router.num_shards(), 4u);
+  EXPECT_EQ(router.group_begin(g0), 0u);
+  EXPECT_EQ(router.group_size(g0), 3u);
+  EXPECT_EQ(router.group_begin(g1), 3u);
+  EXPECT_EQ(router.group_size(g1), 1u);
+
+  std::set<std::size_t> seen;
+  for (std::int64_t key = 0; key < 512; ++key) {
+    const std::size_t shard = router.shard_of(g0, key);
+    EXPECT_GE(shard, router.group_begin(g0));
+    EXPECT_LT(shard, router.group_begin(g0) + router.group_size(g0));
+    // Pure: the same (group, key) maps to the same shard every time, so a
+    // retry after a shed lands on the backlog it was shed from.
+    EXPECT_EQ(router.shard_of(g0, key), shard);
+    seen.insert(shard);
+    // A single-shard group routes everything to its one shard.
+    EXPECT_EQ(router.shard_of(g1, key), 3u);
+  }
+  // SplitMix64 over 512 keys must not strand a 3-shard group's shard.
+  EXPECT_EQ(seen.size(), 3u);
+
+  // Adjacent raw keys decorrelate: the hash, not key arithmetic, picks the
+  // shard, so at least two of keys {0,1,2} land on distinct shards.
+  std::set<std::size_t> adjacent{router.shard_of(g0, 0), router.shard_of(g0, 1),
+                                 router.shard_of(g0, 2)};
+  EXPECT_GT(adjacent.size(), 1u);
+}
+
+// --- multi-shard pump ------------------------------------------------------
+
+TEST(ServiceRouter, OnePumpTaskKeepsFourShardsLive) {
+  constexpr std::size_t kClients = 4;
+  constexpr std::int64_t kPerClient = 64;
+  rt::Scheduler sched(2);
+  std::vector<std::unique_ptr<ds::BatchedCounter>> counters;
+  std::vector<BatchedStructure*> shards;
+  for (int i = 0; i < 4; ++i) {
+    counters.push_back(std::make_unique<ds::BatchedCounter>(sched));
+    shards.push_back(counters.back().get());
+  }
+  ShardRouter::Options opt;
+  opt.max_threads = kClients;
+  opt.pump_tasks = 1;  // fewer pumps than shards: one task round-robins all 4
+  ShardRouter router(sched, opt);
+  const std::size_t group = router.add_group(shards);
+
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::int64_t i = 0; i < kPerClient; ++i) {
+        ds::BatchedCounter::Op op;
+        op.delta = 1;
+        router.submit(group, static_cast<std::int64_t>(t) * kPerClient + i, t,
+                      op);
+        EXPECT_GE(op.result, 1);
+      }
+    });
+  }
+  std::thread controller([&] {
+    for (auto& c : clients) c.join();
+    router.shutdown();
+  });
+  sched.run([&] { router.serve(); });
+  controller.join();
+
+  const ExternalStats total = router.total_stats();
+  EXPECT_EQ(total.ops_succeeded, kClients * kPerClient);
+  EXPECT_EQ(total.ops_served,
+            total.ops_succeeded + total.ops_failed + total.ops_timed_out);
+  std::int64_t sum = 0;
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    const ExternalStats st = router.stats(s);
+    // Per-shard resolution identity — the router only picks the domain.
+    EXPECT_EQ(st.ops_served,
+              st.ops_succeeded + st.ops_failed + st.ops_timed_out)
+        << "shard " << s;
+    // 256 hashed keys over 4 shards: every shard must have seen traffic.
+    EXPECT_GT(st.ops_served, 0u) << "shard " << s;
+    sum += counters[s]->value_unsafe();
+  }
+  EXPECT_EQ(sum, static_cast<std::int64_t>(kClients * kPerClient));
+}
+
+TEST(ServiceRouter, ServeDrainsMultipleGroupsBothShutdownOrders) {
+  // Two groups of different shard counts drain cleanly whether shutdown
+  // happens before serve() starts scanning or strictly after traffic.
+  for (const bool shutdown_first : {true, false}) {
+    rt::Scheduler sched(2);
+    std::vector<std::unique_ptr<ds::BatchedCounter>> counters;
+    for (int i = 0; i < 3; ++i) {
+      counters.push_back(std::make_unique<ds::BatchedCounter>(sched));
+    }
+    ShardRouter::Options opt;
+    opt.max_threads = 2;
+    ShardRouter router(sched, opt);
+    const std::size_t g0 =
+        router.add_group({counters[0].get(), counters[1].get()});
+    const std::size_t g1 = router.add_group({counters[2].get()});
+
+    std::thread driver;
+    if (shutdown_first) {
+      router.shutdown();
+    } else {
+      driver = std::thread([&] {
+        ds::BatchedCounter::Op a, b;
+        a.delta = 1;
+        b.delta = 5;
+        router.submit(g0, 17, 0, a);
+        router.submit(g1, 17, 1, b);
+        EXPECT_EQ(a.result, 1);
+        EXPECT_EQ(b.result, 5);
+        router.shutdown();
+      });
+    }
+    sched.run([&] { router.serve(); });
+    if (driver.joinable()) driver.join();
+    if (!shutdown_first) {
+      EXPECT_EQ(router.total_stats().ops_succeeded, 2u);
+      EXPECT_EQ(counters[2]->value_unsafe(), 5);
+    }
+    for (std::size_t s = 0; s < router.num_shards(); ++s) {
+      EXPECT_TRUE(router.domain(s).closed());
+    }
+  }
+}
+
+// --- submit_slo classification ---------------------------------------------
+
+TEST(ServiceSlo, ClassifiesTimeoutShedAndFailure) {
+  rt::Scheduler sched(2);
+  ds::BatchedCounter counter(sched);
+  ExternalDomain::Options dopt;
+  dopt.shed_threshold = 1;
+  ExternalDomain domain(sched, counter, 3, dopt);
+  Xoshiro256 rng(99);
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.base_spins = 8;
+
+  // No pump claims it: the deadline revokes the published op -> kTimedOut.
+  {
+    ds::BatchedCounter::Op op;
+    op.delta = 1;
+    const SloResult r = service::submit_slo(
+        domain, 0, op,
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(2),
+        policy, rng);
+    EXPECT_EQ(r.outcome, Outcome::kTimedOut);
+    EXPECT_EQ(domain.stats().ops_timed_out, 1u);
+  }
+
+  // Backlog pinned at the threshold: every attempt sheds, the retry budget
+  // runs out -> kShed with policy.max_retries retries recorded.
+  std::thread blocker([&] {
+    ds::BatchedCounter::Op op;
+    op.delta = 1;
+    EXPECT_THROW(domain.submit(0, op), DomainClosed);
+  });
+  while (domain.pending_depth() < 1) std::this_thread::yield();
+  {
+    ds::BatchedCounter::Op op;
+    op.delta = 1;
+    const SloResult r = service::submit_slo(
+        domain, 1, op,
+        std::chrono::steady_clock::now() + std::chrono::seconds(5), policy,
+        rng);
+    EXPECT_EQ(r.outcome, Outcome::kShed);
+    EXPECT_EQ(r.retries, policy.max_retries);
+  }
+
+  // Closed domain -> kFailed (the request resolved, unsuccessfully).
+  domain.shutdown();
+  blocker.join();
+  {
+    ds::BatchedCounter::Op op;
+    op.delta = 1;
+    const SloResult r = service::submit_slo(
+        domain, 2, op,
+        std::chrono::steady_clock::now() + std::chrono::seconds(1), policy,
+        rng);
+    EXPECT_EQ(r.outcome, Outcome::kFailed);
+  }
+  const ExternalStats st = domain.stats();
+  EXPECT_EQ(st.ops_served,
+            st.ops_succeeded + st.ops_failed + st.ops_timed_out);
+}
+
+// --- open-loop generator ---------------------------------------------------
+
+TEST(ServiceLoadGen, LedgerConservesEveryRequestAcrossShapes) {
+  for (const sim::Shape shape :
+       {sim::Shape::Uniform, sim::Shape::Zipfian, sim::Shape::FlashCrowd}) {
+    LoadGenConfig cfg;
+    cfg.shape = shape;
+    cfg.requests = 256;
+    cfg.seed = 42;
+    cfg.clients = 3;
+    cfg.rate = 2e6;  // fast replay: this test checks the ledger, not pacing
+    std::atomic<std::uint64_t> calls{0};
+    const LoadGenStats stats = service::run_open_loop(
+        cfg, [&](unsigned client, const sim::OpDesc& op,
+                 std::chrono::steady_clock::time_point /*deadline*/,
+                 Xoshiro256& /*rng*/) {
+          EXPECT_LT(client, cfg.clients);
+          EXPECT_GE(op.key, 0);
+          EXPECT_LT(op.key, cfg.key_space);
+          const std::uint64_t i = calls.fetch_add(1);
+          SloResult r;
+          // Deterministic outcome mix: every class must be counted once
+          // per four calls, whatever thread interleaving happened.
+          switch (i % 4) {
+            case 0: r.outcome = Outcome::kOk; break;
+            case 1: r.outcome = Outcome::kFailed; break;
+            case 2: r.outcome = Outcome::kTimedOut; break;
+            default: r.outcome = Outcome::kShed; r.retries = 2; break;
+          }
+          return r;
+        });
+    EXPECT_EQ(calls.load(), 256u);
+    EXPECT_EQ(stats.requests(), 256u);
+    EXPECT_EQ(stats.ok, 64u);
+    EXPECT_EQ(stats.failed, 64u);
+    EXPECT_EQ(stats.timed_out, 64u);
+    EXPECT_EQ(stats.shed, 64u);
+    EXPECT_EQ(stats.retries, 128u);
+    // Every request records a latency sample, even unsuccessful ones.
+    EXPECT_EQ(stats.latency.count(), 256u);
+    EXPECT_GT(stats.wall_seconds, 0.0);
+  }
+}
+
+// --- end to end ------------------------------------------------------------
+
+TEST(ServiceEndToEnd, OpenLoopAgainstShardedRouterLosesNothing) {
+  constexpr unsigned kClients = 3;
+  constexpr std::int64_t kRequests = 300;
+  rt::Scheduler sched(2);
+  std::vector<std::unique_ptr<ds::BatchedHashMap>> maps;
+  std::vector<BatchedStructure*> shards;
+  for (int i = 0; i < 2; ++i) {
+    maps.push_back(std::make_unique<ds::BatchedHashMap>(sched));
+    shards.push_back(maps.back().get());
+  }
+  ShardRouter::Options opt;
+  opt.max_threads = kClients;
+  // Depth can never exceed kClients in-flight submits, so nothing sheds:
+  // the ledger should be all-ok and exactly mirror the domain counters.
+  opt.domain.shed_threshold = kClients;
+  ShardRouter router(sched, opt);
+  const std::size_t group = router.add_group(shards);
+
+  LoadGenConfig cfg;
+  cfg.shape = sim::Shape::Zipfian;
+  cfg.requests = kRequests;
+  cfg.seed = 7;
+  cfg.clients = kClients;
+  cfg.rate = 200e3;
+  cfg.deadline = std::chrono::seconds(10);  // generous: no timeouts wanted
+
+  LoadGenStats stats;
+  std::thread driver([&] {
+    stats = service::run_open_loop(
+        cfg, [&](unsigned client, const sim::OpDesc& op,
+                 std::chrono::steady_clock::time_point deadline,
+                 Xoshiro256& rng) {
+          ds::BatchedHashMap::Op rec;
+          rec.kind = op.update ? ds::BatchedHashMap::Kind::Update
+                               : ds::BatchedHashMap::Kind::Get;
+          rec.key = op.key;
+          rec.value = 1;
+          return service::submit_slo(router.domain_for(group, op.key), client,
+                                     rec, deadline, cfg.retry, rng);
+        });
+    router.shutdown();
+  });
+  sched.run([&] { router.serve(); });
+  driver.join();
+
+  // Client-side ledger: nothing lost, nothing shed, nothing timed out.
+  EXPECT_EQ(stats.requests(), static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.ok, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.timed_out, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.latency.count(), static_cast<std::uint64_t>(kRequests));
+  EXPECT_GT(stats.latency.percentile_ns(0.5), 0u);
+
+  // Domain-side mirror: the shards together served exactly the ledger.
+  const ExternalStats total = router.total_stats();
+  EXPECT_EQ(total.ops_succeeded, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(total.ops_served,
+            total.ops_succeeded + total.ops_failed + total.ops_timed_out);
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    const ExternalStats st = router.stats(s);
+    EXPECT_EQ(st.ops_served,
+              st.ops_succeeded + st.ops_failed + st.ops_timed_out)
+        << "shard " << s;
+    EXPECT_GT(st.ops_served, 0u) << "shard " << s;
+  }
+}
+
+}  // namespace
+}  // namespace batcher

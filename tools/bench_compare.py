@@ -46,35 +46,54 @@ HIGHER_BETTER_UNITS = {"1/s"}
 LOWER_BETTER_UNITS = {"ns", "us", "s", "steps", "workers"}
 
 
+HIST_PERCENTILES = ("p50_ns", "p99_ns", "p999_ns")
+
+
 def load_metrics(path):
     with open(path, encoding="utf-8") as f:
         report = json.load(f)
     metrics = {}
     for m in report.get("metrics", []):
         metrics[m["name"]] = (m["value"], m.get("unit", ""))
-    synthesize_histogram_metrics(report, metrics)
-    return report.get("name", "?"), metrics
+    empty_hists = synthesize_histogram_metrics(report, metrics)
+    return report.get("name", "?"), metrics, empty_hists
 
 
 def synthesize_histogram_metrics(report, metrics):
-    """Lifts trace histogram percentiles into gateable metric rows.
+    """Lifts histogram percentiles into gateable metric rows.
 
-    Each non-empty histogram under trace.metrics.histograms contributes
-    hist/<name>/p50_ns and hist/<name>/p99_ns (unit "ns", so lower-better),
-    letting --metric hist/ gate tail latencies the same way as ordinary
-    metric rows.  Histogram buckets are power-of-two, so any real percentile
-    shift is >= 2x — pair hist/ gating with a generous --tolerance.
+    Each non-empty histogram — under trace.metrics.histograms (trace-derived)
+    or the report's top-level "histograms" section (bench-owned, e.g. the
+    service SLO latencies) — contributes hist/<name>/p50_ns, /p99_ns, and
+    /p999_ns (unit "ns", so lower-better), letting --metric hist/ gate tail
+    latencies the same way as ordinary metric rows.  Histogram buckets are
+    power-of-two, so any real percentile shift is >= 2x — pair hist/ gating
+    with a generous --tolerance.
+
+    An *empty* histogram (zero samples) synthesizes nothing: a percentile of
+    nothing is not 0 ns, and letting it gate as 0 would reward a run that
+    recorded no data.  Returns the set of hist/ base names that were present
+    but empty, so the caller can say "present but empty" — a recording
+    regression — instead of the indistinguishable "metric vanished" when a
+    gated percentile goes missing.
     """
-    hists = report.get("trace", {}).get("metrics", {}).get("histograms", {})
-    if not isinstance(hists, dict):
-        return
-    for hname, h in sorted(hists.items()):
-        if not isinstance(h, dict) or not h.get("count", 0):
+    empty = set()
+    sources = [report.get("trace", {}).get("metrics", {}).get("histograms", {}),
+               report.get("histograms", {})]
+    for hists in sources:
+        if not isinstance(hists, dict):
             continue
-        base = hname[:-3] if hname.endswith("_ns") else hname
-        for pct in ("p50_ns", "p99_ns"):
-            if pct in h:
-                metrics[f"hist/{base}/{pct}"] = (float(h[pct]), "ns")
+        for hname, h in sorted(hists.items()):
+            if not isinstance(h, dict):
+                continue
+            base = hname[:-3] if hname.endswith("_ns") else hname
+            if not h.get("count", 0):
+                empty.add(base)
+                continue
+            for pct in HIST_PERCENTILES:
+                if pct in h:
+                    metrics[f"hist/{base}/{pct}"] = (float(h[pct]), "ns")
+    return empty
 
 
 def classify(name, base, cand, unit, tolerance):
@@ -114,11 +133,21 @@ def main():
                         help="never fail, just print the comparison")
     args = parser.parse_args()
 
-    base_name, base = load_metrics(args.baseline)
-    cand_name, cand = load_metrics(args.candidate)
+    base_name, base, _ = load_metrics(args.baseline)
+    cand_name, cand, cand_empty = load_metrics(args.candidate)
     if base_name != cand_name:
         print(f"note: comparing different reports "
               f"({base_name!r} vs {cand_name!r})")
+
+    def empty_note(name):
+        """'(present but empty)' when a hist/ metric's candidate histogram
+        exists but recorded zero samples — a recording regression, named as
+        such so it is not mistaken for a dropped export."""
+        if name.startswith("hist/"):
+            base_key = name[len("hist/"):].rsplit("/", 1)[0]
+            if base_key in cand_empty:
+                return " (candidate histogram present but EMPTY)"
+        return ""
 
     def gated(name):
         if not args.metric:
@@ -137,9 +166,10 @@ def main():
             print(f"  NEW      {name} = {cand[name][0]:g}")
             continue
         if name not in cand:
-            print(f"  MISSING  {name} (baseline {base[name][0]:g})")
+            note = empty_note(name)
+            print(f"  MISSING  {name} (baseline {base[name][0]:g}){note}")
             if (gated(name) or exact(name)) and not args.report_only:
-                missing_gated.append(name)
+                missing_gated.append(name + note)
             continue
         bval, bunit = base[name]
         cval, cunit = cand[name]

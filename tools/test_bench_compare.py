@@ -27,8 +27,9 @@ def load_module():
     return module
 
 
-def make_report(path, metrics, histograms=None):
-    """metrics: list of (name, value, unit); histograms: trace histogram dict."""
+def make_report(path, metrics, histograms=None, top_histograms=None):
+    """metrics: list of (name, value, unit); histograms: trace histogram
+    dict; top_histograms: report-level (bench-owned) histogram dict."""
     report = {
         "schema_version": 1,
         "name": "unit",
@@ -42,6 +43,8 @@ def make_report(path, metrics, histograms=None):
     }
     if histograms is not None:
         report["trace"] = {"file": "", "metrics": {"histograms": histograms}}
+    if top_histograms is not None:
+        report["histograms"] = top_histograms
     with open(path, "w", encoding="utf-8") as f:
         json.dump(report, f)
 
@@ -53,12 +56,13 @@ class BenchCompareTest(unittest.TestCase):
         self.addCleanup(self.tmp.cleanup)
 
     def run_compare(self, base_metrics, cand_metrics, extra_args=(),
-                    base_hists=None, cand_hists=None):
+                    base_hists=None, cand_hists=None,
+                    base_top_hists=None, cand_top_hists=None):
         """Returns (exit_code, captured_stdout)."""
         base = os.path.join(self.tmp.name, "BENCH_base.json")
         cand = os.path.join(self.tmp.name, "BENCH_cand.json")
-        make_report(base, base_metrics, base_hists)
-        make_report(cand, cand_metrics, cand_hists)
+        make_report(base, base_metrics, base_hists, base_top_hists)
+        make_report(cand, cand_metrics, cand_hists, cand_top_hists)
         argv = ["bench_compare.py", "--baseline", base, "--candidate", cand,
                 *extra_args]
         out = io.StringIO()
@@ -244,6 +248,51 @@ class BenchCompareTest(unittest.TestCase):
             base_hists=empty, cand_hists=empty)
         self.assertEqual(code, 0)
         self.assertNotIn("hist/", out)
+
+    def test_empty_candidate_histogram_fails_loudly(self):
+        # A gated percentile whose candidate histogram exists but recorded
+        # zero samples must fail as a missing gated metric — and the failure
+        # message must say the histogram is present-but-empty (a recording
+        # regression), not let the metric silently vanish from the gate.
+        hist = {"service_uniform_ns": {"count": 100, "p50_ns": 1024,
+                                       "p99_ns": 4096, "p999_ns": 8192}}
+        empty = {"service_uniform_ns": {"count": 0, "p50_ns": 0,
+                                        "p99_ns": 0, "p999_ns": 0}}
+        code, out = self.run_compare(
+            [], [], extra_args=["--metric", "hist/service_"],
+            base_top_hists=hist, cand_top_hists=empty)
+        self.assertEqual(code, 1)
+        self.assertIn("missing from candidate", out)
+        self.assertIn("hist/service_uniform/p99_ns", out)
+        self.assertIn("EMPTY", out)
+
+    def test_p999_is_synthesized_and_gateable(self):
+        # The SLO tail: p999 rows gate like p50/p99.  A p999-only blowup
+        # (p50/p99 unchanged) must still fail the gate.
+        hist = {"service_zipfian_ns": {"count": 1000, "p50_ns": 1024,
+                                       "p99_ns": 4096, "p999_ns": 8192}}
+        worse = {"service_zipfian_ns": {"count": 1000, "p50_ns": 1024,
+                                        "p99_ns": 4096, "p999_ns": 262144}}
+        code, out = self.run_compare(
+            [], [], extra_args=["--metric", "hist/", "--tolerance", "3.0"],
+            base_top_hists=hist, cand_top_hists=worse)
+        self.assertEqual(code, 1)
+        self.assertIn("hist/service_zipfian/p999_ns", out)
+        self.assertIn("WORSE", out)
+
+    def test_top_level_histograms_synthesize_without_trace(self):
+        # Bench-owned histograms live at the report top level and must
+        # synthesize rows even when the report carries no trace section at
+        # all (SLO gating works without $BATCHER_TRACE).
+        hist = {"service_flashcrowd_ns": {"count": 10, "p50_ns": 512,
+                                          "p99_ns": 1024, "p999_ns": 2048}}
+        code, out = self.run_compare(
+            [], [], extra_args=["--metric", "hist/"],
+            base_top_hists=hist, cand_top_hists=dict(hist))
+        self.assertEqual(code, 0)
+        self.assertIn("hist/service_flashcrowd/p50_ns", out)
+        self.assertIn("hist/service_flashcrowd/p999_ns", out)
+        self.assertIn("PASS", out)
 
     def test_new_metric_is_informational(self):
         code, out = self.run_compare(

@@ -160,6 +160,25 @@ def reconcile(report, errors):
                 f"{path}: batches_failed ({st['batches_failed']}) > "
                 f"batches_served ({st['batches_served']})")
 
+    # Bench-owned histograms (the service SLO latencies): bucket counts must
+    # account for every recorded sample, and each exported percentile must be
+    # a representable bucket ceiling bounded by the next percentile up —
+    # p50 <= p99 <= p999 by definition of a quantile over one distribution.
+    for hname, h in sorted(report.get("histograms", {}).items()):
+        path = f"$.histograms.{hname}"
+        bucket_sum = sum(b["count"] for b in h["buckets"])
+        if bucket_sum != h["count"]:
+            errors.append(
+                f"{path}: bucket counts sum to {bucket_sum}, expected "
+                f"count = {h['count']}")
+        if not (h["p50_ns"] <= h["p99_ns"] <= h["p999_ns"]):
+            errors.append(
+                f"{path}: percentiles not monotone: p50 {h['p50_ns']} / "
+                f"p99 {h['p99_ns']} / p999 {h['p999_ns']}")
+        if h["count"] > 0 and h["p999_ns"] == 0:
+            errors.append(
+                f"{path}: nonempty histogram exports p999_ns = 0")
+
     reconcile_ledger(report, errors)
 
     total = report.get("ops_processed_total", 0)
