@@ -1,9 +1,16 @@
 // T1-tree — the paper's §3 search-tree example: n parallel inserts into the
 // batched 2-3 tree, with the Θ(n lg n / P) optimality check and the
 // simulated speedup curve.
+//
+// The weight-balanced tree lanes run twice, once per ApplyPolicy (bulk
+// sort-merge insert vs the legacy build+union path), and a span-profile
+// section drives run_batch directly at controlled batch sizes so the report
+// carries per-size s(n) histograms for both policies (gated downstream as
+// span_growth/wbtree_*).
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "ds/batched_tree23.hpp"
@@ -17,8 +24,14 @@
 namespace {
 namespace bench = batcher::bench;
 using batcher::Stopwatch;
+using batcher::ds::ApplyPolicy;
+using batcher::ds::BatchedWBTree;
 
 const std::int64_t kN = bench::scaled(100000, 10000);
+
+const char* policy_name(ApplyPolicy p) {
+  return p == ApplyPolicy::SortMerge ? "sortmerge" : "legacy";
+}
 
 double run_batched_tree(unsigned workers, double* mean_batch,
                         bench::Report& report) {
@@ -39,10 +52,10 @@ double run_batched_tree(unsigned workers, double* mean_batch,
   return secs;
 }
 
-double run_batched_wbtree(unsigned workers, double* mean_batch,
-                          bench::Report& report) {
+double run_batched_wbtree(unsigned workers, ApplyPolicy apply,
+                          double* mean_batch, bench::Report& report) {
   batcher::rt::Scheduler sched(workers);
-  batcher::ds::BatchedWBTree tree(sched);
+  BatchedWBTree tree(sched, batcher::Batcher::kDefaultSetup, apply);
   const auto keys = bench::random_keys(kN, 5);
   Stopwatch sw;
   sched.run([&] {
@@ -53,7 +66,9 @@ double run_batched_wbtree(unsigned workers, double* mean_batch,
   });
   const double secs = sw.elapsed_seconds();
   const batcher::BatcherStats stats = tree.batcher().stats();
-  report.batcher_stats("BATCHED-WB/P=" + std::to_string(workers), stats);
+  report.batcher_stats(std::string("BATCHED-WB/apply=") + policy_name(apply) +
+                           "/P=" + std::to_string(workers),
+                       stats);
   *mean_batch = stats.mean_batch_size();
   return secs;
 }
@@ -64,6 +79,59 @@ double run_std_set() {
   Stopwatch sw;
   for (auto k : keys) tree.insert(k);
   return sw.elapsed_seconds();
+}
+
+// Directly driven batches at controlled sizes: an insert round of fresh keys
+// then an erase round of the same keys, booked into the bound ledger under
+// the tree's trace domain (see bench_fig5_skiplist.cpp for the rationale).
+void span_profile(batcher::rt::Scheduler& sched, BatchedWBTree& tree,
+                  std::uint64_t seed) {
+  constexpr std::size_t kProfileSizes[] = {1, 4, 16, 64, 4096};
+  // Unbooked warmup reps absorb cold caches and arena block faults; the
+  // booked mean still rides OS jitter, so take enough samples that one
+  // descheduled rep cannot dominate a bucket.
+  constexpr int kWarmup = 3;
+  constexpr int kReps = 96;
+  constexpr std::int64_t kPrepopulate = 10000;
+
+  const auto init_keys =
+      bench::random_keys(static_cast<std::size_t>(kPrepopulate), seed + 1);
+  for (auto k : init_keys) tree.insert_unsafe(k);
+
+  const std::uint16_t domain = tree.batcher().trace_id();
+  std::uint64_t salt = seed + 2;
+  sched.run([&] {
+    for (std::size_t n : kProfileSizes) {
+      for (int rep = 0; rep < kWarmup + kReps; ++rep) {
+        const bool warm = rep >= kWarmup;
+        const auto keys = bench::random_keys(n, ++salt);
+        std::vector<BatchedWBTree::Op> ops(n);
+        std::vector<batcher::OpRecordBase*> ptrs(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          ops[i].kind = BatchedWBTree::Kind::Insert;
+          ops[i].key = keys[i];
+          ptrs[i] = &ops[i];
+        }
+        if (warm) {
+          bench::profiled_bop(domain, n,
+                              [&] { tree.run_batch(ptrs.data(), n); });
+        } else {
+          tree.run_batch(ptrs.data(), n);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          ops[i].kind = BatchedWBTree::Kind::Erase;
+          ops[i].key = keys[i];
+          ops[i].found = false;
+        }
+        if (warm) {
+          bench::profiled_bop(domain, n,
+                              [&] { tree.run_batch(ptrs.data(), n); });
+        } else {
+          tree.run_batch(ptrs.data(), n);
+        }
+      }
+    }
+  });
 }
 
 }  // namespace
@@ -77,26 +145,52 @@ int main() {
   bench::Report report("searchtree");
   report.config("n", static_cast<std::uint64_t>(kN));
   bench::TraceScope trace(report);
-  bench::row("%-6s %-14s %12s %12s", "P", "variant", "Mins/s", "mean batch");
+
+  // Constructed before the throughput lanes and kept alive through
+  // report.write() so their recycled-on-unregister trace domain ids (and the
+  // labels bound to them) stay stable.
+  batcher::rt::Scheduler profile_sched(1);
+  BatchedWBTree profile_legacy(profile_sched, batcher::Batcher::kDefaultSetup,
+                               ApplyPolicy::Legacy);
+  BatchedWBTree profile_sortmerge(profile_sched,
+                                  batcher::Batcher::kDefaultSetup,
+                                  ApplyPolicy::SortMerge);
+  report.domain_label(profile_legacy.batcher().trace_id(), "wbtree_legacy");
+  report.domain_label(profile_sortmerge.batcher().trace_id(),
+                      "wbtree_sortmerge");
+  if (batcher::trace::enabled()) {
+    bench::note("span profile: directly driven batches of size 1..4096, "
+                "insert+erase, both apply policies -> bound_ledger");
+    span_profile(profile_sched, profile_legacy, 23);
+    span_profile(profile_sched, profile_sortmerge, 23);
+  }
+
+  bench::row("%-6s %-18s %12s %12s", "P", "variant", "Mins/s", "mean batch");
   {
     const double secs = run_std_set();
-    bench::row("%-6d %-14s %12.3f %12s", 1, "STD::SET", bench::mops(kN, secs),
+    bench::row("%-6d %-18s %12.3f %12s", 1, "STD::SET", bench::mops(kN, secs),
                "-");
     report.metric("mins_per_s/STD::SET", bench::mops(kN, secs) * 1e6, "1/s");
   }
   for (unsigned p : {1u, 2u, 4u, 8u}) {
     double mean_batch = 0;
     const double secs = run_batched_tree(p, &mean_batch, report);
-    bench::row("%-6u %-14s %12.3f %12.2f", p, "BATCHED-2-3",
+    bench::row("%-6u %-18s %12.3f %12.2f", p, "BATCHED-2-3",
                bench::mops(kN, secs), mean_batch);
-    double wb_mean_batch = 0;
-    const double wb_secs = run_batched_wbtree(p, &wb_mean_batch, report);
-    bench::row("%-6u %-14s %12.3f %12.2f", p, "BATCHED-WB",
-               bench::mops(kN, wb_secs), wb_mean_batch);
     report.metric("mins_per_s/BATCHED-2-3/P=" + std::to_string(p),
                   bench::mops(kN, secs) * 1e6, "1/s");
-    report.metric("mins_per_s/BATCHED-WB/P=" + std::to_string(p),
-                  bench::mops(kN, wb_secs) * 1e6, "1/s");
+    for (ApplyPolicy apply : {ApplyPolicy::SortMerge, ApplyPolicy::Legacy}) {
+      double wb_mean_batch = 0;
+      const double wb_secs =
+          run_batched_wbtree(p, apply, &wb_mean_batch, report);
+      const std::string variant = apply == ApplyPolicy::SortMerge
+                                      ? "BATCHED-WB"
+                                      : "BATCHED-WB-legacy";
+      bench::row("%-6u %-18s %12.3f %12.2f", p, variant.c_str(),
+                 bench::mops(kN, wb_secs), wb_mean_batch);
+      report.metric("mins_per_s/" + variant + "/P=" + std::to_string(p),
+                    bench::mops(kN, wb_secs) * 1e6, "1/s");
+    }
   }
 
   bench::note("simulated processors: makespan vs the Theta(n lg n / P) "

@@ -121,6 +121,35 @@ inline bool write_file(const std::string& path, const std::string& body) {
   return ok;
 }
 
+// --- BOP span profiling ------------------------------------------------------
+
+// Drives one directly-invoked BOP call and books it into the bound ledger
+// under `domain` (a Batcher::trace_id()), using the same sampling order as
+// the launcher: wall before path on entry, path before wall on exit, so
+// span <= wall holds exactly.  Organic batches rarely exceed a handful of
+// ops on a small machine, which leaves only the smallest s(n) size bucket
+// populated; the span-profile sections of the A/B benches use this to drive
+// controlled batch sizes across the whole bucket range.  Must run inside
+// sched.run() so a strand is live when tracing is on.
+// Returns the measured span in nanoseconds (0 when tracing is off).
+template <typename Fn>
+inline std::uint64_t profiled_bop(std::uint16_t domain, std::size_t batch_size,
+                                  Fn&& run) {
+  if (!trace::enabled()) {
+    run();
+    return 0;
+  }
+  const std::uint64_t wall0 = trace::now_ns();
+  const trace::ledger::PathPoint path0 = trace::ledger::strand_now();
+  run();
+  const trace::ledger::PathPoint path1 = trace::ledger::strand_now();
+  const std::uint64_t wall1 = trace::now_ns();
+  const std::uint64_t span = path1.ns - path0.ns;
+  trace::ledger::note_batch(domain, batch_size,
+                            wall1 >= wall0 ? wall1 - wall0 : 0, span);
+  return span;
+}
+
 // --- the machine-readable reporter ------------------------------------------
 
 class TraceScope;
@@ -187,6 +216,16 @@ class Report {
     histograms_.push_back({std::move(name), h});
   }
 
+  // Names a bound-ledger domain (a Batcher::trace_id()) so its s(n)
+  // histograms gate under a stable key — span_growth/<label> — instead of a
+  // construction-order-dependent numeric id.  Call while the owning
+  // structure is alive; trace ids are recycled after unregister_domain, so
+  // labeled structures must outlive every later-constructed Batcher until
+  // write().
+  void domain_label(std::uint16_t domain, std::string label) {
+    domain_labels_.emplace_back(domain, std::move(label));
+  }
+
   std::uint64_t ops_processed_total() const { return ops_processed_total_; }
 
   // Serializes and writes BENCH_<name>.json (finishing the attached
@@ -232,6 +271,7 @@ class Report {
   std::vector<std::pair<std::string, rt::StatsSnapshot>> scheduler_stats_;
   std::vector<std::pair<std::string, ExternalStats>> external_stats_;
   std::vector<std::pair<std::string, trace::LatencyHistogram>> histograms_;
+  std::vector<std::pair<std::uint16_t, std::string>> domain_labels_;
   std::uint64_t ops_processed_total_ = 0;
 
   TraceScope* trace_scope_ = nullptr;
@@ -450,6 +490,12 @@ inline bool Report::write() {
     for (const auto& d : ledger_.domains) {
       w.begin_object();
       w.kv("domain", std::uint64_t{d.domain});
+      for (const auto& [id, label] : domain_labels_) {
+        if (id == d.domain) {
+          w.kv("label", std::string_view(label));
+          break;
+        }
+      }
       w.kv("batches", d.batches);
       w.kv("ops", d.ops);
       w.kv("sum_bop_wall_ns", d.sum_bop_wall_ns);

@@ -139,6 +139,10 @@ class Batcher {
 
   rt::Scheduler& scheduler() const { return sched_; }
   SetupPolicy setup_policy() const { return setup_; }
+  // Trace/ledger domain id of this batcher.  Benches that drive run_batch
+  // directly (span profiling) book their samples under this id so the
+  // per-domain s(n) histograms line up with launcher-recorded ones.
+  std::uint16_t trace_id() const { return trace_id_; }
 
   // Batch chaining (Announce policy only): before reopening the batch flag,
   // the launcher checks for announcements that arrived during the launch and

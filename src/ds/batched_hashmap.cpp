@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "parallel/scan.hpp"
 #include "parallel/sort.hpp"
 #include "runtime/api.hpp"
 #include "support/config.hpp"
@@ -20,8 +21,9 @@ std::uint64_t mix(std::uint64_t x) {
 }
 }  // namespace
 
-BatchedHashMap::BatchedHashMap(rt::Scheduler& sched, Batcher::SetupPolicy setup)
-    : buckets_(64), batcher_(sched, *this, setup) {}
+BatchedHashMap::BatchedHashMap(rt::Scheduler& sched, Batcher::SetupPolicy setup,
+                               ApplyPolicy apply)
+    : buckets_(64), apply_(apply), batcher_(sched, *this, setup) {}
 
 std::size_t BatchedHashMap::bucket_of(Key key, std::size_t nbuckets) const {
   return static_cast<std::size_t>(mix(static_cast<std::uint64_t>(key))) &
@@ -143,6 +145,16 @@ void BatchedHashMap::apply_to_bucket(Bucket& bucket, Op* op) {
 
 void BatchedHashMap::run_batch(OpRecordBase* const* ops, std::size_t count) {
   if (count == 0) return;
+  if (apply_ == ApplyPolicy::Legacy) {
+    run_batch_legacy(ops, count);
+  } else {
+    run_batch_sortmerge(ops, count);
+  }
+  maybe_resize();
+}
+
+void BatchedHashMap::run_batch_legacy(OpRecordBase* const* ops,
+                                      std::size_t count) {
   // Group by bucket, preserving working-set order within a bucket via the
   // low bits of the sort key.
   order_.clear();
@@ -190,8 +202,133 @@ void BatchedHashMap::run_batch(OpRecordBase* const* ops, std::size_t count) {
   std::int64_t total = 0;
   for (std::int64_t d : delta) total += d;
   size_ = static_cast<std::size_t>(static_cast<std::int64_t>(size_) + total);
+}
 
-  maybe_resize();
+void BatchedHashMap::run_batch_sortmerge(OpRecordBase* const* ops,
+                                         std::size_t count) {
+  // Gather + sort by (bucket, key, ws index): one sort yields the per-key
+  // combine groups and, via their heads, the per-bucket apply groups.
+  recs_.resize(count);
+  rt::parallel_for(
+      0, static_cast<std::int64_t>(count),
+      [&](std::int64_t i) {
+        Op* op = static_cast<Op*>(ops[static_cast<std::size_t>(i)]);
+        recs_[static_cast<std::size_t>(i)] = SortRec{
+            static_cast<std::uint64_t>(bucket_of(op->key, buckets_.size())),
+            op->key, static_cast<std::uint32_t>(i), op};
+      },
+      /*grain=*/1);
+  par::parallel_sort(recs_.data(), static_cast<std::int64_t>(recs_.size()));
+
+  // Distinct-key groups via scan-pack (same key implies same bucket, so the
+  // key test alone would miss equal keys across bucket boundaries only if
+  // such records existed — they cannot).
+  const std::int64_t ngroups = par::pack_indices(
+      static_cast<std::int64_t>(count),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        return i == 0 || recs_[idx - 1].key != recs_[idx].key;
+      },
+      key_heads_);
+  key_heads_.push_back(static_cast<std::uint32_t>(count));
+
+  // Combine: one pre-batch lookup per distinct key (read-only over the
+  // buckets), then that key's ops replayed serially in working-set order.
+  // Every op's observable output (Get/Update out, Erase found) is produced
+  // here; what remains for the merge is one net write per key.
+  net_present_.resize(static_cast<std::size_t>(ngroups));
+  net_value_.resize(static_cast<std::size_t>(ngroups));
+  rt::parallel_for(
+      0, ngroups,
+      [&](std::int64_t g) {
+        const auto gi = static_cast<std::size_t>(g);
+        const std::size_t lo = key_heads_[gi];
+        const std::size_t hi = key_heads_[gi + 1];
+        const Key key = recs_[lo].key;
+        const Bucket& bucket = buckets_[recs_[lo].bucket];
+        bool present = false;
+        Value v = 0;
+        for (const Entry& e : bucket) {
+          if (e.key == key) {
+            present = true;
+            v = e.value;
+            break;
+          }
+        }
+        for (std::size_t i = lo; i < hi; ++i) {
+          Op* op = recs_[i].op;
+          switch (op->kind) {
+            case Kind::Put:
+              present = true;
+              v = op->value;
+              break;
+            case Kind::Get:
+              op->out = present ? std::optional<Value>(v) : std::nullopt;
+              break;
+            case Kind::Erase:
+              op->found = present;
+              present = false;
+              break;
+            case Kind::Update:
+              if (!present) {
+                present = true;
+                v = 0;
+              }
+              v += op->value;
+              op->out = v;
+              break;
+          }
+        }
+        net_present_[gi] = present ? 1 : 0;
+        net_value_[gi] = v;
+      },
+      /*grain=*/1);
+
+  // Merge: group the distinct keys by bucket (scan over group heads) and
+  // apply each bucket's net effects with one search per key.  Distinct
+  // bucket groups touch disjoint buckets.
+  const std::int64_t nbgroups = par::pack_indices(
+      ngroups,
+      [&](std::int64_t g) {
+        const auto gi = static_cast<std::size_t>(g);
+        return g == 0 ||
+               recs_[key_heads_[gi - 1]].bucket != recs_[key_heads_[gi]].bucket;
+      },
+      bucket_heads_);
+  bucket_heads_.push_back(static_cast<std::uint32_t>(ngroups));
+
+  std::vector<std::int64_t> delta(static_cast<std::size_t>(nbgroups), 0);
+  rt::parallel_for(
+      0, nbgroups,
+      [&](std::int64_t bg) {
+        const auto bgi = static_cast<std::size_t>(bg);
+        Bucket& bucket =
+            buckets_[recs_[key_heads_[bucket_heads_[bgi]]].bucket];
+        const std::int64_t before = static_cast<std::int64_t>(bucket.size());
+        for (std::uint32_t g = bucket_heads_[bgi]; g < bucket_heads_[bgi + 1];
+             ++g) {
+          const Key key = recs_[key_heads_[g]].key;
+          auto it = std::find_if(bucket.begin(), bucket.end(),
+                                 [&](const Entry& e) { return e.key == key; });
+          if (net_present_[g]) {
+            if (it != bucket.end()) {
+              it->value = net_value_[g];
+            } else {
+              bucket.push_back(Entry{key, net_value_[g]});
+            }
+          } else if (it != bucket.end()) {
+            *it = bucket.back();
+            bucket.pop_back();
+          }
+        }
+        delta[bgi] = static_cast<std::int64_t>(bucket.size()) - before;
+      },
+      /*grain=*/1);
+
+  const std::int64_t total = par::reduce<std::int64_t>(
+      nbgroups, [&](std::int64_t i) { return delta[static_cast<std::size_t>(i)]; },
+      [](std::int64_t a, std::int64_t b) { return a + b; }, 0);
+  size_ = static_cast<std::size_t>(static_cast<std::int64_t>(size_) + total);
 }
 
 void BatchedHashMap::maybe_resize() {

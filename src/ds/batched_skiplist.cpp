@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "parallel/prefix_sum.hpp"
+#include "parallel/scan.hpp"
 #include "parallel/sort.hpp"
 #include "runtime/api.hpp"
 #include "support/config.hpp"
@@ -11,21 +12,24 @@
 namespace batcher::ds {
 
 namespace {
-// Sort key paired with its originating op (or kNoOp for multi-insert keys):
-// ties broken by op index so "first op wins" semantics are deterministic.
-struct TaggedKey {
-  BatchedSkipList::Key key;
-  std::uint32_t op_index;
 
-  bool operator<(const TaggedKey& o) const {
-    return key != o.key ? key < o.key : op_index < o.op_index;
-  }
-};
+using TaggedKey = prep::Tagged<BatchedSkipList::Key>;
+
+// SplitMix64-style mixer: per-batch seed + record index -> height bits, so
+// the SortMerge path can draw all heights in parallel while staying
+// deterministic for a given (seed, batch) pair.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 BatchedSkipList::BatchedSkipList(rt::Scheduler& sched, std::uint64_t seed,
-                                 Batcher::SetupPolicy setup)
-    : rng_(seed), batcher_(sched, *this, setup) {
+                                 Batcher::SetupPolicy setup, ApplyPolicy apply)
+    : rng_(seed), apply_(apply), batcher_(sched, *this, setup) {
   head_ = allocate_node(/*key=*/0, kMaxHeight);
   for (int l = 0; l < kMaxHeight; ++l) head_->next[l] = nullptr;
 }
@@ -34,37 +38,42 @@ BatchedSkipList::~BatchedSkipList() {
   for (char* block : arena_blocks_) ::operator delete[](block);
 }
 
-BatchedSkipList::Node* BatchedSkipList::allocate_node(Key key, int height) {
-  const std::size_t bytes =
-      sizeof(Node) + sizeof(Node*) * static_cast<std::size_t>(height - 1);
-  // Bump allocation with 16-byte alignment.
-  const std::size_t aligned = (bytes + 15) & ~std::size_t{15};
-  if (arena_used_ + aligned > arena_cap_) {
-    const std::size_t block_size = std::max<std::size_t>(aligned, 1u << 20);
+char* BatchedSkipList::allocate_bulk(std::size_t bytes) {
+  if (arena_used_ + bytes > arena_cap_) {
+    const std::size_t block_size = std::max<std::size_t>(bytes, 1u << 20);
     arena_blocks_.push_back(
         static_cast<char*>(::operator new[](block_size)));
     arena_used_ = 0;
     arena_cap_ = block_size;
   }
   char* mem = arena_blocks_.back() + arena_used_;
-  arena_used_ += aligned;
-  Node* node = reinterpret_cast<Node*>(mem);
+  arena_used_ += bytes;
+  return mem;
+}
+
+BatchedSkipList::Node* BatchedSkipList::allocate_node(Key key, int height) {
+  const std::size_t bytes =
+      sizeof(Node) + sizeof(Node*) * static_cast<std::size_t>(height - 1);
+  // Bump allocation with 16-byte alignment.
+  const std::size_t aligned = (bytes + 15) & ~std::size_t{15};
+  Node* node = reinterpret_cast<Node*>(allocate_bulk(aligned));
   node->key = key;
   node->height = height;
   node->erased = false;
   return node;
 }
 
-int BatchedSkipList::random_height() {
+int BatchedSkipList::height_from_bits(std::uint64_t bits) {
   // Geometric with p = 1/2, capped.  Counting trailing ones of a uniform
   // word gives the same distribution in O(1).
-  const std::uint64_t bits = rng_.next();
   int h = 1;
   while (h < kMaxHeight && (bits >> (h - 1) & 1u)) ++h;
   return h;
 }
 
-void BatchedSkipList::find_preds(Key key, Node** preds) const {
+int BatchedSkipList::random_height() { return height_from_bits(rng_.next()); }
+
+void BatchedSkipList::find_preds(Key key, Node** preds, Node** succs) const {
   Node* cur = head_;
   for (int l = kMaxHeight - 1; l >= 0; --l) {
     if (l < height_) {
@@ -73,6 +82,7 @@ void BatchedSkipList::find_preds(Key key, Node** preds) const {
       }
     }
     preds[l] = cur;
+    if (succs != nullptr) succs[l] = cur->next[l];
   }
 }
 
@@ -257,7 +267,7 @@ void BatchedSkipList::apply_reads(std::vector<Op*>& ops) {
             break;
         }
       },
-      /*grain=*/1);
+      /*grain=*/8);
 }
 
 void BatchedSkipList::apply_erases(std::vector<Op*>& ops) {
@@ -267,7 +277,15 @@ void BatchedSkipList::apply_erases(std::vector<Op*>& ops) {
     keys[i] = TaggedKey{ops[i]->key, static_cast<std::uint32_t>(i)};
   }
   par::parallel_sort(keys.data(), static_cast<std::int64_t>(keys.size()));
+  if (apply_ == ApplyPolicy::Legacy) {
+    apply_erases_legacy(ops, keys);
+  } else {
+    apply_erases_sortmerge(ops, keys);
+  }
+}
 
+void BatchedSkipList::apply_erases_legacy(
+    std::vector<Op*>& ops, const std::vector<TaggedKey>& keys) {
   // Parallel search for per-level predecessors of each distinct key.
   const std::size_t nk = keys.size();
   pred_scratch_.assign(nk * kMaxHeight, nullptr);
@@ -278,7 +296,7 @@ void BatchedSkipList::apply_erases(std::vector<Op*>& ops) {
         if (idx > 0 && keys[idx].key == keys[idx - 1].key) return;  // dup
         find_preds(keys[idx].key, &pred_scratch_[idx * kMaxHeight]);
       },
-      /*grain=*/1);
+      /*grain=*/8);
 
   // Sequential unlink in ascending key order.  A recorded predecessor may
   // itself have been erased earlier in this phase; updating its pointers
@@ -288,7 +306,7 @@ void BatchedSkipList::apply_erases(std::vector<Op*>& ops) {
   Node* finger[kMaxHeight];
   for (int l = 0; l < kMaxHeight; ++l) finger[l] = head_;
   for (std::size_t i = 0; i < nk; ++i) {
-    Op* op = ops[keys[i].op_index];
+    Op* op = ops[keys[i].ws];
     if (i > 0 && keys[i].key == keys[i - 1].key) {
       op->found = false;  // duplicate erase in the same batch loses
       continue;
@@ -330,6 +348,130 @@ void BatchedSkipList::apply_erases(std::vector<Op*>& ops) {
   while (height_ > 1 && head_->next[height_ - 1] == nullptr) --height_;
 }
 
+void BatchedSkipList::apply_erases_sortmerge(
+    std::vector<Op*>& ops, const std::vector<TaggedKey>& keys) {
+  // Search phase (read-only): per-level predecessors plus the victim node
+  // for the first op on each distinct key.  Searches run before any unlink,
+  // so preds[0]->next[0] is the exact pre-batch candidate.
+  // Scratch grows but is never pre-cleared: every slot the later passes read
+  // is written here (including explicit nulls for duplicates and misses), so
+  // a serial O(n·lg n)-byte fill never lands on the critical path.
+  const std::size_t nk = keys.size();
+  if (pred_scratch_.size() < nk * kMaxHeight) {
+    pred_scratch_.resize(nk * kMaxHeight);
+  }
+  if (node_scratch_.size() < nk) node_scratch_.resize(nk);
+  rt::parallel_for(
+      0, static_cast<std::int64_t>(nk),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        Op* op = ops[keys[idx].ws];
+        if (idx > 0 && keys[idx].key == keys[idx - 1].key) {
+          op->found = false;  // duplicate erase in the same batch loses
+          node_scratch_[idx] = nullptr;
+          return;
+        }
+        Node** preds = &pred_scratch_[idx * kMaxHeight];
+        find_preds(keys[idx].key, preds);
+        Node* hit = preds[0]->next[0];
+        if (hit != nullptr && hit->key == keys[idx].key) {
+          node_scratch_[idx] = hit;
+          op->found = true;
+        } else {
+          node_scratch_[idx] = nullptr;
+          op->found = false;
+        }
+      },
+      /*grain=*/8);
+
+  const std::int64_t m = par::pack_indices(
+      static_cast<std::int64_t>(nk),
+      [&](std::int64_t i) {
+        return node_scratch_[static_cast<std::size_t>(i)] != nullptr;
+      },
+      live_index_);
+  if (m == 0) return;
+
+  // Mark all victims before touching any pointer: the unlink pass below uses
+  // `erased` to recognize "my recorded predecessor is itself a victim".
+  rt::parallel_for(
+      0, m,
+      [&](std::int64_t j) {
+        node_scratch_[live_index_[static_cast<std::size_t>(j)]]->erased = true;
+      },
+      /*grain=*/64);
+
+  // Unlink, one independent pass per level.  At level l the victims (in key
+  // order) split into maximal chain-adjacent runs: a victim whose recorded
+  // level-l predecessor is live starts a run, and the level-l predecessor of
+  // a victim is chain-adjacent, so a dead predecessor is exactly the
+  // previous level-l victim.  Each run's head rewires the single live
+  // predecessor past the whole run; victims' own pointers stay pristine, so
+  // every memory location is written by exactly one task.
+  rt::parallel_for(
+      0, height_,
+      [&](std::int64_t level) {
+        const int l = static_cast<int>(level);
+        std::vector<std::uint32_t> at_level;
+        const std::int64_t sz = par::pack_indices(
+            m,
+            [&](std::int64_t j) {
+              return node_scratch_[live_index_[static_cast<std::size_t>(j)]]
+                         ->height > l;
+            },
+            at_level);
+        if (sz == 0) return;
+        auto pred_of = [&](std::int64_t t) -> Node* {
+          const std::size_t idx = live_index_[at_level[
+              static_cast<std::size_t>(t)]];
+          return pred_scratch_[idx * kMaxHeight + l];
+        };
+        auto victim_of = [&](std::int64_t t) -> Node* {
+          return node_scratch_[live_index_[at_level[
+              static_cast<std::size_t>(t)]]];
+        };
+        // Run ids via inclusive scan of head flags, then scatter each run's
+        // last position so heads can reach their run's tail in O(1).
+        std::vector<std::uint32_t> run_id(static_cast<std::size_t>(sz));
+        rt::parallel_for(
+            0, sz,
+            [&](std::int64_t t) {
+              const bool head = t == 0 || !pred_of(t)->erased;
+              run_id[static_cast<std::size_t>(t)] = head ? 1u : 0u;
+            },
+            /*grain=*/32);
+        par::scan_inclusive(run_id.data(), sz,
+                            [](std::uint32_t a, std::uint32_t b) {
+                              return a + b;
+                            });
+        const std::size_t nruns = run_id[static_cast<std::size_t>(sz - 1)];
+        std::vector<std::uint32_t> run_last(nruns);
+        rt::parallel_for(
+            0, sz,
+            [&](std::int64_t t) {
+              const auto ti = static_cast<std::size_t>(t);
+              if (t + 1 == sz || run_id[ti + 1] != run_id[ti]) {
+                run_last[run_id[ti] - 1] = static_cast<std::uint32_t>(t);
+              }
+            },
+            /*grain=*/32);
+        rt::parallel_for(
+            0, sz,
+            [&](std::int64_t t) {
+              const auto ti = static_cast<std::size_t>(t);
+              const bool head = t == 0 || run_id[ti - 1] != run_id[ti];
+              if (!head) return;
+              Node* tail = victim_of(run_last[run_id[ti] - 1]);
+              pred_of(t)->next[l] = tail->next[l];
+            },
+            /*grain=*/16);
+      },
+      /*grain=*/1);
+
+  size_ -= static_cast<std::size_t>(m);
+  while (height_ > 1 && head_->next[height_ - 1] == nullptr) --height_;
+}
+
 void BatchedSkipList::apply_inserts(const std::vector<Op*>& single,
                                     const std::vector<Op*>& multi) {
   // Step 1 (gather): compute per-op key offsets with a prefix sum, then copy
@@ -363,11 +505,22 @@ void BatchedSkipList::apply_inserts(const std::vector<Op*>& single,
           }
         }
       },
-      /*grain=*/1);
+      /*grain=*/8);
 
   // Step 1 (sort).
   par::parallel_sort(keys.data(), static_cast<std::int64_t>(keys.size()));
 
+  if (apply_ == ApplyPolicy::Legacy) {
+    apply_inserts_legacy(single, multi, keys);
+  } else {
+    apply_inserts_sortmerge(single, multi, keys);
+  }
+}
+
+void BatchedSkipList::apply_inserts_legacy(
+    const std::vector<Op*>& single, const std::vector<Op*>& multi,
+    const std::vector<TaggedKey>& keys) {
+  (void)multi;
   // Step 2 (parallel search): per-level predecessors for the first
   // occurrence of every distinct key.
   const std::size_t nk = keys.size();
@@ -379,7 +532,7 @@ void BatchedSkipList::apply_inserts(const std::vector<Op*>& single,
         if (idx > 0 && keys[idx].key == keys[idx - 1].key) return;  // dup
         find_preds(keys[idx].key, &pred_scratch_[idx * kMaxHeight]);
       },
-      /*grain=*/1);
+      /*grain=*/8);
 
   // Step 3 (sequential splice), ascending.  For each level, the true
   // predecessor is whichever is later of (a) the recorded pre-batch
@@ -388,7 +541,7 @@ void BatchedSkipList::apply_inserts(const std::vector<Op*>& single,
   Node* last_spliced[kMaxHeight] = {nullptr};
   for (std::size_t i = 0; i < nk; ++i) {
     const Key key = keys[i].key;
-    const std::uint32_t src = keys[i].op_index;
+    const std::uint32_t src = keys[i].ws;
     Op* op = src < single.size() ? single[src] : nullptr;
     if (i > 0 && keys[i].key == keys[i - 1].key) {
       if (op != nullptr) op->found = false;  // duplicate within batch
@@ -424,6 +577,146 @@ void BatchedSkipList::apply_inserts(const std::vector<Op*>& single,
     }
     ++size_;
     if (op != nullptr) op->found = true;
+  }
+}
+
+void BatchedSkipList::apply_inserts_sortmerge(
+    const std::vector<Op*>& single, const std::vector<Op*>& multi,
+    const std::vector<TaggedKey>& keys) {
+  (void)multi;
+  // Step 2 (parallel search): per-level predecessors *and* their pre-batch
+  // successors for the first occurrence of every distinct key, plus the
+  // presence test.  The list is untouched until the splice, so
+  // preds[0]->next[0] is exact and no re-walk is needed.
+  // Scratch grows but is never pre-cleared (see apply_erases_sortmerge):
+  // every slot read downstream — flags for all records, preds/succs for the
+  // packed fresh records — is written by this pass.
+  const std::size_t nk = keys.size();
+  if (pred_scratch_.size() < nk * kMaxHeight) {
+    pred_scratch_.resize(nk * kMaxHeight);
+  }
+  if (succ_scratch_.size() < nk * kMaxHeight) {
+    succ_scratch_.resize(nk * kMaxHeight);
+  }
+  if (flag_scratch_.size() < nk) flag_scratch_.resize(nk);
+  rt::parallel_for(
+      0, static_cast<std::int64_t>(nk),
+      [&](std::int64_t i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const std::uint32_t src = keys[idx].ws;
+        Op* op = src < single.size() ? single[src] : nullptr;
+        if (idx > 0 && keys[idx].key == keys[idx - 1].key) {
+          if (op != nullptr) op->found = false;  // duplicate within batch
+          flag_scratch_[idx] = 0;
+          return;
+        }
+        Node** preds = &pred_scratch_[idx * kMaxHeight];
+        Node** succs = &succ_scratch_[idx * kMaxHeight];
+        find_preds(keys[idx].key, preds, succs);
+        Node* hit = succs[0];
+        const bool present = hit != nullptr && hit->key == keys[idx].key;
+        flag_scratch_[idx] = present ? 0 : 1;
+        if (op != nullptr) op->found = !present;
+      },
+      /*grain=*/8);
+
+  const std::int64_t m = par::pack_indices(
+      static_cast<std::int64_t>(nk),
+      [&](std::int64_t i) {
+        return flag_scratch_[static_cast<std::size_t>(i)] != 0;
+      },
+      live_index_);
+  if (m == 0) return;
+
+  // Draw heights and carve one contiguous arena block: per-node byte sizes,
+  // exclusive scan for offsets, then parallel placement-init.
+  const std::uint64_t batch_seed = rng_.next();
+  height_scratch_.resize(static_cast<std::size_t>(m));
+  offset_scratch_.resize(static_cast<std::size_t>(m));
+  rt::parallel_for(
+      0, m,
+      [&](std::int64_t j) {
+        const auto ji = static_cast<std::size_t>(j);
+        const int h = height_from_bits(
+            mix64(batch_seed + static_cast<std::uint64_t>(j)));
+        height_scratch_[ji] = h;
+        const std::size_t bytes =
+            sizeof(Node) + sizeof(Node*) * static_cast<std::size_t>(h - 1);
+        offset_scratch_[ji] = (bytes + 15) & ~std::size_t{15};
+      },
+      /*grain=*/64);
+  const std::size_t total_bytes = par::scan_exclusive(
+      offset_scratch_.data(), m,
+      [](std::size_t a, std::size_t b) { return a + b; }, std::size_t{0});
+  char* base = allocate_bulk(total_bytes);
+  node_scratch_.resize(static_cast<std::size_t>(m));
+  rt::parallel_for(
+      0, m,
+      [&](std::int64_t j) {
+        const auto ji = static_cast<std::size_t>(j);
+        Node* node = reinterpret_cast<Node*>(base + offset_scratch_[ji]);
+        node->key = keys[live_index_[ji]].key;
+        node->height = height_scratch_[ji];
+        node->erased = false;
+        node_scratch_[ji] = node;
+      },
+      /*grain=*/32);
+
+  // Step 3 (divide-and-conquer splice): levels are pointer-disjoint, so they
+  // run in parallel; within a level, new nodes sharing a pre-batch
+  // predecessor form a contiguous segment in key order.  Every node writes
+  // its own forward pointer (next new node in its segment, else the shared
+  // predecessor's pre-batch successor) and each segment head rewires the
+  // predecessor — one flat parallel_for, each location written once.
+  // Levels above the tallest new node are empty; skip them.
+  const int max_new_h = static_cast<int>(par::reduce<std::int64_t>(
+      m,
+      [&](std::int64_t j) {
+        return static_cast<std::int64_t>(
+            height_scratch_[static_cast<std::size_t>(j)]);
+      },
+      [](std::int64_t a, std::int64_t b) { return a > b ? a : b; },
+      std::int64_t{1}));
+  rt::parallel_for(
+      0, max_new_h,
+      [&](std::int64_t level) {
+        const int l = static_cast<int>(level);
+        std::vector<std::uint32_t> at_level;
+        const std::int64_t sz = par::pack_indices(
+            m,
+            [&](std::int64_t j) {
+              return height_scratch_[static_cast<std::size_t>(j)] > l;
+            },
+            at_level);
+        if (sz == 0) return;
+        auto pred_of = [&](std::int64_t t) -> Node* {
+          const std::size_t idx = live_index_[at_level[
+              static_cast<std::size_t>(t)]];
+          return pred_scratch_[idx * kMaxHeight + l];
+        };
+        rt::parallel_for(
+            0, sz,
+            [&](std::int64_t t) {
+              const auto ti = static_cast<std::size_t>(t);
+              const std::size_t idx = live_index_[at_level[ti]];
+              Node* node = node_scratch_[at_level[ti]];
+              Node* pred = pred_of(t);
+              if (t + 1 < sz && pred_of(t + 1) == pred) {
+                node->next[l] = node_scratch_[at_level[ti + 1]];
+              } else {
+                node->next[l] = succ_scratch_[idx * kMaxHeight + l];
+              }
+              if (t == 0 || pred_of(t - 1) != pred) {
+                pred->next[l] = node;  // segment head rewires the predecessor
+              }
+            },
+            /*grain=*/16);
+      },
+      /*grain=*/1);
+
+  size_ += static_cast<std::size_t>(m);
+  for (int l = height_; l < kMaxHeight; ++l) {
+    if (head_->next[l] != nullptr) height_ = l + 1;
   }
 }
 

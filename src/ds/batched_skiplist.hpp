@@ -4,11 +4,21 @@
 // The BOP follows the paper's three-step batch insert:
 //   1. gather the batch's keys (parallel, offsets via prefix sums) and sort
 //      them (parallel merge sort);
-//   2. search the main list for every key's per-level predecessors
-//      (read-only, embarrassingly parallel);
-//   3. splice the new nodes into the main list in ascending key order
-//      (sequential, as in the paper's prototype — the splice touches O(1)
-//      pointers per level per key).
+//   2. search the main list for every key's per-level predecessors and
+//      successors (read-only, embarrassingly parallel);
+//   3. splice the new nodes into the main list.
+//
+// Step 3 comes in two selectable flavours (ApplyPolicy):
+//   * SortMerge (default) — per-level divide-and-conquer splice: new nodes
+//     sharing a pre-batch level-l predecessor form a contiguous segment;
+//     segments with distinct predecessors touch disjoint pointers, so every
+//     node writes its own forward pointer and each segment head rewires the
+//     shared predecessor, all in one flat parallel_for per level (levels are
+//     themselves independent).  Erases unlink the same way: victims at a
+//     level split into chain-adjacent runs and each run's single live
+//     predecessor is rewired past the run.  s(n) = O(lg n · lg x) span.
+//   * Legacy — the paper-prototype sequential splice / finger-walk erase,
+//     kept selectable for the A/B span ablation (Θ(x) span).
 //
 // Batches may mix operation kinds.  Phase order within a batch (documented
 // semantics; the paper leaves it open): CONTAINS observes the pre-batch
@@ -26,6 +36,7 @@
 
 #include "batcher/batcher.hpp"
 #include "batcher/op_record.hpp"
+#include "ds/batch_prep.hpp"
 #include "support/rng.hpp"
 
 namespace batcher::ds {
@@ -57,7 +68,8 @@ class BatchedSkipList final : public BatchedStructure {
 
   explicit BatchedSkipList(rt::Scheduler& sched,
                            std::uint64_t seed = 0xdecafbadULL,
-                           Batcher::SetupPolicy setup = Batcher::kDefaultSetup);
+                           Batcher::SetupPolicy setup = Batcher::kDefaultSetup,
+                           ApplyPolicy apply = ApplyPolicy::SortMerge);
   ~BatchedSkipList() override;
 
   BatchedSkipList(const BatchedSkipList&) = delete;
@@ -85,6 +97,7 @@ class BatchedSkipList final : public BatchedStructure {
   bool check_invariants() const;
 
   Batcher& batcher() { return batcher_; }
+  ApplyPolicy apply_policy() const { return apply_; }
 
   // BOP.
   void run_batch(OpRecordBase* const* ops, std::size_t count) override;
@@ -101,16 +114,32 @@ class BatchedSkipList final : public BatchedStructure {
   };
 
   Node* allocate_node(Key key, int height);
+  // Reserves `bytes` of contiguous arena space (16-byte aligned) so a batch
+  // can carve per-node offsets with one scan and initialize in parallel.
+  char* allocate_bulk(std::size_t bytes);
   int random_height();
+  static int height_from_bits(std::uint64_t bits);
   // Per-level predecessors of `key` (strictly smaller), highest levels first
-  // filled with head_.  `preds` must have room for kMaxHeight entries.
-  void find_preds(Key key, Node** preds) const;
+  // filled with head_.  `preds` must have room for kMaxHeight entries.  If
+  // `succs` is non-null it receives each predecessor's pre-batch level-l
+  // successor (preds[l]->next[l] at search time).
+  void find_preds(Key key, Node** preds, Node** succs = nullptr) const;
   Node* find_node(Key key) const;  // level-0 node with exact key, or nullptr
 
   void apply_reads(std::vector<Op*>& ops);
   void apply_erases(std::vector<Op*>& ops);
+  void apply_erases_legacy(std::vector<Op*>& ops,
+                           const std::vector<prep::Tagged<Key>>& keys);
+  void apply_erases_sortmerge(std::vector<Op*>& ops,
+                              const std::vector<prep::Tagged<Key>>& keys);
   void apply_inserts(const std::vector<Op*>& single,
                      const std::vector<Op*>& multi);
+  void apply_inserts_legacy(const std::vector<Op*>& single,
+                            const std::vector<Op*>& multi,
+                            const std::vector<prep::Tagged<Key>>& keys);
+  void apply_inserts_sortmerge(const std::vector<Op*>& single,
+                               const std::vector<Op*>& multi,
+                               const std::vector<prep::Tagged<Key>>& keys);
 
   Node* head_;
   int height_ = 1;     // number of levels currently in use
@@ -129,7 +158,14 @@ class BatchedSkipList final : public BatchedStructure {
   std::vector<Key> batch_keys_;
   std::vector<std::uint32_t> key_offsets_;
   std::vector<Node*> pred_scratch_;
+  std::vector<Node*> succ_scratch_;
+  std::vector<std::uint8_t> flag_scratch_;
+  std::vector<std::uint32_t> live_index_;     // packed fresh/victim positions
+  std::vector<Node*> node_scratch_;           // new nodes / victims, key order
+  std::vector<int> height_scratch_;
+  std::vector<std::size_t> offset_scratch_;   // per-node arena byte offsets
 
+  ApplyPolicy apply_;
   Batcher batcher_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "parallel/scan.hpp"
 #include "parallel/sort.hpp"
 #include "runtime/api.hpp"
 #include "support/config.hpp"
@@ -14,25 +15,33 @@ namespace {
 // task per tiny subtree would drown the win.
 constexpr std::int64_t kParallelCutoff = 512;
 
-struct TaggedKey {
-  BatchedWBTree::Key key;
-  std::uint32_t op_index;
-  bool operator<(const TaggedKey& o) const {
-    return key != o.key ? key < o.key : op_index < o.op_index;
-  }
-};
+// The bulk sort-merge passes recurse over (subtree, key-range) pairs whose
+// sizes shrink geometrically; a lower cutoff than the whole-tree set
+// operations keeps the measured span of batch-sized merges sublinear while
+// still amortizing spawn overhead over ~a hundred nodes of serial work.
+constexpr std::int64_t kBulkParallelCutoff = 96;
+
+using TaggedKey = prep::Tagged<BatchedWBTree::Key>;
 
 }  // namespace
 
-BatchedWBTree::BatchedWBTree(rt::Scheduler& sched, Batcher::SetupPolicy setup)
-    : batcher_(sched, *this, setup) {}
+BatchedWBTree::BatchedWBTree(rt::Scheduler& sched, Batcher::SetupPolicy setup,
+                             ApplyPolicy apply)
+    : arenas_(sched.num_workers() + 1),
+      apply_(apply),
+      batcher_(sched, *this, setup) {}
+
+batcher::Arena& BatchedWBTree::local_arena() {
+  const rt::Worker* w = rt::current_worker();
+  return arenas_[w == nullptr ? 0 : static_cast<std::size_t>(w->id()) + 1];
+}
 
 // ---------------------------------------------------------------------------
 // Node helpers and rotations.
 // ---------------------------------------------------------------------------
 
 BatchedWBTree::Node* BatchedWBTree::make_node(Node* l, Key k, Node* r) {
-  Node* n = static_cast<Node*>(arena_.allocate(sizeof(Node)));
+  Node* n = static_cast<Node*>(local_arena().allocate(sizeof(Node)));
   n->key = k;
   n->left = l;
   n->right = r;
@@ -134,8 +143,8 @@ BatchedWBTree::Node* BatchedWBTree::union_with(Node* t, Node* batch) {
   if (t == nullptr) return batch;
   if (batch == nullptr) return t;
   SplitResult s = split(batch, t->key);  // a duplicate of t->key is dropped
-  Node* l;
-  Node* r;
+  Node* l = nullptr;
+  Node* r = nullptr;
   if (tsize(t) + tsize(batch) > kParallelCutoff) {
     rt::parallel_invoke([&] { l = union_with(t->left, s.left); },
                         [&] { r = union_with(t->right, s.right); });
@@ -150,8 +159,8 @@ BatchedWBTree::Node* BatchedWBTree::difference(Node* t, const Node* batch) {
   if (t == nullptr) return nullptr;
   if (batch == nullptr) return t;
   SplitResult s = split(t, batch->key);  // drops batch->key if present
-  Node* l;
-  Node* r;
+  Node* l = nullptr;
+  Node* r = nullptr;
   if (tsize(t) > kParallelCutoff) {
     rt::parallel_invoke([&] { l = difference(s.left, batch->left); },
                         [&] { r = difference(s.right, batch->right); });
@@ -162,13 +171,57 @@ BatchedWBTree::Node* BatchedWBTree::difference(Node* t, const Node* batch) {
   return join2(l, r);
 }
 
+// Merge the sorted, duplicate-free, all-absent keys straight into `t`: one
+// binary search splits the key range around t->key, both sides recurse in
+// parallel, and `join` rebalances on the way up.  Compared with the legacy
+// build_range + union_with pair this skips materializing the batch tree and
+// keeps every phase parallel.
+BatchedWBTree::Node* BatchedWBTree::bulk_insert(Node* t, const Key* keys,
+                                                std::int64_t n) {
+  if (n == 0) return t;
+  if (t == nullptr) return build_range(keys, n);
+  const std::int64_t k =
+      std::lower_bound(keys, keys + n, t->key) - keys;
+  Node* l = nullptr;
+  Node* r = nullptr;
+  if (tsize(t) + n > kBulkParallelCutoff) {
+    rt::parallel_invoke([&] { l = bulk_insert(t->left, keys, k); },
+                        [&] { r = bulk_insert(t->right, keys + k, n - k); });
+  } else {
+    l = bulk_insert(t->left, keys, k);
+    r = bulk_insert(t->right, keys + k, n - k);
+  }
+  return join(l, t->key, r);
+}
+
+// Dual bulk pass: drop every key of the sorted array found in `t`.
+BatchedWBTree::Node* BatchedWBTree::bulk_erase(Node* t, const Key* keys,
+                                               std::int64_t n) {
+  if (n == 0 || t == nullptr) return t;
+  const std::int64_t k =
+      std::lower_bound(keys, keys + n, t->key) - keys;
+  const bool hit = k < n && keys[k] == t->key;
+  const Key* rkeys = keys + k + (hit ? 1 : 0);
+  const std::int64_t rn = n - k - (hit ? 1 : 0);
+  Node* l = nullptr;
+  Node* r = nullptr;
+  if (tsize(t) + n > kBulkParallelCutoff) {
+    rt::parallel_invoke([&] { l = bulk_erase(t->left, keys, k); },
+                        [&] { r = bulk_erase(t->right, rkeys, rn); });
+  } else {
+    l = bulk_erase(t->left, keys, k);
+    r = bulk_erase(t->right, rkeys, rn);
+  }
+  return hit ? join2(l, r) : join(l, t->key, r);
+}
+
 BatchedWBTree::Node* BatchedWBTree::build_range(const Key* keys,
                                                 std::int64_t n) {
   if (n <= 0) return nullptr;
   const std::int64_t mid = n / 2;
   if (n > kParallelCutoff) {
-    Node* l;
-    Node* r;
+    Node* l = nullptr;
+    Node* r = nullptr;
     rt::parallel_invoke([&] { l = build_range(keys, mid); },
                         [&] { r = build_range(keys + mid + 1, n - mid - 1); });
     return make_node(l, keys[mid], r);
@@ -363,33 +416,56 @@ void BatchedWBTree::apply_erases(std::vector<Op*>& ops) {
   par::parallel_sort(keys.data(), static_cast<std::int64_t>(keys.size()));
 
   // Pre-pass: resolve found flags (first op on a key wins) on the pre-erase
-  // tree, and gather the keys actually present.
-  std::vector<std::uint8_t> hit(keys.size(), 0);
+  // tree, and flag the keys actually present.
+  flag_scratch_.assign(keys.size(), 0);
   rt::parallel_for(
       0, static_cast<std::int64_t>(keys.size()),
       [&](std::int64_t i) {
         const auto idx = static_cast<std::size_t>(i);
-        Op* op = ops[keys[idx].op_index];
+        Op* op = ops[keys[idx].ws];
         if (idx > 0 && keys[idx].key == keys[idx - 1].key) {
           op->found = false;
           return;
         }
         op->found = contains_in(root_, keys[idx].key);
-        hit[idx] = op->found ? 1 : 0;
+        flag_scratch_[idx] = op->found ? 1 : 0;
       },
       /*grain=*/1);
 
-  std::vector<Key> present;
-  present.reserve(keys.size());
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    if (hit[i]) present.push_back(keys[i].key);
+  if (apply_ == ApplyPolicy::Legacy) {
+    // Legacy ablation path: serial compaction, then tree-vs-tree DIFFERENCE.
+    std::vector<Key> present;
+    present.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (flag_scratch_[i]) present.push_back(keys[i].key);
+    }
+    if (present.empty()) return;
+    Node* del_tree =
+        build_range(present.data(), static_cast<std::int64_t>(present.size()));
+    root_ = difference(root_, del_tree);
+    size_ -= present.size();
+    return;
   }
-  if (present.empty()) return;
 
-  Node* del_tree =
-      build_range(present.data(), static_cast<std::int64_t>(present.size()));
-  root_ = difference(root_, del_tree);
-  size_ -= present.size();
+  // SortMerge: scan-compact the present keys and merge them out of the tree
+  // directly (no intermediate batch tree, no serial phase).
+  const std::int64_t m = par::pack_indices(
+      static_cast<std::int64_t>(keys.size()),
+      [&](std::int64_t i) {
+        return flag_scratch_[static_cast<std::size_t>(i)] != 0;
+      },
+      live_index_);
+  if (m == 0) return;
+  key_scratch_.resize(static_cast<std::size_t>(m));
+  rt::parallel_for(
+      0, m,
+      [&](std::int64_t j) {
+        const auto ji = static_cast<std::size_t>(j);
+        key_scratch_[ji] = keys[live_index_[ji]].key;
+      },
+      /*grain=*/1);
+  root_ = bulk_erase(root_, key_scratch_.data(), m);
+  size_ -= static_cast<std::size_t>(m);
 }
 
 void BatchedWBTree::apply_inserts(std::vector<Op*>& ops) {
@@ -399,32 +475,55 @@ void BatchedWBTree::apply_inserts(std::vector<Op*>& ops) {
   }
   par::parallel_sort(keys.data(), static_cast<std::int64_t>(keys.size()));
 
-  std::vector<std::uint8_t> fresh(keys.size(), 0);
+  flag_scratch_.assign(keys.size(), 0);
   rt::parallel_for(
       0, static_cast<std::int64_t>(keys.size()),
       [&](std::int64_t i) {
         const auto idx = static_cast<std::size_t>(i);
-        Op* op = ops[keys[idx].op_index];
+        Op* op = ops[keys[idx].ws];
         if (idx > 0 && keys[idx].key == keys[idx - 1].key) {
           op->found = false;  // duplicate within the batch
           return;
         }
         op->found = !contains_in(root_, keys[idx].key);
-        fresh[idx] = op->found ? 1 : 0;
+        flag_scratch_[idx] = op->found ? 1 : 0;
       },
       /*grain=*/1);
 
-  std::vector<Key> new_keys;
-  new_keys.reserve(keys.size());
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    if (fresh[i]) new_keys.push_back(keys[i].key);
+  if (apply_ == ApplyPolicy::Legacy) {
+    // Legacy ablation path: serial compaction, build_range, then UNION.
+    std::vector<Key> new_keys;
+    new_keys.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (flag_scratch_[i]) new_keys.push_back(keys[i].key);
+    }
+    if (new_keys.empty()) return;
+    Node* ins_tree = build_range(new_keys.data(),
+                                 static_cast<std::int64_t>(new_keys.size()));
+    root_ = union_with(root_, ins_tree);
+    size_ += new_keys.size();
+    return;
   }
-  if (new_keys.empty()) return;
 
-  Node* ins_tree =
-      build_range(new_keys.data(), static_cast<std::int64_t>(new_keys.size()));
-  root_ = union_with(root_, ins_tree);
-  size_ += new_keys.size();
+  // SortMerge: scan-compact the fresh keys and merge the sorted array into
+  // the tree in one parallel divide-and-conquer pass.
+  const std::int64_t m = par::pack_indices(
+      static_cast<std::int64_t>(keys.size()),
+      [&](std::int64_t i) {
+        return flag_scratch_[static_cast<std::size_t>(i)] != 0;
+      },
+      live_index_);
+  if (m == 0) return;
+  key_scratch_.resize(static_cast<std::size_t>(m));
+  rt::parallel_for(
+      0, m,
+      [&](std::int64_t j) {
+        const auto ji = static_cast<std::size_t>(j);
+        key_scratch_[ji] = keys[live_index_[ji]].key;
+      },
+      /*grain=*/1);
+  root_ = bulk_insert(root_, key_scratch_.data(), m);
+  size_ += static_cast<std::size_t>(m);
 }
 
 // ---------------------------------------------------------------------------

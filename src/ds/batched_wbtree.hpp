@@ -7,12 +7,20 @@
 // union / difference à la Adams; see Blelloch, Ferizovic & Sun, "Just Join
 // for Parallel Ordered Sets", SPAA 2016 — itself the lineage of [14]):
 //
-//   * a batch of x inserts:  sort, build a perfect tree of the new keys in
-//     O(x), then UNION into the main tree — O(x·lg(n/x + 1)) work,
-//     polylog span, strictly better than one-by-one re-descending;
-//   * a batch of x erases:   DIFFERENCE with the batch tree, same bounds;
+//   * a batch of x inserts:  sort + scan-compact the fresh keys, then merge
+//     the sorted array straight into the tree: split the key range by the
+//     root's key (one binary search), recurse into both subtrees in
+//     parallel, and rebalance with `join` on the way up — O(x·lg(n/x + 1))
+//     work, polylog span (SortMerge, the default);
+//   * a batch of x erases:   the dual bulk pass dropping hit keys via
+//     `join2`, same bounds;
 //   * reads (contains / rank / select / range-count) are embarrassingly
 //     parallel searches over the pre-batch tree.
+//
+// ApplyPolicy::Legacy keeps the pre-rewrite path — serial compaction of the
+// batch into a vector, `build_range`, then UNION/DIFFERENCE of whole trees —
+// selectable for the A/B span ablation: its serial compact + build prefix is
+// the Θ(x)-span phase the SortMerge path removes.
 //
 // Balance scheme: Adams-style weights (w = size + 1) with Δ = 3, Γ = 2 and
 // single/double rotations along the join spine.  `check_invariants` verifies
@@ -28,6 +36,7 @@
 
 #include "batcher/batcher.hpp"
 #include "batcher/op_record.hpp"
+#include "ds/batch_prep.hpp"
 #include "support/arena.hpp"
 
 namespace batcher::ds {
@@ -55,7 +64,8 @@ class BatchedWBTree final : public BatchedStructure {
   };
 
   explicit BatchedWBTree(rt::Scheduler& sched,
-                         Batcher::SetupPolicy setup = Batcher::kDefaultSetup);
+                         Batcher::SetupPolicy setup = Batcher::kDefaultSetup,
+                         ApplyPolicy apply = ApplyPolicy::SortMerge);
 
   BatchedWBTree(const BatchedWBTree&) = delete;
   BatchedWBTree& operator=(const BatchedWBTree&) = delete;
@@ -78,6 +88,7 @@ class BatchedWBTree final : public BatchedStructure {
   bool check_invariants() const;
 
   Batcher& batcher() { return batcher_; }
+  ApplyPolicy apply_policy() const { return apply_; }
 
   void run_batch(OpRecordBase* const* ops, std::size_t count) override;
 
@@ -114,6 +125,12 @@ class BatchedWBTree final : public BatchedStructure {
   Node* union_with(Node* t, Node* batch);       // t ∪ batch
   Node* difference(Node* t, const Node* batch); // t \ batch
 
+  // Bulk sort-merge passes: merge a sorted array of keys into / out of the
+  // tree directly, splitting the array by the root key and recursing into
+  // both subtrees in parallel, joining (and thereby rebalancing) on unwind.
+  Node* bulk_insert(Node* t, const Key* keys, std::int64_t n);
+  Node* bulk_erase(Node* t, const Key* keys, std::int64_t n);
+
   Node* build_range(const Key* keys, std::int64_t n);
 
   bool contains_in(const Node* t, Key k) const;
@@ -128,9 +145,19 @@ class BatchedWBTree final : public BatchedStructure {
 
   Node* root_ = nullptr;
   std::size_t size_ = 0;
-  Arena arena_;
+  // One bump-arena shard per worker (index id+1) plus one for non-worker
+  // callers (index 0): the bulk sort-merge passes call make_node from
+  // concurrent tasks and the arena is deliberately unsynchronized, so each
+  // task must bump its own thread's shard.  Nodes from every shard live
+  // until the tree dies, so wholesale release is unchanged.
+  std::vector<Arena> arenas_;
+  Arena& local_arena();
 
   std::vector<Op*> read_ops_, erase_ops_, insert_ops_;  // batch scratch
+  std::vector<std::uint8_t> flag_scratch_;
+  std::vector<std::uint32_t> live_index_;
+  std::vector<Key> key_scratch_;
+  ApplyPolicy apply_;
   Batcher batcher_;
 };
 

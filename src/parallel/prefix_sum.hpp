@@ -17,12 +17,46 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "runtime/api.hpp"
 
 namespace batcher::par {
+
+// Serial cutoff shared by the blocked scan/reduce/pack schemes (here and in
+// parallel/scan.hpp): inputs of at most this size run as one serial loop,
+// with no task spawns and no block-total allocation.  Forking pays off only
+// once the per-block work dwarfs the spawn cost; below the cutoff the serial
+// loop is both faster *and* a constant-span leaf, so the asymptotic story is
+// unchanged.  Tunable (like the msort cutoffs in parallel/sort.hpp) so span
+// tests can force the parallel scheme on small inputs.
+inline std::atomic<std::int64_t>& scan_cutoff_cell() {
+  static std::atomic<std::int64_t> cell{512};
+  return cell;
+}
+inline std::int64_t scan_serial_cutoff() {
+  return scan_cutoff_cell().load(std::memory_order_relaxed);
+}
+inline void set_scan_serial_cutoff(std::int64_t n) {
+  scan_cutoff_cell().store(n < 1 ? 1 : n, std::memory_order_relaxed);
+}
+
+// RAII override, mirroring sort.hpp's SortCutoffGuard.
+class ScanCutoffGuard {
+ public:
+  explicit ScanCutoffGuard(std::int64_t cutoff)
+      : saved_(scan_serial_cutoff()) {
+    set_scan_serial_cutoff(cutoff);
+  }
+  ~ScanCutoffGuard() { set_scan_serial_cutoff(saved_); }
+  ScanCutoffGuard(const ScanCutoffGuard&) = delete;
+  ScanCutoffGuard& operator=(const ScanCutoffGuard&) = delete;
+
+ private:
+  std::int64_t saved_;
+};
 
 namespace detail {
 
@@ -61,7 +95,8 @@ void scan_inclusive_blocked(T* data, std::int64_t n, const Op& op) {
   if (n <= 1) return;
   rt::Worker* w = rt::current_worker();
   const std::int64_t p = (w != nullptr) ? w->scheduler()->num_workers() : 1;
-  const std::int64_t blocks = std::min<std::int64_t>(n, 4 * p);
+  const std::int64_t blocks =
+      n <= scan_serial_cutoff() ? 1 : std::min<std::int64_t>(n, 4 * p);
   if (blocks <= 1) {
     for (std::int64_t i = 1; i < n; ++i) data[i] = op(data[i - 1], data[i]);
     return;

@@ -1,0 +1,180 @@
+// Work-efficient exclusive scan, reduce, and scan-based compaction (pack).
+//
+// These are the batch-prep workhorses behind the sort-merge BOPs: every
+// rewritten structure turns a sorted batch into distinct-key groups with a
+// flag → exclusive-scan → scatter pack instead of a Θ(batch)-span serial
+// boundary walk, which is precisely what keeps the measured s(n) of the BOP
+// sublinear.  All routines are Θ(n) work; the blocked schemes run in
+// Θ(n/B + B) span (B = min(n, 4P) blocks, so effectively flat for
+// batch-sized inputs), matching `scan_inclusive_blocked` in prefix_sum.hpp.
+//
+// Per Invariant 1 nothing here synchronizes: the phases communicate only
+// through the fork/join structure.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/prefix_sum.hpp"
+#include "runtime/api.hpp"
+
+namespace batcher::par {
+
+namespace detail {
+
+inline std::int64_t scan_blocks_for(std::int64_t n) {
+  if (n <= scan_serial_cutoff()) return 1;
+  rt::Worker* w = rt::current_worker();
+  const std::int64_t p = (w != nullptr) ? w->scheduler()->num_workers() : 1;
+  return std::min<std::int64_t>(n, 4 * p);
+}
+
+}  // namespace detail
+
+// In-place *exclusive* scan: data[i] becomes op(identity, data[0..i)), so
+// data[0] == identity and the old data[n-1] drops off the end.  Returns the
+// total op(identity, data[0..n)) — callers packing variable-size records use
+// it as the output length.
+template <typename T, typename Op>
+T scan_exclusive(T* data, std::int64_t n, const Op& op, T identity) {
+  if (n <= 0) return identity;
+  const std::int64_t blocks = detail::scan_blocks_for(n);
+  if (blocks <= 1) {
+    T running = identity;
+    for (std::int64_t i = 0; i < n; ++i) {
+      T tmp = data[i];
+      data[i] = running;
+      running = op(running, tmp);
+    }
+    return running;
+  }
+  const std::int64_t block_size = (n + blocks - 1) / blocks;
+  std::vector<T> sums(static_cast<std::size_t>(blocks), identity);
+
+  // Phase 1: per-block totals (read-only over data).
+  rt::parallel_for(
+      0, blocks,
+      [&](std::int64_t b) {
+        const std::int64_t lo = b * block_size;
+        const std::int64_t hi = std::min(n, lo + block_size);
+        T total = identity;
+        for (std::int64_t i = lo; i < hi; ++i) total = op(total, data[i]);
+        sums[static_cast<std::size_t>(b)] = total;
+      },
+      /*grain=*/1);
+
+  // Phase 2: serial exclusive scan over the (few) block totals.
+  T running = identity;
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    T tmp = sums[static_cast<std::size_t>(b)];
+    sums[static_cast<std::size_t>(b)] = running;
+    running = op(running, tmp);
+  }
+
+  // Phase 3: per-block exclusive rewrite seeded with the block's offset.
+  rt::parallel_for(
+      0, blocks,
+      [&](std::int64_t b) {
+        const std::int64_t lo = b * block_size;
+        const std::int64_t hi = std::min(n, lo + block_size);
+        T acc = sums[static_cast<std::size_t>(b)];
+        for (std::int64_t i = lo; i < hi; ++i) {
+          T tmp = data[i];
+          data[i] = acc;
+          acc = op(acc, tmp);
+        }
+      },
+      /*grain=*/1);
+  return running;
+}
+
+template <typename T>
+T exclusive_prefix_sums(T* data, std::int64_t n) {
+  return scan_exclusive(data, n, [](const T& a, const T& b) { return a + b; },
+                        T{});
+}
+
+// Parallel reduction over [0, n) of value(i) under an associative `op`.
+template <typename T, typename ValueFn, typename Op>
+T reduce(std::int64_t n, const ValueFn& value, const Op& op, T identity) {
+  if (n <= 0) return identity;
+  const std::int64_t blocks = detail::scan_blocks_for(n);
+  if (blocks <= 1) {
+    T total = identity;
+    for (std::int64_t i = 0; i < n; ++i) total = op(total, value(i));
+    return total;
+  }
+  const std::int64_t block_size = (n + blocks - 1) / blocks;
+  std::vector<T> sums(static_cast<std::size_t>(blocks), identity);
+  rt::parallel_for(
+      0, blocks,
+      [&](std::int64_t b) {
+        const std::int64_t lo = b * block_size;
+        const std::int64_t hi = std::min(n, lo + block_size);
+        T total = identity;
+        for (std::int64_t i = lo; i < hi; ++i) total = op(total, value(i));
+        sums[static_cast<std::size_t>(b)] = total;
+      },
+      /*grain=*/1);
+  T total = identity;
+  for (std::int64_t b = 0; b < blocks; ++b)
+    total = op(total, sums[static_cast<std::size_t>(b)]);
+  return total;
+}
+
+// Pack: collect the indices i in [0, n) with pred(i), in increasing order,
+// into `out` (resized to the hit count).  Flag → exclusive scan → scatter;
+// this replaces the serial "walk the array appending matches" loops whose
+// Θ(n) span dominated the legacy BOP apply paths.
+template <typename Pred>
+std::int64_t pack_indices(std::int64_t n, const Pred& pred,
+                          std::vector<std::uint32_t>& out) {
+  if (n <= 0) {
+    out.clear();
+    return 0;
+  }
+  const std::int64_t blocks = detail::scan_blocks_for(n);
+  if (blocks <= 1) {
+    out.clear();
+    for (std::int64_t i = 0; i < n; ++i) {
+      if (pred(i)) out.push_back(static_cast<std::uint32_t>(i));
+    }
+    return static_cast<std::int64_t>(out.size());
+  }
+  const std::int64_t block_size = (n + blocks - 1) / blocks;
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(blocks), 0);
+  rt::parallel_for(
+      0, blocks,
+      [&](std::int64_t b) {
+        const std::int64_t lo = b * block_size;
+        const std::int64_t hi = std::min(n, lo + block_size);
+        std::int64_t c = 0;
+        for (std::int64_t i = lo; i < hi; ++i) c += pred(i) ? 1 : 0;
+        counts[static_cast<std::size_t>(b)] = c;
+      },
+      /*grain=*/1);
+  std::int64_t total = 0;
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    std::int64_t tmp = counts[static_cast<std::size_t>(b)];
+    counts[static_cast<std::size_t>(b)] = total;
+    total += tmp;
+  }
+  out.resize(static_cast<std::size_t>(total));
+  rt::parallel_for(
+      0, blocks,
+      [&](std::int64_t b) {
+        const std::int64_t lo = b * block_size;
+        const std::int64_t hi = std::min(n, lo + block_size);
+        std::int64_t at = counts[static_cast<std::size_t>(b)];
+        for (std::int64_t i = lo; i < hi; ++i) {
+          if (pred(i)) out[static_cast<std::size_t>(at++)] =
+              static_cast<std::uint32_t>(i);
+        }
+      },
+      /*grain=*/1);
+  return total;
+}
+
+}  // namespace batcher::par

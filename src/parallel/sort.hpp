@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <iterator>
 #include <vector>
@@ -16,10 +17,55 @@
 
 namespace batcher::par {
 
-namespace detail {
+// The serial cutoffs below which msort leaves fall back to std::stable_sort
+// and the parallel merge to std::merge.  512 amortizes spawn overhead on the
+// throughput path; span tests and span-profiled BOP benches lower it so the
+// recursive structure (and hence the measured critical path) is exercised at
+// batch-sized inputs.  Relaxed atomics: these are test/bench knobs, not
+// synchronization.
+inline std::atomic<std::int64_t>& sort_cutoff_cell() {
+  static std::atomic<std::int64_t> cell{512};
+  return cell;
+}
+inline std::atomic<std::int64_t>& merge_cutoff_cell() {
+  static std::atomic<std::int64_t> cell{512};
+  return cell;
+}
+inline std::int64_t sort_serial_cutoff() {
+  return sort_cutoff_cell().load(std::memory_order_relaxed);
+}
+inline std::int64_t merge_serial_cutoff() {
+  return merge_cutoff_cell().load(std::memory_order_relaxed);
+}
+inline void set_sort_serial_cutoff(std::int64_t n) {
+  sort_cutoff_cell().store(n < 1 ? 1 : n, std::memory_order_relaxed);
+}
+inline void set_merge_serial_cutoff(std::int64_t n) {
+  merge_cutoff_cell().store(n < 1 ? 1 : n, std::memory_order_relaxed);
+}
 
-inline constexpr std::int64_t kSortCutoff = 512;
-inline constexpr std::int64_t kMergeCutoff = 512;
+// RAII guard: set both cutoffs for a scope (tests, span profiling).
+class SortCutoffGuard {
+ public:
+  explicit SortCutoffGuard(std::int64_t sort_cutoff, std::int64_t merge_cutoff)
+      : saved_sort_(sort_serial_cutoff()), saved_merge_(merge_serial_cutoff()) {
+    set_sort_serial_cutoff(sort_cutoff);
+    set_merge_serial_cutoff(merge_cutoff);
+  }
+  explicit SortCutoffGuard(std::int64_t cutoff) : SortCutoffGuard(cutoff, cutoff) {}
+  ~SortCutoffGuard() {
+    set_sort_serial_cutoff(saved_sort_);
+    set_merge_serial_cutoff(saved_merge_);
+  }
+  SortCutoffGuard(const SortCutoffGuard&) = delete;
+  SortCutoffGuard& operator=(const SortCutoffGuard&) = delete;
+
+ private:
+  std::int64_t saved_sort_;
+  std::int64_t saved_merge_;
+};
+
+namespace detail {
 
 template <typename T, typename Cmp>
 void merge_swapped(const T* a, std::int64_t na, const T* b, std::int64_t nb,
@@ -29,7 +75,7 @@ void merge_swapped(const T* a, std::int64_t na, const T* b, std::int64_t nb,
 template <typename T, typename Cmp>
 void merge_parallel(const T* a, std::int64_t na, const T* b, std::int64_t nb,
                     T* out, const Cmp& cmp) {
-  if (na + nb <= kMergeCutoff) {
+  if (na + nb <= merge_serial_cutoff()) {
     std::merge(a, a + na, b, b + nb, out, cmp);
     return;
   }
@@ -75,7 +121,7 @@ void merge_swapped(const T* a, std::int64_t na, const T* b, std::int64_t nb,
 // sorted output lands in buf, else in data.
 template <typename T, typename Cmp>
 void msort(T* data, T* buf, std::int64_t n, bool to_buf, const Cmp& cmp) {
-  if (n <= kSortCutoff) {
+  if (n <= sort_serial_cutoff()) {
     std::stable_sort(data, data + n, cmp);
     if (to_buf) std::copy(data, data + n, buf);
     return;
@@ -89,6 +135,14 @@ void msort(T* data, T* buf, std::int64_t n, bool to_buf, const Cmp& cmp) {
 }
 
 }  // namespace detail
+
+// Stable parallel merge of sorted [a, a+na) and [b, b+nb) into `out`,
+// exposed so the merge primitive is testable outside msort (and any BOP).
+template <typename T, typename Cmp>
+void parallel_merge(const T* a, std::int64_t na, const T* b, std::int64_t nb,
+                    T* out, const Cmp& cmp) {
+  detail::merge_parallel(a, na, b, nb, out, cmp);
+}
 
 template <typename T, typename Cmp>
 void parallel_sort(T* data, std::int64_t n, const Cmp& cmp) {

@@ -30,6 +30,14 @@ resolved ops differently, not that something got faster or slower.  An
 --exact metric missing from the candidate fails the gate like a missing
 gated metric.
 
+Traced reports additionally synthesize span_growth/<label> rows from the
+bound ledger: for every *labeled* domain, the mean measured BOP span at the
+largest populated batch-size bucket divided by the mean at the smallest —
+the report's one-number answer to "how fast does s(n) grow with n?".
+Unit "x", lower-better, so --metric span_growth/ gates a rewrite that made
+batch span grow faster with batch size.  Unlabeled domains (transient
+throughput-lane structures with recycled ids) synthesize nothing.
+
 Usage:
     python3 tools/bench_compare.py --baseline bench/results/BENCH_counter.json \
         --candidate bench-out/BENCH_counter.json \
@@ -43,7 +51,9 @@ import sys
 HIGHER_BETTER_UNITS = {"1/s"}
 # "workers" is the crossover-point unit of BENCH_sim_scenarios: the smallest
 # simulated P at which BATCHER durably beats a rival — smaller is better.
-LOWER_BETTER_UNITS = {"ns", "us", "s", "steps", "workers"}
+# "x" is the span_growth ratio unit: span at the largest batch-size bucket
+# over span at the smallest — growing faster with batch size is worse.
+LOWER_BETTER_UNITS = {"ns", "us", "s", "steps", "workers", "x"}
 
 
 HIST_PERCENTILES = ("p50_ns", "p99_ns", "p999_ns")
@@ -56,6 +66,7 @@ def load_metrics(path):
     for m in report.get("metrics", []):
         metrics[m["name"]] = (m["value"], m.get("unit", ""))
     empty_hists = synthesize_histogram_metrics(report, metrics)
+    synthesize_span_growth_metrics(report, metrics)
     return report.get("name", "?"), metrics, empty_hists
 
 
@@ -94,6 +105,43 @@ def synthesize_histogram_metrics(report, metrics):
                 if pct in h:
                     metrics[f"hist/{base}/{pct}"] = (float(h[pct]), "ns")
     return empty
+
+
+def bucket_order(key):
+    """Sort key for ledger size-bucket names: le_1 < le_4 < ... < gt_64.
+
+    le_N names the bucket's inclusive upper bound; the open-ended gt_N bucket
+    shares its N with the last le_N and sorts after it.
+    """
+    prefix, _, bound = key.partition("_")
+    return (int(bound), 1 if prefix == "gt" else 0)
+
+
+def synthesize_span_growth_metrics(report, metrics):
+    """Lifts the bound ledger's s(n) tables into span_growth/<label> rows.
+
+    For each labeled domain in bound_ledger.domains, emits the ratio of
+    mean_ns at the largest populated bop_span_by_size bucket to mean_ns at
+    the smallest (unit "x", lower-better).  Mean is used rather than a
+    percentile because histogram percentiles are power-of-two quantized;
+    mean_ns is exact.  Domains without a label, with fewer than two
+    populated buckets, or with a zero small-bucket mean synthesize nothing —
+    a growth ratio needs two real endpoints.
+    """
+    for domain in report.get("bound_ledger", {}).get("domains", []):
+        label = domain.get("label")
+        if not label:
+            continue
+        populated = sorted(
+            ((bucket_order(k), h) for k, h in
+             domain.get("bop_span_by_size", {}).items()
+             if h.get("count", 0) > 0 and h.get("mean_ns", 0) > 0),
+            key=lambda kv: kv[0])
+        if len(populated) < 2:
+            continue
+        smallest = populated[0][1]["mean_ns"]
+        largest = populated[-1][1]["mean_ns"]
+        metrics[f"span_growth/{label}"] = (largest / smallest, "x")
 
 
 def classify(name, base, cand, unit, tolerance):

@@ -27,9 +27,11 @@ def load_module():
     return module
 
 
-def make_report(path, metrics, histograms=None, top_histograms=None):
+def make_report(path, metrics, histograms=None, top_histograms=None,
+                ledger_domains=None):
     """metrics: list of (name, value, unit); histograms: trace histogram
-    dict; top_histograms: report-level (bench-owned) histogram dict."""
+    dict; top_histograms: report-level (bench-owned) histogram dict;
+    ledger_domains: bound_ledger.domains list (span_growth synthesis)."""
     report = {
         "schema_version": 1,
         "name": "unit",
@@ -45,8 +47,29 @@ def make_report(path, metrics, histograms=None, top_histograms=None):
         report["trace"] = {"file": "", "metrics": {"histograms": histograms}}
     if top_histograms is not None:
         report["histograms"] = top_histograms
+    if ledger_domains is not None:
+        report["bound_ledger"] = {"domains": ledger_domains}
     with open(path, "w", encoding="utf-8") as f:
         json.dump(report, f)
+
+
+def span_domain(label, bucket_means, domain=0):
+    """A bound_ledger domain whose bop_span_by_size has the given
+    {bucket_name: mean_ns} entries (count 10 each)."""
+    d = {
+        "domain": domain,
+        "batches": 10 * len(bucket_means),
+        "ops": 0,
+        "sum_bop_wall_ns": 0,
+        "sum_bop_span_ns": 0,
+        "bop_wall_by_size": {},
+        "bop_span_by_size": {
+            k: {"count": 10, "mean_ns": m} for k, m in bucket_means.items()
+        },
+    }
+    if label is not None:
+        d["label"] = label
+    return d
 
 
 class BenchCompareTest(unittest.TestCase):
@@ -57,12 +80,15 @@ class BenchCompareTest(unittest.TestCase):
 
     def run_compare(self, base_metrics, cand_metrics, extra_args=(),
                     base_hists=None, cand_hists=None,
-                    base_top_hists=None, cand_top_hists=None):
+                    base_top_hists=None, cand_top_hists=None,
+                    base_ledger=None, cand_ledger=None):
         """Returns (exit_code, captured_stdout)."""
         base = os.path.join(self.tmp.name, "BENCH_base.json")
         cand = os.path.join(self.tmp.name, "BENCH_cand.json")
-        make_report(base, base_metrics, base_hists, base_top_hists)
-        make_report(cand, cand_metrics, cand_hists, cand_top_hists)
+        make_report(base, base_metrics, base_hists, base_top_hists,
+                    base_ledger)
+        make_report(cand, cand_metrics, cand_hists, cand_top_hists,
+                    cand_ledger)
         argv = ["bench_compare.py", "--baseline", base, "--candidate", cand,
                 *extra_args]
         out = io.StringIO()
@@ -293,6 +319,65 @@ class BenchCompareTest(unittest.TestCase):
         self.assertIn("hist/service_flashcrowd/p50_ns", out)
         self.assertIn("hist/service_flashcrowd/p999_ns", out)
         self.assertIn("PASS", out)
+
+    def test_span_growth_is_synthesized_and_gateable(self):
+        # A labeled ledger domain's s(n) table becomes span_growth/<label> =
+        # mean span at the largest populated bucket / mean at the smallest
+        # (unit "x", lower-better).  Baseline grows 16x; the candidate's
+        # largest-bucket span blowing up to 160x must fail the gate.
+        steady = [span_domain("skiplist_sortmerge",
+                              {"le_1": 1000, "le_16": 4000, "gt_64": 16000})]
+        blown = [span_domain("skiplist_sortmerge",
+                             {"le_1": 1000, "le_16": 4000, "gt_64": 160000})]
+        code, out = self.run_compare(
+            [], [], extra_args=["--metric", "span_growth/",
+                                "--tolerance", "2.0"],
+            base_ledger=steady, cand_ledger=blown)
+        self.assertEqual(code, 1)
+        self.assertIn("span_growth/skiplist_sortmerge", out)
+        self.assertIn("WORSE", out)
+        # An unchanged growth curve passes under the same gate.
+        code, out = self.run_compare(
+            [], [], extra_args=["--metric", "span_growth/",
+                                "--tolerance", "2.0"],
+            base_ledger=steady, cand_ledger=[dict(steady[0])])
+        self.assertEqual(code, 0)
+        self.assertIn("span_growth/skiplist_sortmerge: 16 -> 16", out)
+
+    def test_span_growth_bucket_order_is_numeric_not_lexicographic(self):
+        # gt_64 must be recognized as the largest bucket even though it sorts
+        # lexicographically before le_16: ratio is gt_64/le_1, not a pair
+        # picked by string order.
+        dom = [span_domain("d", {"le_1": 100, "le_16": 400, "le_4": 200,
+                                 "gt_64": 1600, "le_64": 800})]
+        code, out = self.run_compare(
+            [], [], extra_args=["--metric", "span_growth/"],
+            base_ledger=dom, cand_ledger=[dict(dom[0])])
+        self.assertEqual(code, 0)
+        self.assertIn("span_growth/d: 16 -> 16", out)
+
+    def test_span_growth_skips_unlabeled_and_single_bucket_domains(self):
+        # Unlabeled domains are transient throughput-lane structures with
+        # recycled ids — no stable identity, no gateable row.  A single
+        # populated bucket has no growth to measure.
+        doms = [span_domain(None, {"le_1": 100, "gt_64": 1600}, domain=2),
+                span_domain("organic_only", {"le_1": 100}, domain=3)]
+        code, out = self.run_compare(
+            [("mops/x", 1.0, "1/s")], [("mops/x", 1.0, "1/s")],
+            base_ledger=doms, cand_ledger=doms)
+        self.assertEqual(code, 0)
+        self.assertNotIn("span_growth/", out)
+
+    def test_span_growth_missing_from_candidate_fails_the_gate(self):
+        # Losing the span profile (e.g. the bench stopped driving controlled
+        # batch sizes) is a coverage regression like any missing gated row.
+        dom = [span_domain("wbtree_sortmerge", {"le_1": 1000, "gt_64": 9000})]
+        code, out = self.run_compare(
+            [], [], extra_args=["--metric", "span_growth/"],
+            base_ledger=dom, cand_ledger=[])
+        self.assertEqual(code, 1)
+        self.assertIn("missing from candidate", out)
+        self.assertIn("span_growth/wbtree_sortmerge", out)
 
     def test_new_metric_is_informational(self):
         code, out = self.run_compare(

@@ -21,6 +21,18 @@ the wall, total span fits inside total work, and — when no trace records
 were dropped — the ledger's online work_ns agrees with the trace's offline
 useful_ns to within instrumentation slack.
 
+Per-domain ledger tables are reconciled too: every domain's size-bucket
+histograms must account for exactly `batches` recorded calls on both the
+wall and span sides, the bucket sums must add back up to the domain's
+sum_bop_wall_ns / sum_bop_span_ns counters, a batch is non-empty so
+ops >= batches, and measured span never exceeds measured wall (the probe
+samples wall-before-path on entry and path-before-wall on exit).  A
+*labeled* domain is a rewritten structure's span profile (bench_fig5_skiplist
+/ bench_searchtree drive it at several controlled batch sizes), so its span
+table must populate at least two size buckets — otherwise the downstream
+span_growth/<label> gate in tools/bench_compare.py would silently synthesize
+nothing and the s(n) regression coverage would vanish without failing CI.
+
 Usage:
     python3 tools/validate_bench_json.py --schema bench/bench_report.schema.json \
         bench-out/BENCH_*.json
@@ -251,6 +263,51 @@ def reconcile_ledger(report, errors):
                 f"{lpath}: work_ns ({ledger['work_ns']}) exceeds traced "
                 f"useful_ns + flag_wait_ns ({offline}) beyond slack "
                 f"({slack:.0f})")
+
+    for i, d in enumerate(ledger.get("domains", [])):
+        reconcile_ledger_domain(d, f"{lpath}.domains[{i}]", errors)
+
+
+def reconcile_ledger_domain(d, dpath, errors):
+    """Size-bucket tables of one ledger domain must account for every batch."""
+    # note_batch books only clean, non-empty batches, so each carries >= 1 op.
+    if d["ops"] < d["batches"]:
+        errors.append(
+            f"{dpath}: ops ({d['ops']}) < batches ({d['batches']}) — a "
+            f"recorded batch is non-empty")
+    # The span probe samples wall-before-path on entry and path-before-wall
+    # on exit, so per-call span <= wall, hence the sums obey it too.
+    if d["sum_bop_span_ns"] > d["sum_bop_wall_ns"]:
+        errors.append(
+            f"{dpath}: sum_bop_span_ns ({d['sum_bop_span_ns']}) > "
+            f"sum_bop_wall_ns ({d['sum_bop_wall_ns']})")
+    # Every note_batch call lands in exactly one size bucket on each side,
+    # bumping that bucket's count and sum_ns with the same values as the
+    # domain totals — both identities are exact.
+    for table, total_key in (("bop_wall_by_size", "sum_bop_wall_ns"),
+                             ("bop_span_by_size", "sum_bop_span_ns")):
+        hists = d[table]
+        count = sum(h["count"] for h in hists.values())
+        if count != d["batches"]:
+            errors.append(
+                f"{dpath}.{table}: bucket counts sum to {count}, expected "
+                f"batches = {d['batches']}")
+        total = sum(h["sum_ns"] for h in hists.values())
+        if total != d[total_key]:
+            errors.append(
+                f"{dpath}.{table}: bucket sums add to {total}, expected "
+                f"{total_key} = {d[total_key]}")
+    # A labeled domain is a span-profiled structure: its s(n) table is the
+    # evidence the span_growth/<label> gate consumes, and that gate needs at
+    # least two populated size buckets to form a growth ratio.
+    if d.get("label"):
+        populated = sum(1 for h in d["bop_span_by_size"].values()
+                        if h["count"] > 0)
+        if populated < 2:
+            errors.append(
+                f"{dpath}: labeled domain {d['label']!r} populates "
+                f"{populated} span size-bucket(s); the span_growth gate "
+                f"needs >= 2")
 
 
 def main():
